@@ -1,0 +1,74 @@
+//! DHT application benches (experiment E11's cost side):
+//! ring construction (with/without virtual servers), item placement per
+//! policy, and greedy finger-table lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geo2c_dht::chord::ChordRing;
+use geo2c_dht::id::NodeId;
+use geo2c_dht::placement::{evaluate, PlacementPolicy};
+use geo2c_util::rng::Xoshiro256pp;
+use rand::Rng;
+
+fn bench_ring_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_ring_build");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    for v in [1usize, 10] {
+        group.bench_with_input(BenchmarkId::new("virtual", v), &v, |b, &v| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = Xoshiro256pp::from_u64(seed);
+                ChordRing::with_virtual_servers(n, v, &mut rng).num_virtual()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_placement");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    let m = 1u64 << 14;
+    group.throughput(Throughput::Elements(m));
+    let mut rng = Xoshiro256pp::from_u64(5);
+    let ring = ChordRing::new(n, &mut rng);
+    for (name, policy) in [
+        ("consistent", PlacementPolicy::Consistent),
+        ("2-choice", PlacementPolicy::DChoice { d: 2 }),
+        ("4-choice", PlacementPolicy::DChoice { d: 4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            let mut rng = Xoshiro256pp::from_u64(6);
+            b.iter(|| evaluate(&ring, p, m, 0, &mut rng).load.max);
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_lookup");
+    group.sample_size(10);
+    for exp in [8u32, 12] {
+        let n = 1usize << exp;
+        let mut rng = Xoshiro256pp::from_u64(7);
+        let ring = ChordRing::new(n, &mut rng);
+        let queries: Vec<(usize, NodeId)> = (0..2048)
+            .map(|_| (rng.gen_range(0..n), NodeId(rng.gen::<u64>())))
+            .collect();
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&(s, k)| u64::from(ring.lookup(s, k).1))
+                    .sum::<u64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_build, bench_placement, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benches for the lemma-validation machinery: arc-census cost (Lemmas
+//! 4–6) and the six-sector occupancy test plus cell-area sweep (Lemmas
+//! 8–9). These dominate the `lemmas` binary's runtime, so regressions
+//! here make the validation sweep impractical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geo2c_ring::tail::{count_arcs_at_least, sum_longest_arcs};
+use geo2c_ring::RingPartition;
+use geo2c_torus::sector::has_empty_sector;
+use geo2c_torus::TorusSites;
+use geo2c_util::rng::Xoshiro256pp;
+
+fn bench_arc_census(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_arc_census");
+    group.sample_size(10);
+    let n = 1usize << 16;
+    let mut rng = Xoshiro256pp::from_u64(1);
+    let part = RingPartition::random(n, &mut rng);
+    let arcs = part.arc_lengths();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("count_at_least", |b| {
+        b.iter(|| count_arcs_at_least(&arcs, 4.0 / n as f64));
+    });
+    group.bench_function("sum_longest_1024", |b| {
+        b.iter(|| sum_longest_arcs(&arcs, 1024));
+    });
+    group.finish();
+}
+
+fn bench_sector_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_sector_occupancy");
+    group.sample_size(10);
+    for exp in [10u32, 12] {
+        let n = 1usize << exp;
+        let mut rng = Xoshiro256pp::from_u64(2);
+        let sites = TorusSites::random(n, &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("all_sites_c6", n), &n, |b, &n| {
+            b.iter(|| {
+                (0..n)
+                    .filter(|&i| has_empty_sector(&sites, i, 6.0))
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cell_area_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_cell_areas");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    let mut rng = Xoshiro256pp::from_u64(3);
+    let sites = TorusSites::random(n, &mut rng);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("all_cells", |b| {
+        b.iter(|| sites.cell_areas().iter().sum::<f64>());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_arc_census, bench_sector_test, bench_cell_area_sweep);
+criterion_main!(benches);

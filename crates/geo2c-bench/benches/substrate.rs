@@ -1,0 +1,89 @@
+//! Substrate ablation benches (experiment E12):
+//!
+//! * grid-accelerated vs brute-force nearest neighbour on the torus —
+//!   the design choice that makes Table 2 feasible at large `n`;
+//! * ring owner lookup (binary search) cost;
+//! * exact Voronoi cell construction (grid-accelerated vs all-pairs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geo2c_ring::{Ownership, RingPartition, RingPoint};
+use geo2c_torus::grid::nearest_brute;
+use geo2c_torus::{TorusPoint, TorusSites};
+use geo2c_util::rng::Xoshiro256pp;
+use rand::Rng;
+
+fn bench_nearest_neighbour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_grid_vs_brute");
+    group.sample_size(10);
+    for exp in [8u32, 12] {
+        let n = 1usize << exp;
+        let mut rng = Xoshiro256pp::from_u64(1);
+        let sites = TorusSites::random(n, &mut rng);
+        let queries: Vec<TorusPoint> =
+            (0..1024).map(|_| TorusPoint::random(&mut rng)).collect();
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&q| sites.owner(q))
+                    .sum::<usize>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&q| nearest_brute(q, sites.points()))
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_owner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_owner_lookup");
+    group.sample_size(10);
+    for exp in [12u32, 16, 20] {
+        let n = 1usize << exp;
+        let mut rng = Xoshiro256pp::from_u64(2);
+        let part = RingPartition::random(n, &mut rng);
+        let queries: Vec<RingPoint> = (0..4096).map(|_| RingPoint::random(&mut rng)).collect();
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("successor", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&q| part.owner(q, Ownership::Successor))
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_voronoi_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voronoi_cell_construction");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    let mut rng = Xoshiro256pp::from_u64(3);
+    let sites = TorusSites::random(n, &mut rng);
+    let idx: Vec<usize> = (0..64).map(|_| rng.gen_range(0..n)).collect();
+    group.throughput(Throughput::Elements(idx.len() as u64));
+    group.bench_function("grid_accelerated", |b| {
+        b.iter(|| idx.iter().map(|&i| sites.cell(i).area()).sum::<f64>());
+    });
+    group.bench_function("brute_all_pairs", |b| {
+        b.iter(|| idx.iter().map(|&i| sites.cell_brute(i).area()).sum::<f64>());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nearest_neighbour,
+    bench_ring_owner,
+    bench_voronoi_cells
+);
+criterion_main!(benches);

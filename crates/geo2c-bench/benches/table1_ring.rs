@@ -1,0 +1,56 @@
+//! Criterion bench for Table 1's workload: one full trial (space build +
+//! `m = n` insertions) on the ring, per `d`.
+//!
+//! Not a reproduction of the table itself (the `table1` binary does that);
+//! this tracks the *cost* of regenerating each cell so substrate
+//! regressions are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geo2c_core::sim::run_trial;
+use geo2c_core::space::{RingSpace, Space};
+use geo2c_core::strategy::Strategy;
+use geo2c_util::rng::Xoshiro256pp;
+
+fn bench_ring_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_ring_trial");
+    group.sample_size(10);
+    let n = 1usize << 12;
+    group.throughput(Throughput::Elements(n as u64));
+    for d in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            let strategy = Strategy::d_choice(d);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = Xoshiro256pp::from_u64(seed);
+                let space = RingSpace::random(n, &mut rng);
+                run_trial(&space, &strategy, n, &mut rng).max_load
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_build_vs_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_ring_phases");
+    group.sample_size(10);
+    let n = 1usize << 14;
+    group.bench_function("build_partition", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = Xoshiro256pp::from_u64(seed);
+            RingSpace::random(n, &mut rng).num_servers()
+        });
+    });
+    group.bench_function("insert_only_d2", |b| {
+        let mut rng = Xoshiro256pp::from_u64(7);
+        let space = RingSpace::random(n, &mut rng);
+        let strategy = Strategy::two_choice();
+        b.iter(|| run_trial(&space, &strategy, n, &mut rng).max_load);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_trials, bench_ring_build_vs_insert);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for Table 2's workload: one full trial on the torus
+//! (site placement + grid build + `m = n` insertions), per `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geo2c_core::sim::run_trial;
+use geo2c_core::space::TorusSpace;
+use geo2c_core::strategy::Strategy;
+use geo2c_util::rng::Xoshiro256pp;
+
+fn bench_torus_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_torus_trial");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    group.throughput(Throughput::Elements(n as u64));
+    for d in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            let strategy = Strategy::d_choice(d);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = Xoshiro256pp::from_u64(seed);
+                let space = TorusSpace::random(n, &mut rng);
+                run_trial(&space, &strategy, n, &mut rng).max_load
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_torus_scaling(c: &mut Criterion) {
+    // Insertion cost should stay ~O(1) per ball as n grows (grid NN).
+    let mut group = c.benchmark_group("table2_torus_insert_scaling");
+    group.sample_size(10);
+    for exp in [8u32, 10, 12] {
+        let n = 1usize << exp;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            let mut rng = Xoshiro256pp::from_u64(11);
+            let space = TorusSpace::random(n, &mut rng);
+            let strategy = Strategy::two_choice();
+            b.iter(|| run_trial(&space, &strategy, n, &mut rng).max_load);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_torus_trials, bench_torus_scaling);
+criterion_main!(benches);

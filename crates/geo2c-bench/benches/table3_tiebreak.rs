@@ -1,0 +1,38 @@
+//! Criterion bench for Table 3's workload: tie-break policies on the ring
+//! at `d = 2` (plus Vöcking). Region-size tie-breaks add a lookup per tie;
+//! this measures the overhead of each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geo2c_core::sim::run_trial;
+use geo2c_core::space::RingSpace;
+use geo2c_core::strategy::{Strategy, TieBreak};
+use geo2c_util::rng::Xoshiro256pp;
+
+fn bench_tiebreaks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_tiebreak_trial");
+    group.sample_size(10);
+    let n = 1usize << 12;
+    group.throughput(Throughput::Elements(n as u64));
+    let policies = [
+        ("arc-larger", Strategy::with_tie_break(2, TieBreak::LargerRegion)),
+        ("arc-random", Strategy::with_tie_break(2, TieBreak::Random)),
+        ("arc-left", Strategy::with_tie_break(2, TieBreak::Leftmost)),
+        ("arc-smaller", Strategy::with_tie_break(2, TieBreak::SmallerRegion)),
+        ("voecking", Strategy::voecking(2)),
+    ];
+    for (name, strategy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = Xoshiro256pp::from_u64(seed);
+                let space = RingSpace::random(n, &mut rng);
+                run_trial(&space, s, n, &mut rng).max_load
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiebreaks);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment E16: churn — what failures do to each placement scheme.
+//!
+//! Fails a fraction of the physical nodes, re-places orphaned items under
+//! the same policy, and reports (a) the fraction of items that moved
+//! (consistent hashing's minimal-disruption guarantee) and (b) the
+//! post-churn maximum load (where two-choice re-placement shines, because
+//! plain consistent hashing dumps each departed node's items onto its
+//! successor). This is the executable version of the paper's closing
+//! remark about maintaining reliability.
+//!
+//! ```text
+//! cargo run --release -p geo2c-bench --bin churn [--trials T] [--max-exp K]
+//! ```
+
+use geo2c_bench::{banner, pow2_label, Cli};
+use geo2c_dht::churn::churn_experiment;
+use geo2c_dht::placement::PlacementPolicy;
+use geo2c_util::parallel::parallel_map;
+use geo2c_util::rng::StreamSeeder;
+use geo2c_util::stats::RunningStats;
+use geo2c_util::table::TextTable;
+
+fn main() {
+    let cli = Cli::parse(20, (10, 10), 12);
+    banner("E16: node failures and re-placement (items = 16 x nodes)", &cli);
+    let n = 1usize << cli.max_exp;
+    let m = (16 * n) as u64;
+    let seeder = StreamSeeder::new(cli.seed).child("churn");
+
+    let mut t = TextTable::new([
+        "scheme",
+        "fail %",
+        "max before",
+        "max after",
+        "moved items %",
+    ]);
+    for (name, policy, v) in [
+        ("consistent", PlacementPolicy::Consistent, 1usize),
+        ("virtual(log n)", PlacementPolicy::Consistent, (n as f64).log2().ceil() as usize),
+        ("2-choice", PlacementPolicy::DChoice { d: 2 }, 1),
+    ] {
+        for &fail in &[0.1f64, 0.3, 0.5] {
+            let rows: Vec<(f64, f64, f64)> = parallel_map(cli.trials, cli.threads, |trial| {
+                let mut rng = seeder
+                    .child(&format!("{name}/{fail}"))
+                    .stream(trial as u64);
+                let report = churn_experiment(n, v, policy, m, fail, &mut rng);
+                (
+                    f64::from(report.max_before),
+                    f64::from(report.max_after),
+                    report.moved_items as f64 / m as f64,
+                )
+            });
+            let mut before = RunningStats::new();
+            let mut after = RunningStats::new();
+            let mut moved = RunningStats::new();
+            for (b, a, mv) in rows {
+                before.push(b);
+                after.push(a);
+                moved.push(mv);
+            }
+            t.push_row([
+                name.to_string(),
+                format!("{:.0}", fail * 100.0),
+                format!("{:.1}", before.mean()),
+                format!("{:.1}", after.mean()),
+                format!("{:.1}", 100.0 * moved.mean()),
+            ]);
+        }
+        println!("--- {name} done ---");
+    }
+    println!("{t}");
+    println!(
+        "n = {} nodes, m = {m} items. Every scheme moves ~fail%% of the items",
+        pow2_label(n)
+    );
+    println!("(minimal disruption); the schemes differ in post-churn balance.");
+}

@@ -1,0 +1,159 @@
+//! Experiment E15: how much non-uniformity can two choices stand?
+//!
+//! The paper's conclusion poses exactly this question ("it is interesting
+//! to ask how much non-uniformity among bins the two-choice paradigm can
+//! stand"), and footnote 2 anticipates the probe-side variant (bank
+//! customers are not uniform). Two stress axes, both on the ring:
+//!
+//! 1. **Clustered servers** — servers squeezed into a fraction `w` of the
+//!    circle with probability `q`, probes uniform: the few servers outside
+//!    the cluster own huge arcs.
+//! 2. **Clustered probes** — servers uniform, probes drawn from a
+//!    uniform+cluster mixture: the servers under the cluster are hit far
+//!    more often than their arc lengths suggest. Region-size tie-breaking
+//!    uses the *exact probe mass* of each arc.
+//!
+//! ```text
+//! cargo run --release -p geo2c-bench --bin nonuniform [--trials T]
+//! ```
+
+use geo2c_bench::{banner, pow2_label, Cli};
+use geo2c_core::experiment::sweep_max_load;
+use geo2c_core::nonuniform::{ClusteredRingModel, MixRingSpace, RingMix};
+use geo2c_core::space::RingSpace;
+use geo2c_core::strategy::{Strategy, TieBreak};
+use geo2c_ring::{Ownership, RingPartition};
+use geo2c_util::hist::Counter;
+use geo2c_util::rng::Xoshiro256pp;
+use geo2c_util::table::TextTable;
+
+/// Wide distributions are summarized as a range to keep rows readable.
+fn dist_text(dist: &Counter) -> String {
+    if dist.iter().count() <= 8 {
+        dist.paper_style()
+    } else {
+        format!(
+            "{}..{} (mode {})",
+            dist.min().unwrap_or(0),
+            dist.max().unwrap_or(0),
+            dist.mode().unwrap_or(0)
+        )
+    }
+}
+
+fn main() {
+    let cli = Cli::parse(100, (12, 12), 16);
+    banner("E15: non-uniform servers / probes on the ring (m = n)", &cli);
+    let config = cli.sweep_config();
+    let n = 1usize << cli.max_exp;
+    let w = 0.1;
+
+    // ---- Axis 1: clustered servers, uniform probes ----------------------
+    println!("clustered SERVERS (cluster width {w}), uniform probes:");
+    let mut t = TextTable::new([
+        "cluster q",
+        "d=1 mean",
+        "d=2 mean",
+        "d=2 smaller-arc mean",
+        "d=2 distribution",
+    ]);
+    for &q in &[0.0, 0.5, 0.9, 0.99] {
+        let factory = move |rng: &mut Xoshiro256pp| {
+            RingSpace::with_ownership(
+                ClusteredRingModel::new(q, 0.0, w).build_partition(n, rng),
+                Ownership::Successor,
+            )
+        };
+        let one = sweep_max_load(
+            factory,
+            Strategy::one_choice(),
+            n,
+            n,
+            &format!("nonuniform/server/q{q}/d1"),
+            &config,
+        );
+        let two = sweep_max_load(
+            factory,
+            Strategy::two_choice(),
+            n,
+            n,
+            &format!("nonuniform/server/q{q}/d2"),
+            &config,
+        );
+        let smaller = sweep_max_load(
+            factory,
+            Strategy::with_tie_break(2, TieBreak::SmallerRegion),
+            n,
+            n,
+            &format!("nonuniform/server/q{q}/d2s"),
+            &config,
+        );
+        t.push_row([
+            format!("{q:.2}"),
+            format!("{:.2}", one.stats.mean()),
+            format!("{:.2}", two.stats.mean()),
+            format!("{:.2}", smaller.stats.mean()),
+            dist_text(&two.distribution),
+        ]);
+        println!("--- servers q = {q} done ---");
+    }
+    println!("{t}");
+
+    // ---- Axis 2: uniform servers, clustered probes ----------------------
+    println!("uniform servers, clustered PROBES (cluster width {w}):");
+    let mut t = TextTable::new([
+        "probe q",
+        "d=1 mean",
+        "d=2 mean",
+        "d=2 smaller-mass mean",
+        "d=2 distribution",
+    ]);
+    for &q in &[0.0, 0.5, 0.9, 0.99] {
+        let factory = move |rng: &mut Xoshiro256pp| {
+            MixRingSpace::new(RingPartition::random(n, rng), RingMix::new(q, 0.0, w))
+        };
+        let one = sweep_max_load(
+            factory,
+            Strategy::one_choice(),
+            n,
+            n,
+            &format!("nonuniform/probe/q{q}/d1"),
+            &config,
+        );
+        let two = sweep_max_load(
+            factory,
+            Strategy::two_choice(),
+            n,
+            n,
+            &format!("nonuniform/probe/q{q}/d2"),
+            &config,
+        );
+        let smaller = sweep_max_load(
+            factory,
+            Strategy::with_tie_break(2, TieBreak::SmallerRegion),
+            n,
+            n,
+            &format!("nonuniform/probe/q{q}/d2s"),
+            &config,
+        );
+        t.push_row([
+            format!("{q:.2}"),
+            format!("{:.2}", one.stats.mean()),
+            format!("{:.2}", two.stats.mean()),
+            format!("{:.2}", smaller.stats.mean()),
+            dist_text(&two.distribution),
+        ]);
+        println!("--- probes q = {q} done ---");
+    }
+    println!("{t}");
+
+    println!(
+        "n = {}. q = 0 is Theorem 1's setting. Clustered servers leave 90% of",
+        pow2_label(n)
+    );
+    println!("the circle to a vanishing server fraction, so even d = 2 grows —");
+    println!("but it keeps a constant-factor edge over d = 1 throughout.");
+    println!("Clustered probes concentrate ~q of the balls on ~w·n servers, so");
+    println!("the max load floor is q/w × average: two choices track that floor");
+    println!("while d = 1 overshoots it (footnote 2's claim).");
+}

@@ -1,0 +1,59 @@
+//! Experiment E8: the Theorem 1 scaling claim.
+//!
+//! Sweeps `n` and reports the mean maximum load for `d = 1` (growing like
+//! `ln n / ln ln n`) against `d = 2, 4` (pinned to
+//! `log log n / log d + O(1)`), on all three spaces. The headline check:
+//! the `d ≥ 2` columns are flat (doubly-logarithmic) and the geometric
+//! spaces track the uniform baseline within an additive constant.
+//!
+//! ```text
+//! cargo run -p geo2c-bench --release --bin scaling [--max-exp K]
+//! ```
+
+use geo2c_bench::{banner, pow2_label, Cli};
+use geo2c_core::experiment::sweep_kind;
+use geo2c_core::space::SpaceKind;
+use geo2c_core::strategy::Strategy;
+use geo2c_core::theory::{one_choice_typical, two_choice_band};
+use geo2c_util::table::TextTable;
+
+fn main() {
+    let cli = Cli::parse(100, (8, 16), 20);
+    banner("E8: max-load scaling vs theory", &cli);
+    let config = cli.sweep_config();
+
+    let mut t = TextTable::new([
+        "n",
+        "space",
+        "d=1 mean",
+        "d=2 mean",
+        "d=4 mean",
+        "ln n/lnln n",
+        "lnln n/ln 2",
+        "lnln n/ln 4",
+    ]);
+    for n in cli.sweep_sizes() {
+        for kind in [SpaceKind::Uniform, SpaceKind::Ring, SpaceKind::Torus] {
+            if kind == SpaceKind::Torus && n > (1 << 16) {
+                continue; // keep default runtime sane; --full unaffected semantics
+            }
+            let m1 = sweep_kind(kind, Strategy::one_choice(), n, n, &config);
+            let m2 = sweep_kind(kind, Strategy::two_choice(), n, n, &config);
+            let m4 = sweep_kind(kind, Strategy::d_choice(4), n, n, &config);
+            t.push_row([
+                pow2_label(n),
+                kind.name().to_string(),
+                format!("{:.2}", m1.stats.mean()),
+                format!("{:.2}", m2.stats.mean()),
+                format!("{:.2}", m4.stats.mean()),
+                format!("{:.2}", one_choice_typical(n)),
+                format!("{:.2}", two_choice_band(n, 2)),
+                format!("{:.2}", two_choice_band(n, 4)),
+            ]);
+        }
+        println!("--- n = {} done ---", pow2_label(n));
+    }
+    println!("{t}");
+    println!("Expect: d=1 grows with n; d>=2 nearly flat; ring/torus within");
+    println!("an additive constant of uniform (Theorem 1 / Section 3).");
+}

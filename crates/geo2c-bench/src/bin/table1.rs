@@ -1,0 +1,49 @@
+//! Regenerates the paper's **Table 1**: distribution of the maximum load
+//! with random arcs on the ring, `m = n` balls, `d ∈ {1, 2, 3, 4}`.
+//!
+//! Paper parameters: `n ∈ {2^8, 2^12, 2^16, 2^20, 2^24}`, 1000 trials,
+//! ties broken randomly. Defaults here are laptop-scale
+//! (`n ≤ 2^16`, 200 trials); pass `--full` for the paper's sweep.
+//!
+//! ```text
+//! cargo run -p geo2c-bench --release --bin table1 [--full] [--trials T]
+//! ```
+
+use geo2c_bench::{banner, pow2_label, Cli};
+use geo2c_core::experiment::sweep_kind;
+use geo2c_core::space::SpaceKind;
+use geo2c_core::strategy::Strategy;
+use geo2c_core::theory::two_choice_band;
+use geo2c_util::table::TextTable;
+
+fn main() {
+    let cli = Cli::parse(200, (8, 16), 24);
+    banner("Table 1: experimental maximum load with random arcs (m = n)", &cli);
+    let config = cli.sweep_config();
+
+    let ds = [1usize, 2, 3, 4];
+    let mut table = TextTable::new(
+        std::iter::once("n".to_string()).chain(ds.iter().map(|d| format!("d={d}"))),
+    );
+    for n in cli.sweep_sizes() {
+        let mut row = vec![pow2_label(n)];
+        for &d in &ds {
+            let cell = sweep_kind(SpaceKind::Ring, Strategy::d_choice(d), n, n, &config);
+            row.push(cell.distribution.paper_column().trim_end().to_string());
+        }
+        table.push_row(row);
+        // Stream output row-by-row so long sweeps show progress.
+        println!("--- n = {} done ---", pow2_label(n));
+    }
+    println!("{table}");
+
+    println!("theory band (log log n / log d, additive O(1) not predicted):");
+    for n in cli.sweep_sizes() {
+        let bands: Vec<String> = ds
+            .iter()
+            .skip(1)
+            .map(|&d| format!("d={d}: {:.2}", two_choice_band(n, d)))
+            .collect();
+        println!("  n={}: {}", pow2_label(n), bands.join("  "));
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates the paper's **Table 2**: distribution of the maximum load
+//! with random Voronoi cells on the 2-D torus, `m = n`, `d ∈ {1, 2, 3, 4}`.
+//!
+//! Paper parameters: `n ∈ {2^8, 2^12, 2^16, 2^20}`, 1000 trials, random
+//! tie-breaking. Defaults here are laptop-scale (`n ≤ 2^14`, 100 trials);
+//! pass `--full` for the paper's sweep.
+//!
+//! ```text
+//! cargo run -p geo2c-bench --release --bin table2 [--full] [--trials T]
+//! ```
+
+use geo2c_bench::{banner, pow2_label, Cli};
+use geo2c_core::experiment::sweep_kind;
+use geo2c_core::space::SpaceKind;
+use geo2c_core::strategy::Strategy;
+use geo2c_util::table::TextTable;
+
+fn main() {
+    let cli = Cli::parse(100, (8, 14), 20);
+    banner(
+        "Table 2: experimental maximum load with random torus polygons (m = n)",
+        &cli,
+    );
+    let config = cli.sweep_config();
+
+    let ds = [1usize, 2, 3, 4];
+    let mut table = TextTable::new(
+        std::iter::once("n".to_string()).chain(ds.iter().map(|d| format!("d={d}"))),
+    );
+    for n in cli.sweep_sizes() {
+        let mut row = vec![pow2_label(n)];
+        for &d in &ds {
+            let cell = sweep_kind(SpaceKind::Torus, Strategy::d_choice(d), n, n, &config);
+            row.push(cell.distribution.paper_column().trim_end().to_string());
+        }
+        table.push_row(row);
+        println!("--- n = {} done ---", pow2_label(n));
+    }
+    println!("{table}");
+}

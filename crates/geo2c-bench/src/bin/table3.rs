@@ -1,0 +1,55 @@
+//! Regenerates the paper's **Table 3**: tie-breaking strategies for
+//! random arcs with `d = 2`, `m = n`.
+//!
+//! Columns (paper order): *arc-larger*, *arc-random*, *arc-left*,
+//! *arc-smaller*. Pass `--with-voecking` to append Vöcking's
+//! split-interval always-go-left scheme (§2 remark 4), which the paper
+//! says *arc-smaller* slightly beats.
+//!
+//! ```text
+//! cargo run -p geo2c-bench --release --bin table3 [--full] [--with-voecking]
+//! ```
+
+use geo2c_bench::{banner, pow2_label, Cli};
+use geo2c_core::experiment::sweep_kind;
+use geo2c_core::space::SpaceKind;
+use geo2c_core::strategy::{Strategy, TieBreak};
+use geo2c_util::table::TextTable;
+
+fn main() {
+    let cli = Cli::parse(200, (8, 16), 24);
+    banner(
+        "Table 3: maximum load by tie-breaking strategy, random arcs, d = 2 (m = n)",
+        &cli,
+    );
+    let config = cli.sweep_config();
+
+    let mut strategies = vec![
+        Strategy::with_tie_break(2, TieBreak::LargerRegion),
+        Strategy::with_tie_break(2, TieBreak::Random),
+        Strategy::with_tie_break(2, TieBreak::Leftmost),
+        Strategy::with_tie_break(2, TieBreak::SmallerRegion),
+    ];
+    let mut headers = vec![
+        "arc-larger".to_string(),
+        "arc-random".to_string(),
+        "arc-left".to_string(),
+        "arc-smaller".to_string(),
+    ];
+    if cli.has_flag("--with-voecking") {
+        strategies.push(Strategy::voecking(2));
+        headers.push("voecking".to_string());
+    }
+
+    let mut table = TextTable::new(std::iter::once("n".to_string()).chain(headers));
+    for n in cli.sweep_sizes() {
+        let mut row = vec![pow2_label(n)];
+        for strategy in &strategies {
+            let cell = sweep_kind(SpaceKind::Ring, *strategy, n, n, &config);
+            row.push(cell.distribution.paper_column().trim_end().to_string());
+        }
+        table.push_row(row);
+        println!("--- n = {} done ---", pow2_label(n));
+    }
+    println!("{table}");
+}

@@ -1,0 +1,405 @@
+//! Multi-trial sweeps: the machinery behind the paper's Tables 1–3.
+//!
+//! Each table cell in the paper is "the distribution of the maximum load
+//! over 1000 independent trials" for one `(space, n, m, strategy)`
+//! configuration. A trial re-draws *both* the server placement and the
+//! ball probes (the theorems quantify over both sources of randomness).
+//! [`sweep_max_load`] runs those trials in parallel with per-trial
+//! deterministic streams, so any cell of any table is reproducible from
+//! `(seed, label, trial index)` alone, independent of thread count.
+
+use crate::sim::run_trial;
+use crate::space::{Space, SpaceKind};
+use crate::strategy::Strategy;
+use geo2c_util::hist::Counter;
+use geo2c_util::parallel::parallel_map;
+use geo2c_util::rng::{StreamSeeder, Xoshiro256pp};
+use geo2c_util::stats::RunningStats;
+use rand::Rng;
+#[cfg(test)]
+use rand::RngCore as _;
+
+/// Shared sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Number of independent trials per configuration (paper: 1000).
+    pub trials: usize,
+    /// Worker threads for the trial loop.
+    pub threads: usize,
+    /// Root seed; every `(configuration, trial)` derives its own stream.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// A sweep with the given trial count, automatic thread count, seed 0.
+    #[must_use]
+    pub fn new(trials: usize) -> Self {
+        Self {
+            trials,
+            threads: geo2c_util::parallel::num_threads(),
+            seed: 0,
+        }
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// The outcome of one sweep cell: the max-load distribution over trials.
+#[derive(Debug, Clone)]
+pub struct MaxLoadCell {
+    /// Servers per trial.
+    pub n: usize,
+    /// Balls per trial.
+    pub m: usize,
+    /// Strategy label (e.g. `"d=2 arc-smaller"`).
+    pub strategy: String,
+    /// Distribution of the per-trial maximum load.
+    pub distribution: Counter,
+    /// Summary statistics of the per-trial maximum load.
+    pub stats: RunningStats,
+}
+
+impl MaxLoadCell {
+    /// The paper-style cell text, e.g. `"4: 88.1%  5: 11.8%  6: 0.1%"`.
+    #[must_use]
+    pub fn paper_style(&self) -> String {
+        self.distribution.paper_style()
+    }
+}
+
+/// Runs `config.trials` independent trials of "`space_factory` then insert
+/// `m` balls with `strategy`" and collects the max-load distribution.
+///
+/// `space_factory` receives the trial's private RNG and must build a fresh
+/// space from it; the same RNG then drives the ball placement. Results are
+/// independent of `config.threads`.
+#[must_use]
+pub fn sweep_max_load<S, F>(
+    space_factory: F,
+    strategy: Strategy,
+    n: usize,
+    m: usize,
+    label: &str,
+    config: &SweepConfig,
+) -> MaxLoadCell
+where
+    S: Space,
+    F: Fn(&mut Xoshiro256pp) -> S + Sync,
+{
+    let seeder = StreamSeeder::new(config.seed).child(label);
+    let max_loads: Vec<u32> = parallel_map(config.trials, config.threads, |t| {
+        let mut rng = seeder.stream(t as u64);
+        let space = space_factory(&mut rng);
+        run_trial(&space, &strategy, m, &mut rng).max_load
+    });
+
+    let mut distribution = Counter::new();
+    let mut stats = RunningStats::new();
+    for &ml in &max_loads {
+        distribution.add(u64::from(ml));
+        stats.push(f64::from(ml));
+    }
+    MaxLoadCell {
+        n,
+        m,
+        strategy: strategy.label(),
+        distribution,
+        stats,
+    }
+}
+
+/// Convenience: a sweep cell for one of the named geometries.
+///
+/// `label` feeds stream derivation, so e.g. Table 1 and Table 3 sweeps of
+/// the same `(kind, n, d)` stay statistically independent.
+#[must_use]
+pub fn sweep_kind(
+    kind: SpaceKind,
+    strategy: Strategy,
+    n: usize,
+    m: usize,
+    config: &SweepConfig,
+) -> MaxLoadCell {
+    let label = format!("{}/n{}/m{}/{}", kind.name(), n, m, strategy.label());
+    sweep_max_load(
+        move |rng: &mut Xoshiro256pp| kind.build(n, rng),
+        strategy,
+        n,
+        m,
+        &label,
+        config,
+    )
+}
+
+/// One row of the `m ≠ n` extension experiment (E9): how the max load
+/// scales as the ball-to-server ratio grows, versus the
+/// `m/n + log log n / log d` shape from the paper's §2 remark 3.
+#[derive(Debug, Clone)]
+pub struct HeavyLoadRow {
+    /// Ball count for this row.
+    pub m: usize,
+    /// Mean observed maximum load.
+    pub mean_max: f64,
+    /// The trivial lower bound `⌈m/n⌉`.
+    pub average_load: f64,
+    /// Distribution over trials.
+    pub distribution: Counter,
+}
+
+/// Sweeps `m` over multiples of `n` for a fixed strategy (experiment E9).
+#[must_use]
+pub fn heavy_load_sweep(
+    kind: SpaceKind,
+    strategy: Strategy,
+    n: usize,
+    m_values: &[usize],
+    config: &SweepConfig,
+) -> Vec<HeavyLoadRow> {
+    m_values
+        .iter()
+        .map(|&m| {
+            let cell = sweep_kind(kind, strategy, n, m, config);
+            HeavyLoadRow {
+                m,
+                mean_max: cell.stats.mean(),
+                average_load: m as f64 / n as f64,
+                distribution: cell.distribution,
+            }
+        })
+        .collect()
+}
+
+/// Mean per-height profile across trials: `profile[i]` is the average
+/// number of servers with load ≥ `i+1`. Used to compare against the
+/// fluid-limit predictor (theory module) on uniform bins.
+#[must_use]
+pub fn mean_load_profile<S, F>(
+    space_factory: F,
+    strategy: Strategy,
+    m: usize,
+    label: &str,
+    config: &SweepConfig,
+) -> Vec<f64>
+where
+    S: Space,
+    F: Fn(&mut Xoshiro256pp) -> S + Sync,
+{
+    let seeder = StreamSeeder::new(config.seed).child(label);
+    let profiles: Vec<Vec<u32>> = parallel_map(config.trials, config.threads, |t| {
+        let mut rng = seeder.stream(t as u64);
+        let space = space_factory(&mut rng);
+        let result = run_trial(&space, &strategy, m, &mut rng);
+        let max = result.max_load;
+        (1..=max)
+            .map(|i| result.bins_with_load_at_least(i) as u32)
+            .collect()
+    });
+
+    let depth = profiles.iter().map(Vec::len).max().unwrap_or(0);
+    let mut mean = vec![0.0; depth];
+    for profile in &profiles {
+        for (i, &count) in profile.iter().enumerate() {
+            mean[i] += f64::from(count);
+        }
+    }
+    for v in &mut mean {
+        *v /= config.trials as f64;
+    }
+    mean
+}
+
+/// Sample a non-uniform ("clustered") probe model: a mixture of uniform
+/// background and Gaussian-like clusters (the paper's footnote 2 remarks
+/// that two choices helps even when the customer distribution is not
+/// uniform; this is the executable version used by the ATM example).
+#[derive(Debug, Clone)]
+pub struct ClusterMix {
+    /// Cluster centres (on the relevant space's coordinates).
+    pub centers: Vec<(f64, f64)>,
+    /// Standard deviation of each cluster.
+    pub sigma: f64,
+    /// Probability a probe comes from a cluster (vs uniform background).
+    pub cluster_weight: f64,
+}
+
+impl ClusterMix {
+    /// Samples a torus probe location from the mixture.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        if !self.centers.is_empty() && rng.gen::<f64>() < self.cluster_weight {
+            let (cx, cy) = self.centers[rng.gen_range(0..self.centers.len())];
+            // Box-Muller for a cheap Gaussian pair.
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt() * self.sigma;
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            (cx + r * theta.cos(), cy + r * theta.sin())
+        } else {
+            (rng.gen(), rng.gen())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::UniformSpace;
+
+    fn quick_config() -> SweepConfig {
+        SweepConfig::new(30).with_seed(42).with_threads(2)
+    }
+
+    #[test]
+    fn sweep_counts_all_trials() {
+        let cell = sweep_kind(
+            SpaceKind::Uniform,
+            Strategy::two_choice(),
+            128,
+            128,
+            &quick_config(),
+        );
+        assert_eq!(cell.distribution.total(), 30);
+        assert_eq!(cell.stats.count(), 30);
+        assert_eq!(cell.n, 128);
+        assert_eq!(cell.m, 128);
+        assert_eq!(cell.strategy, "d=2");
+        assert!(cell.stats.mean() >= 1.0);
+    }
+
+    #[test]
+    fn sweep_deterministic_across_threads() {
+        let a = sweep_kind(
+            SpaceKind::Ring,
+            Strategy::two_choice(),
+            64,
+            64,
+            &SweepConfig::new(10).with_seed(7).with_threads(1),
+        );
+        let b = sweep_kind(
+            SpaceKind::Ring,
+            Strategy::two_choice(),
+            64,
+            64,
+            &SweepConfig::new(10).with_seed(7).with_threads(4),
+        );
+        assert_eq!(a.distribution, b.distribution);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let config = quick_config();
+        let a = sweep_max_load(
+            |rng: &mut Xoshiro256pp| {
+                let _ = rng.next_u64();
+                UniformSpace::new(64)
+            },
+            Strategy::one_choice(),
+            64,
+            64,
+            "label-a",
+            &config,
+        );
+        let b = sweep_max_load(
+            |rng: &mut Xoshiro256pp| {
+                let _ = rng.next_u64();
+                UniformSpace::new(64)
+            },
+            Strategy::one_choice(),
+            64,
+            64,
+            "label-b",
+            &config,
+        );
+        // Same config, different stream labels → (almost surely) different
+        // empirical distributions. Equality would indicate stream reuse.
+        assert_ne!(a.distribution, b.distribution);
+    }
+
+    #[test]
+    fn heavy_load_rows_track_m_over_n() {
+        let rows = heavy_load_sweep(
+            SpaceKind::Uniform,
+            Strategy::two_choice(),
+            64,
+            &[64, 256, 1024],
+            &quick_config(),
+        );
+        assert_eq!(rows.len(), 3);
+        // Max load grows with m, and stays ≥ the average m/n.
+        assert!(rows[0].mean_max < rows[1].mean_max);
+        assert!(rows[1].mean_max < rows[2].mean_max);
+        for row in &rows {
+            assert!(row.mean_max >= row.average_load);
+        }
+        // With d=2, max load should hug the average: within
+        // m/n + O(log log n) — generous check.
+        let slack = rows[2].mean_max - rows[2].average_load;
+        assert!(slack < 10.0, "slack {slack}");
+    }
+
+    #[test]
+    fn mean_profile_is_decreasing() {
+        let config = quick_config();
+        let profile = mean_load_profile(
+            |_rng: &mut Xoshiro256pp| UniformSpace::new(256),
+            Strategy::two_choice(),
+            256,
+            "profile-test",
+            &config,
+        );
+        assert!(!profile.is_empty());
+        for w in profile.windows(2) {
+            assert!(w[0] >= w[1], "ν_i must be non-increasing: {profile:?}");
+        }
+        // ν_1 ≤ n and ≥ n/4 (with m=n, a constant fraction of bins is hit).
+        assert!(profile[0] <= 256.0);
+        assert!(profile[0] >= 64.0);
+    }
+
+    #[test]
+    fn cluster_mix_samples_cluster_and_background() {
+        let mix = ClusterMix {
+            centers: vec![(0.5, 0.5)],
+            sigma: 0.01,
+            cluster_weight: 0.8,
+        };
+        let mut rng = Xoshiro256pp::from_u64(3);
+        let mut near = 0u32;
+        let total = 10_000;
+        for _ in 0..total {
+            let (x, y) = mix.sample(&mut rng);
+            let (dx, dy) = (x - 0.5, y - 0.5);
+            if (dx * dx + dy * dy).sqrt() < 0.05 {
+                near += 1;
+            }
+        }
+        let frac = f64::from(near) / f64::from(total);
+        // ~80% cluster mass (+ tiny background contribution near centre).
+        assert!((frac - 0.8).abs() < 0.05, "cluster fraction {frac}");
+    }
+
+    #[test]
+    fn paper_style_cell_renders() {
+        let cell = sweep_kind(
+            SpaceKind::Uniform,
+            Strategy::two_choice(),
+            64,
+            64,
+            &quick_config(),
+        );
+        let text = cell.paper_style();
+        assert!(text.contains('%'));
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's primary contribution: the *geometric power of two choices*
+//! allocation framework.
+//!
+//! In the classical balanced-allocations model (Azar, Broder, Karlin,
+//! Upfal), each of `m` balls probes `d` bins chosen uniformly at random
+//! and joins the least-loaded one. The geometric generalization replaces
+//! "uniform over bins" with "uniform over a *space*": the ball probes `d`
+//! uniformly random *locations* and each location is charged to the server
+//! owning the surrounding region — an arc on the ring, a Voronoi cell on
+//! the torus. Region sizes are random and non-uniform, so bins are probed
+//! with non-uniform probability; the paper proves the
+//! `log log n / log d + O(1)` maximum-load guarantee survives.
+//!
+//! Module map:
+//!
+//! * [`space`] — the [`space::Space`] abstraction ("sample a probe, get an
+//!   owner") and its three implementations: [`space::RingSpace`] (§2),
+//!   [`space::TorusSpace`] (§3) and [`space::UniformSpace`] (the classical
+//!   baseline the paper compares against).
+//! * [`strategy`] — `d`-choice placement with the paper's tie-breaking
+//!   policies (Table 3: random / leftmost / smaller region / larger
+//!   region) and Vöcking's split-interval always-go-left variant (§2
+//!   remark 4).
+//! * [`sim`] — the sequential insertion engine producing per-server loads
+//!   and load profiles.
+//! * [`experiment`] — parallel multi-trial sweeps producing the paper's
+//!   max-load distributions (Tables 1–3) and the `m ≠ n` extension (E9).
+//! * [`theory`] — closed-form predictors: the `log log n / log d` band,
+//!   Vöcking's `log log n / (d ln φ_d)`, the one-choice
+//!   `Θ(log n / log log n)` growth, the layered-induction recursions
+//!   (both the classical and the paper's geometric variant), and the
+//!   fluid-limit load profile for the uniform case.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod nonuniform;
+pub mod sim;
+pub mod space;
+pub mod strategy;
+pub mod theory;
+
+pub use experiment::{sweep_max_load, SweepConfig};
+pub use sim::{run_trial, TrialResult};
+pub use space::{AnySpace, KdTorusSpace, RingSpace, Space, SpaceKind, TorusSpace, UniformSpace};
+pub use strategy::{Strategy, TieBreak};

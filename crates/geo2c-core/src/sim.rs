@@ -1,0 +1,211 @@
+//! The sequential insertion engine.
+//!
+//! Balls are placed one at a time (the paper's process is inherently
+//! sequential: each placement depends on the loads left by its
+//! predecessors). A trial is: build a space, insert `m` balls with a
+//! [`Strategy`], report the final loads.
+//!
+//! Besides the headline maximum load, [`TrialResult`] retains the full
+//! load vector so experiments can reconstruct the quantities the proof
+//! reasons about: `ν_i` (number of bins with load ≥ i — the layered
+//! induction variable), ball heights, and load/region-size correlations.
+
+use crate::space::Space;
+use crate::strategy::Strategy;
+use geo2c_util::hist::Counter;
+use rand::Rng;
+
+/// The outcome of one simulation trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialResult {
+    /// Final number of balls on each server.
+    pub loads: Vec<u32>,
+    /// `max(loads)` — the paper's reported statistic.
+    pub max_load: u32,
+}
+
+impl TrialResult {
+    /// Number of servers with load ≥ `i` (the proof's `ν_i`).
+    #[must_use]
+    pub fn bins_with_load_at_least(&self, i: u32) -> usize {
+        self.loads.iter().filter(|&&l| l >= i).count()
+    }
+
+    /// The load distribution over servers as a counter
+    /// (value = load, count = #servers).
+    #[must_use]
+    pub fn load_profile(&self) -> Counter {
+        self.loads.iter().map(|&l| u64::from(l)).collect()
+    }
+
+    /// Total number of balls placed (Σ loads).
+    #[must_use]
+    pub fn total_balls(&self) -> u64 {
+        self.loads.iter().map(|&l| u64::from(l)).sum()
+    }
+}
+
+/// Inserts `m` balls into `space` using `strategy` and returns the final
+/// loads.
+///
+/// ```
+/// use geo2c_core::{sim, space::UniformSpace, strategy::Strategy};
+/// use geo2c_util::rng::Xoshiro256pp;
+///
+/// let mut rng = Xoshiro256pp::from_u64(7);
+/// let space = UniformSpace::new(256);
+/// let result = sim::run_trial(&space, &Strategy::two_choice(), 256, &mut rng);
+/// assert_eq!(result.total_balls(), 256);
+/// ```
+#[must_use]
+pub fn run_trial<S: Space, R: Rng + ?Sized>(
+    space: &S,
+    strategy: &Strategy,
+    m: usize,
+    rng: &mut R,
+) -> TrialResult {
+    let mut loads = vec![0u32; space.num_servers()];
+    let mut max_load = 0u32;
+    for _ in 0..m {
+        let dest = strategy.choose(space, &loads, rng);
+        loads[dest] += 1;
+        max_load = max_load.max(loads[dest]);
+    }
+    TrialResult { loads, max_load }
+}
+
+/// Like [`run_trial`] but also records each ball's *height* (its position
+/// in the destination stack: 1 + prior load). The height distribution is
+/// the quantity the layered-induction proof actually bounds (`μ_i`).
+#[must_use]
+pub fn run_trial_with_heights<S: Space, R: Rng + ?Sized>(
+    space: &S,
+    strategy: &Strategy,
+    m: usize,
+    rng: &mut R,
+) -> (TrialResult, Counter) {
+    let mut loads = vec![0u32; space.num_servers()];
+    let mut max_load = 0u32;
+    let mut heights = Counter::new();
+    for _ in 0..m {
+        let dest = strategy.choose(space, &loads, rng);
+        loads[dest] += 1;
+        heights.add(u64::from(loads[dest]));
+        max_load = max_load.max(loads[dest]);
+    }
+    (TrialResult { loads, max_load }, heights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{RingSpace, UniformSpace};
+    use geo2c_util::rng::Xoshiro256pp;
+
+    #[test]
+    fn conservation_of_balls() {
+        let mut rng = Xoshiro256pp::from_u64(1);
+        let space = UniformSpace::new(64);
+        for m in [0usize, 1, 64, 500] {
+            let r = run_trial(&space, &Strategy::two_choice(), m, &mut rng);
+            assert_eq!(r.total_balls(), m as u64);
+            assert_eq!(r.loads.len(), 64);
+            assert_eq!(
+                r.max_load,
+                r.loads.iter().copied().max().unwrap_or(0),
+                "max_load consistent"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_balls_zero_loads() {
+        let mut rng = Xoshiro256pp::from_u64(2);
+        let space = UniformSpace::new(8);
+        let r = run_trial(&space, &Strategy::one_choice(), 0, &mut rng);
+        assert_eq!(r.max_load, 0);
+        assert!(r.loads.iter().all(|&l| l == 0));
+        assert_eq!(r.bins_with_load_at_least(1), 0);
+        assert_eq!(r.bins_with_load_at_least(0), 8);
+    }
+
+    #[test]
+    fn single_server_takes_everything() {
+        let mut rng = Xoshiro256pp::from_u64(3);
+        let space = UniformSpace::new(1);
+        let r = run_trial(&space, &Strategy::d_choice(3), 100, &mut rng);
+        assert_eq!(r.max_load, 100);
+        assert_eq!(r.loads, vec![100]);
+    }
+
+    #[test]
+    fn two_choices_beat_one_on_average() {
+        // The paper's headline effect, in miniature: mean max load over
+        // trials is strictly lower with d=2 on both spaces.
+        let n = 512;
+        let trials = 20;
+        for build_ring in [false, true] {
+            let mut one_total = 0u64;
+            let mut two_total = 0u64;
+            for t in 0..trials {
+                let mut rng = Xoshiro256pp::from_u64(100 + t);
+                if build_ring {
+                    let space = RingSpace::random(n, &mut rng);
+                    one_total +=
+                        u64::from(run_trial(&space, &Strategy::one_choice(), n, &mut rng).max_load);
+                    two_total +=
+                        u64::from(run_trial(&space, &Strategy::two_choice(), n, &mut rng).max_load);
+                } else {
+                    let space = UniformSpace::new(n);
+                    one_total +=
+                        u64::from(run_trial(&space, &Strategy::one_choice(), n, &mut rng).max_load);
+                    two_total +=
+                        u64::from(run_trial(&space, &Strategy::two_choice(), n, &mut rng).max_load);
+                }
+            }
+            assert!(
+                two_total < one_total,
+                "ring={build_ring}: d=2 total {two_total} !< d=1 total {one_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn heights_match_load_profile() {
+        // #balls of height ≥ i equals Σ_j max(load_j − i + 1, 0)… more
+        // simply: #balls at height exactly h = #bins with load ≥ h.
+        let mut rng = Xoshiro256pp::from_u64(4);
+        let space = UniformSpace::new(128);
+        let (r, heights) = run_trial_with_heights(&space, &Strategy::two_choice(), 128, &mut rng);
+        let max = r.max_load;
+        for h in 1..=max {
+            assert_eq!(
+                heights.count(u64::from(h)) as usize,
+                r.bins_with_load_at_least(h),
+                "height {h}"
+            );
+        }
+        assert_eq!(heights.total(), 128);
+    }
+
+    #[test]
+    fn load_profile_counts_servers() {
+        let mut rng = Xoshiro256pp::from_u64(5);
+        let space = UniformSpace::new(32);
+        let r = run_trial(&space, &Strategy::two_choice(), 64, &mut rng);
+        let profile = r.load_profile();
+        assert_eq!(profile.total(), 32);
+        let reconstructed: u64 = profile.iter().map(|(load, count)| load * count).sum();
+        assert_eq!(reconstructed, 64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = UniformSpace::new(100);
+        let mut a = Xoshiro256pp::from_u64(6);
+        let mut b = Xoshiro256pp::from_u64(6);
+        let ra = run_trial(&space, &Strategy::two_choice(), 500, &mut a);
+        let rb = run_trial(&space, &Strategy::two_choice(), 500, &mut b);
+        assert_eq!(ra, rb);
+    }
+}

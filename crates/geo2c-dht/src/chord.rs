@@ -1,0 +1,377 @@
+//! The Chord ring: sorted nodes, finger tables, greedy lookups.
+//!
+//! A [`ChordRing`] holds `V` *virtual* nodes (ring positions) belonging to
+//! `P ≤ V` *physical* servers. Plain Chord has `V = P`; the virtual-server
+//! mitigation gives every physical server `v = Θ(log P)` positions.
+//!
+//! Finger tables follow the Chord paper: virtual node at id `x` keeps, for
+//! every `k < 64`, a pointer to `successor(x + 2^k)`. A lookup for key `y`
+//! greedily forwards to the closest finger preceding `y` until the key
+//! falls in the gap before the current node's successor; the hop count is
+//! logarithmic in `V` w.h.p., which the tests check.
+
+use crate::id::NodeId;
+use rand::Rng;
+
+/// Number of finger-table levels (we use the full 64-bit ring).
+pub const ID_BITS: usize = 64;
+
+/// A Chord identifier ring with finger tables and physical-node ownership.
+#[derive(Debug, Clone)]
+pub struct ChordRing {
+    /// Virtual node ids, sorted ascending.
+    ids: Vec<NodeId>,
+    /// `physical[i]` is the physical server owning virtual node `i`.
+    physical: Vec<u32>,
+    /// Number of physical servers.
+    num_physical: usize,
+    /// `fingers[i][k]` = index of `successor(ids[i] + 2^k)`.
+    fingers: Vec<Vec<u32>>,
+}
+
+impl ChordRing {
+    /// Builds a ring of `n` physical servers with one virtual node each
+    /// (plain Chord), ids drawn uniformly at random.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        Self::with_virtual_servers(n, 1, rng)
+    }
+
+    /// Builds a ring of `n` physical servers, each simulating `v` virtual
+    /// nodes (Chord's load-balancing mitigation; `v = ⌈log₂ n⌉` is the
+    /// paper's reference configuration).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `v == 0`.
+    #[must_use]
+    pub fn with_virtual_servers<R: Rng + ?Sized>(n: usize, v: usize, rng: &mut R) -> Self {
+        assert!(n > 0, "need at least one server");
+        assert!(v > 0, "need at least one virtual node per server");
+        let mut pairs: Vec<(NodeId, u32)> = Vec::with_capacity(n * v);
+        for server in 0..n {
+            for _ in 0..v {
+                pairs.push((NodeId(rng.gen::<u64>()), server as u32));
+            }
+        }
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let ids: Vec<NodeId> = pairs.iter().map(|&(id, _)| id).collect();
+        let physical: Vec<u32> = pairs.iter().map(|&(_, p)| p).collect();
+        let mut ring = Self {
+            ids,
+            physical,
+            num_physical: n,
+            fingers: Vec::new(),
+        };
+        ring.build_fingers();
+        ring
+    }
+
+    /// Builds a ring from explicit `(virtual id, physical owner)` pairs —
+    /// the reconfiguration path used by churn handling. Physical ids must
+    /// be dense in `0..num_physical`.
+    ///
+    /// # Panics
+    /// Panics if `pairs` is empty, `num_physical == 0`, or a physical id
+    /// is out of range.
+    #[must_use]
+    pub fn from_pairs(mut pairs: Vec<(NodeId, u32)>, num_physical: usize) -> Self {
+        assert!(!pairs.is_empty(), "need at least one virtual node");
+        assert!(num_physical > 0, "need at least one server");
+        assert!(
+            pairs.iter().all(|&(_, p)| (p as usize) < num_physical),
+            "physical id out of range"
+        );
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let ids: Vec<NodeId> = pairs.iter().map(|&(id, _)| id).collect();
+        let physical: Vec<u32> = pairs.iter().map(|&(_, p)| p).collect();
+        let mut ring = Self {
+            ids,
+            physical,
+            num_physical,
+            fingers: Vec::new(),
+        };
+        ring.build_fingers();
+        ring
+    }
+
+    fn build_fingers(&mut self) {
+        let v = self.ids.len();
+        self.fingers = (0..v)
+            .map(|i| {
+                (0..ID_BITS)
+                    .map(|k| self.successor_index(self.ids[i].offset(1u64 << k)) as u32)
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Number of virtual nodes on the ring.
+    #[must_use]
+    pub fn num_virtual(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of physical servers.
+    #[must_use]
+    pub fn num_physical(&self) -> usize {
+        self.num_physical
+    }
+
+    /// The id of virtual node `i`.
+    #[must_use]
+    pub fn id(&self, i: usize) -> NodeId {
+        self.ids[i]
+    }
+
+    /// The physical server owning virtual node `i`.
+    #[must_use]
+    pub fn physical_of(&self, i: usize) -> usize {
+        self.physical[i] as usize
+    }
+
+    /// Index of the virtual node owning `key`: the first node at id ≥ key
+    /// (clockwise successor), wrapping to node 0.
+    #[must_use]
+    pub fn successor_index(&self, key: NodeId) -> usize {
+        let idx = self.ids.partition_point(|&id| id < key);
+        if idx == self.ids.len() {
+            0
+        } else {
+            idx
+        }
+    }
+
+    /// The physical server owning `key`.
+    #[must_use]
+    pub fn owner_of(&self, key: NodeId) -> usize {
+        self.physical_of(self.successor_index(key))
+    }
+
+    /// Greedy Chord lookup from virtual node `start` for `key`:
+    /// returns `(owning virtual node, hops)`.
+    ///
+    /// Each hop forwards to the closest finger strictly preceding the key,
+    /// per the Chord protocol; the hop count is the number of forwards
+    /// (0 if the key already lies between `start` and its successor).
+    #[must_use]
+    pub fn lookup(&self, start: usize, key: NodeId) -> (usize, u32) {
+        let owner = self.successor_index(key);
+        let mut current = start;
+        let mut hops = 0u32;
+        // A lookup terminates once the key falls in (current, successor]:
+        // the successor is the owner.
+        loop {
+            let succ = self.fingers[current][0] as usize;
+            if key.in_interval(self.ids[current], self.ids[succ]) {
+                // One final hop to the owner unless we are already there.
+                if succ != current {
+                    hops += 1;
+                }
+                debug_assert_eq!(succ, owner);
+                return (succ, hops);
+            }
+            let next = self.closest_preceding(current, key);
+            if next == current {
+                // Degenerate (single node): the owner is ourselves.
+                return (current, hops);
+            }
+            current = next;
+            hops += 1;
+            debug_assert!(
+                hops <= 2 * ID_BITS as u32 + self.ids.len() as u32,
+                "lookup failed to converge"
+            );
+        }
+    }
+
+    /// The closest finger of `current` that strictly precedes `key`
+    /// (Chord's `closest_preceding_node`).
+    fn closest_preceding(&self, current: usize, key: NodeId) -> usize {
+        let cur_id = self.ids[current];
+        for k in (0..ID_BITS).rev() {
+            let f = self.fingers[current][k] as usize;
+            let fid = self.ids[f];
+            // f ∈ (current, key) strictly (open at key: the owner is
+            // reached via the successor check in `lookup`).
+            if f != current
+                && cur_id.clockwise_to(fid) > 0
+                && cur_id.clockwise_to(fid) < cur_id.clockwise_to(key)
+            {
+                return f;
+            }
+        }
+        current
+    }
+
+    /// Fraction of the ring owned by each physical server (sums to 1):
+    /// the DHT analogue of `geo2c-ring`'s arc lengths.
+    #[must_use]
+    pub fn ownership_fractions(&self) -> Vec<f64> {
+        let v = self.ids.len();
+        let mut fractions = vec![0.0f64; self.num_physical];
+        let scale = 2.0f64.powi(64);
+        for i in 0..v {
+            let pred = (i + v - 1) % v;
+            let gap = if v == 1 {
+                scale
+            } else {
+                self.ids[pred].clockwise_to(self.ids[i]) as f64
+            };
+            fractions[self.physical[i] as usize] += gap / scale;
+        }
+        fractions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo2c_util::rng::Xoshiro256pp;
+
+    #[test]
+    fn successor_matches_linear_scan() {
+        let mut rng = Xoshiro256pp::from_u64(1);
+        let ring = ChordRing::new(50, &mut rng);
+        for _ in 0..1000 {
+            let key = NodeId(rng.gen::<u64>());
+            let fast = ring.successor_index(key);
+            let slow = (0..ring.num_virtual())
+                .min_by_key(|&i| key.clockwise_to(ring.id(i)))
+                .unwrap();
+            assert_eq!(ring.id(fast), ring.id(slow));
+        }
+    }
+
+    #[test]
+    fn lookup_finds_owner_from_any_start() {
+        let mut rng = Xoshiro256pp::from_u64(2);
+        let ring = ChordRing::new(128, &mut rng);
+        for _ in 0..500 {
+            let key = NodeId(rng.gen::<u64>());
+            let owner = ring.successor_index(key);
+            let start = rng.gen_range(0..ring.num_virtual());
+            let (found, _hops) = ring.lookup(start, key);
+            assert_eq!(found, owner);
+        }
+    }
+
+    #[test]
+    fn lookup_hops_are_logarithmic() {
+        let mut rng = Xoshiro256pp::from_u64(3);
+        let n = 1024;
+        let ring = ChordRing::new(n, &mut rng);
+        let mut total_hops = 0u64;
+        let queries = 2000;
+        let mut max_hops = 0u32;
+        for _ in 0..queries {
+            let key = NodeId(rng.gen::<u64>());
+            let start = rng.gen_range(0..n);
+            let (_, hops) = ring.lookup(start, key);
+            total_hops += u64::from(hops);
+            max_hops = max_hops.max(hops);
+        }
+        let mean = total_hops as f64 / f64::from(queries);
+        let log2n = (n as f64).log2();
+        // Chord: mean ≈ ½ log₂ n, max ≤ ~2 log₂ n w.h.p.
+        assert!(mean <= log2n, "mean hops {mean} vs log2 n {log2n}");
+        assert!(mean >= 0.25 * log2n, "mean hops {mean} suspiciously low");
+        assert!(f64::from(max_hops) <= 3.0 * log2n, "max hops {max_hops}");
+    }
+
+    #[test]
+    fn lookup_from_owner_is_cheap() {
+        let mut rng = Xoshiro256pp::from_u64(4);
+        let ring = ChordRing::new(64, &mut rng);
+        for _ in 0..100 {
+            let key = NodeId(rng.gen::<u64>());
+            let owner = ring.successor_index(key);
+            // Starting at the owner's predecessor: exactly one hop.
+            let pred = (owner + ring.num_virtual() - 1) % ring.num_virtual();
+            let (found, hops) = ring.lookup(pred, key);
+            assert_eq!(found, owner);
+            assert!(hops <= 1, "hops from predecessor: {hops}");
+        }
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let mut rng = Xoshiro256pp::from_u64(5);
+        let ring = ChordRing::new(1, &mut rng);
+        let (owner, hops) = ring.lookup(0, NodeId(12345));
+        assert_eq!(owner, 0);
+        assert_eq!(hops, 0);
+        assert_eq!(ring.owner_of(NodeId(777)), 0);
+        let fr = ring.ownership_fractions();
+        assert!((fr[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_servers_multiply_ring_presence() {
+        let mut rng = Xoshiro256pp::from_u64(6);
+        let ring = ChordRing::with_virtual_servers(16, 8, &mut rng);
+        assert_eq!(ring.num_virtual(), 128);
+        assert_eq!(ring.num_physical(), 16);
+        // Every physical server owns exactly 8 virtual nodes.
+        let mut counts = [0u32; 16];
+        for i in 0..128 {
+            counts[ring.physical_of(i)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn ownership_fractions_sum_to_one() {
+        let mut rng = Xoshiro256pp::from_u64(7);
+        for (n, v) in [(1usize, 1usize), (10, 1), (10, 4), (64, 6)] {
+            let ring = ChordRing::with_virtual_servers(n, v, &mut rng);
+            let total: f64 = ring.ownership_fractions().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} v={v}: {total}");
+        }
+    }
+
+    #[test]
+    fn virtual_servers_tighten_ownership() {
+        // With v = log2 n virtual servers, the max ownership fraction
+        // should drop versus plain consistent hashing.
+        let mut rng = Xoshiro256pp::from_u64(8);
+        let n = 256;
+        let mut plain_max = 0.0f64;
+        let mut virt_max = 0.0f64;
+        for _ in 0..5 {
+            let plain = ChordRing::new(n, &mut rng);
+            let virt = ChordRing::with_virtual_servers(n, 8, &mut rng);
+            plain_max += plain
+                .ownership_fractions()
+                .iter()
+                .fold(0.0f64, |a, &b| a.max(b));
+            virt_max += virt
+                .ownership_fractions()
+                .iter()
+                .fold(0.0f64, |a, &b| a.max(b));
+        }
+        assert!(
+            virt_max < plain_max,
+            "virtual {virt_max} !< plain {plain_max}"
+        );
+    }
+
+    #[test]
+    fn finger_zero_is_immediate_successor() {
+        let mut rng = Xoshiro256pp::from_u64(9);
+        let ring = ChordRing::new(32, &mut rng);
+        for i in 0..32 {
+            let expected = ring.successor_index(ring.id(i).offset(1));
+            assert_eq!(ring.fingers[i][0] as usize, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_ring_rejected() {
+        let mut rng = Xoshiro256pp::from_u64(10);
+        let _ = ChordRing::new(0, &mut rng);
+    }
+}

@@ -1,0 +1,264 @@
+//! Churn: node departures and arrivals, and what they do to placement.
+//!
+//! The paper's conclusion flags "how to apply [two choices] while
+//! maintaining reliability and other useful features of these systems" as
+//! open practical work. This module provides the substrate to study it:
+//!
+//! * Ring reconfiguration is modelled functionally: [`apply_churn`] builds the
+//!   ring that remains after a set of physical nodes departs (and
+//!   optionally new ones join), re-deriving finger tables.
+//! * [`churn_experiment`] places items, applies churn, re-places, and
+//!   measures the two costs that matter: how many items *moved* (the
+//!   consistent-hashing selling point: plain hashing moves only departed
+//!   nodes' items) and the post-churn load balance (the two-choices
+//!   selling point).
+//!
+//! The interesting trade-off this exposes: after a failure, plain
+//! consistent hashing dumps the departed node's whole load onto its
+//! successor, making the *worst* bin worse; `d`-choice re-placement of
+//! orphaned items re-balances, at the same O(moved · lookup) cost.
+
+use crate::chord::ChordRing;
+use crate::id::hash_with_salt;
+use crate::placement::PlacementPolicy;
+use geo2c_util::rng::Xoshiro256pp;
+use rand::seq::SliceRandom;
+
+/// Outcome of one churn experiment.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Max physical load before churn.
+    pub max_before: u32,
+    /// Max physical load after churn and re-placement of orphans.
+    pub max_after: u32,
+    /// Number of items whose physical owner changed.
+    pub moved_items: u64,
+    /// Number of surviving physical nodes.
+    pub survivors: usize,
+}
+
+/// Builds the ring remaining after removing `failed` physical nodes from
+/// `ring` (their virtual nodes disappear; finger tables are rebuilt) and
+/// returns it together with the mapping `old physical id → new physical
+/// id` for the survivors.
+///
+/// # Panics
+/// Panics if all nodes fail.
+#[must_use]
+pub fn apply_churn(ring: &ChordRing, failed: &[bool]) -> (ChordRing, Vec<Option<u32>>) {
+    assert_eq!(failed.len(), ring.num_physical());
+    let mut remap: Vec<Option<u32>> = vec![None; ring.num_physical()];
+    let mut next = 0u32;
+    for (old, &is_failed) in failed.iter().enumerate() {
+        if !is_failed {
+            remap[old] = Some(next);
+            next += 1;
+        }
+    }
+    assert!(next > 0, "at least one node must survive");
+    let pairs: Vec<(crate::id::NodeId, u32)> = (0..ring.num_virtual())
+        .filter_map(|v| {
+            remap[ring.physical_of(v)].map(|new_phys| (ring.id(v), new_phys))
+        })
+        .collect();
+    (ChordRing::from_pairs(pairs, next as usize), remap)
+}
+
+/// Runs one churn experiment: place `m` items under `policy`, fail
+/// `fail_fraction` of the physical nodes uniformly at random, re-place
+/// every *orphaned* item under the same policy on the surviving ring
+/// (surviving items stay put unless their owner's id-space assignment
+/// changed), and measure movement + balance.
+#[must_use]
+pub fn churn_experiment(
+    n: usize,
+    virtual_servers: usize,
+    policy: PlacementPolicy,
+    m: u64,
+    fail_fraction: f64,
+    rng: &mut Xoshiro256pp,
+) -> ChurnReport {
+    let ring = ChordRing::with_virtual_servers(n, virtual_servers, rng);
+    let d = match policy {
+        PlacementPolicy::Consistent => 1,
+        PlacementPolicy::DChoice { d } => d.max(1),
+    };
+
+    // Initial sequential placement; remember each item's physical home.
+    let mut loads = vec![0u32; n];
+    let mut home: Vec<u32> = Vec::with_capacity(m as usize);
+    for k in 0..m {
+        let mut best = usize::MAX;
+        let mut best_load = u32::MAX;
+        for j in 0..d {
+            let owner = ring.owner_of(hash_with_salt(k, j as u64));
+            if loads[owner] < best_load {
+                best_load = loads[owner];
+                best = owner;
+            }
+        }
+        loads[best] += 1;
+        home.push(best as u32);
+    }
+    let max_before = loads.iter().copied().max().unwrap_or(0);
+
+    // Fail a uniform random subset of physical nodes.
+    let failures = ((n as f64) * fail_fraction).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut failed = vec![false; n];
+    for &node in order.iter().take(failures.min(n - 1)) {
+        failed[node] = true;
+    }
+
+    let (new_ring, remap) = apply_churn(&ring, &failed);
+    let survivors = new_ring.num_physical();
+
+    // Re-place: items on surviving nodes keep their home (the DHT only
+    // re-assigns data whose owner departed); orphaned items re-run the
+    // placement against current loads on the new ring.
+    let mut new_loads = vec![0u32; survivors];
+    for k in 0..m {
+        if let Some(new_phys) = remap[home[k as usize] as usize] {
+            new_loads[new_phys as usize] += 1;
+        }
+    }
+    let mut moved = 0u64;
+    for k in 0..m {
+        if remap[home[k as usize] as usize].is_some() {
+            continue;
+        }
+        moved += 1;
+        let mut best = usize::MAX;
+        let mut best_load = u32::MAX;
+        for j in 0..d {
+            let owner = new_ring.owner_of(hash_with_salt(k, j as u64));
+            if new_loads[owner] < best_load {
+                best_load = new_loads[owner];
+                best = owner;
+            }
+        }
+        new_loads[best] += 1;
+    }
+    let max_after = new_loads.iter().copied().max().unwrap_or(0);
+
+    ChurnReport {
+        max_before,
+        max_after,
+        moved_items: moved,
+        survivors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo2c_util::rng::Xoshiro256pp;
+    use rand::Rng;
+
+    #[test]
+    fn apply_churn_removes_exactly_failed_nodes() {
+        let mut rng = Xoshiro256pp::from_u64(1);
+        let ring = ChordRing::with_virtual_servers(10, 3, &mut rng);
+        let mut failed = vec![false; 10];
+        failed[2] = true;
+        failed[7] = true;
+        let (new_ring, remap) = apply_churn(&ring, &failed);
+        assert_eq!(new_ring.num_physical(), 8);
+        assert_eq!(new_ring.num_virtual(), 24);
+        assert!(remap[2].is_none() && remap[7].is_none());
+        let mut seen: Vec<u32> = remap.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn surviving_ring_lookups_work() {
+        let mut rng = Xoshiro256pp::from_u64(2);
+        let ring = ChordRing::new(64, &mut rng);
+        let mut failed = vec![false; 64];
+        for i in (0..64).step_by(3) {
+            failed[i] = true;
+        }
+        let (new_ring, _) = apply_churn(&ring, &failed);
+        for _ in 0..200 {
+            let key = crate::id::NodeId(rng.gen::<u64>());
+            let owner = new_ring.successor_index(key);
+            let (found, _) = new_ring.lookup(rng.gen_range(0..new_ring.num_virtual()), key);
+            assert_eq!(found, owner);
+        }
+    }
+
+    #[test]
+    fn moved_items_roughly_proportional_to_failures() {
+        // Consistent hashing's minimal-disruption property: failing a
+        // fraction f of nodes orphans ≈ f of the items.
+        let mut rng = Xoshiro256pp::from_u64(3);
+        let report = churn_experiment(
+            256,
+            1,
+            PlacementPolicy::Consistent,
+            16_384,
+            0.25,
+            &mut rng,
+        );
+        let frac = report.moved_items as f64 / 16_384.0;
+        assert!(
+            (frac - 0.25).abs() < 0.08,
+            "moved fraction {frac} should track fail fraction"
+        );
+        assert_eq!(report.survivors, 192);
+    }
+
+    #[test]
+    fn two_choice_rebalances_after_churn() {
+        // After failures, 2-choice re-placement keeps the max load lower
+        // than consistent hashing's successor-dumping (mean over seeds).
+        let mut consistent_total = 0u64;
+        let mut choice_total = 0u64;
+        for seed in 0..6 {
+            let mut rng = Xoshiro256pp::from_u64(10 + seed);
+            let c = churn_experiment(128, 1, PlacementPolicy::Consistent, 4096, 0.3, &mut rng);
+            consistent_total += u64::from(c.max_after);
+            let mut rng = Xoshiro256pp::from_u64(10 + seed);
+            let t = churn_experiment(
+                128,
+                1,
+                PlacementPolicy::DChoice { d: 2 },
+                4096,
+                0.3,
+                &mut rng,
+            );
+            choice_total += u64::from(t.max_after);
+        }
+        assert!(
+            choice_total < consistent_total,
+            "post-churn 2-choice {choice_total} !< consistent {consistent_total}"
+        );
+    }
+
+    #[test]
+    fn churn_conserves_items() {
+        let mut rng = Xoshiro256pp::from_u64(5);
+        let report = churn_experiment(
+            64,
+            2,
+            PlacementPolicy::DChoice { d: 2 },
+            2048,
+            0.5,
+            &mut rng,
+        );
+        // All items still placed: max load must be at least ceil(m / survivors).
+        let min_possible = (2048f64 / report.survivors as f64).ceil() as u32;
+        assert!(report.max_after >= min_possible);
+        assert!(report.max_after >= report.max_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node must survive")]
+    fn total_failure_rejected() {
+        let mut rng = Xoshiro256pp::from_u64(6);
+        let ring = ChordRing::new(4, &mut rng);
+        let _ = apply_churn(&ring, &[true, true, true, true]);
+    }
+}

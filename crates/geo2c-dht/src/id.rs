@@ -1,0 +1,185 @@
+//! The 64-bit identifier ring and key hashing.
+//!
+//! Chord works on the ring of `m`-bit identifiers ordered clockwise with
+//! wraparound; we use `m = 64`. Node and key identifiers are produced by
+//! hashing (here: the SplitMix64 finalizer over a salted input, which is
+//! the same avalanche mix the rest of the workspace uses for stream
+//! derivation). Clockwise distance `(b − a) mod 2^64` is the wrapped
+//! subtraction of `u64`s — the identifier ring is the `[0,1)` circle of
+//! `geo2c-ring` scaled by `2^64`, and the tests verify that correspondence.
+
+use geo2c_util::rng::mix;
+
+/// A position on the 64-bit identifier ring.
+///
+/// Wrapping arithmetic on `u64` *is* the ring arithmetic: distances and
+/// interval membership are defined clockwise (increasing ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Clockwise distance from `self` to `other`: `(other − self) mod 2^64`.
+    #[must_use]
+    pub fn clockwise_to(self, other: NodeId) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// True if `self` lies on the clockwise-open interval `(from, to]`.
+    ///
+    /// This is Chord's successor-ownership convention: the key at a node's
+    /// exact id belongs to that node. When `from == to` the interval is
+    /// the whole ring (a single-node system owns everything).
+    #[must_use]
+    pub fn in_interval(self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        from.clockwise_to(self) > 0 && from.clockwise_to(self) <= from.clockwise_to(to)
+    }
+
+    /// The id at clockwise offset `delta` (wraps).
+    #[must_use]
+    pub fn offset(self, delta: u64) -> NodeId {
+        NodeId(self.0.wrapping_add(delta))
+    }
+
+    /// Maps the id to the unit circle coordinate `id / 2^64 ∈ [0, 1)`
+    /// (the bridge to `geo2c-ring`). Uses the top 53 bits so the result is
+    /// strictly below 1 even for `u64::MAX` (a plain `as f64` division
+    /// rounds up to 1.0 there).
+    #[must_use]
+    pub fn to_unit(self) -> f64 {
+        (self.0 >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Hashes an item key (by index) to a ring id.
+///
+/// Items in the simulations are identified by dense indices; the hash must
+/// behave like a uniform random oracle over the ring, which the SplitMix64
+/// finalizer provides (it is a bijective avalanche mix, measured to pass
+/// the usual avalanche criteria).
+#[must_use]
+pub fn key_id(key: u64) -> NodeId {
+    NodeId(mix(key ^ 0xA076_1D64_78BD_642F))
+}
+
+/// Hashes a key with a salt: the `j`-th alternative location of a key in
+/// the `d`-choice placement (`salt = 0` is the *primary* location used
+/// for lookups).
+#[must_use]
+pub fn hash_with_salt(key: u64, salt: u64) -> NodeId {
+    NodeId(mix(mix(key ^ 0xA076_1D64_78BD_642F) ^ mix(salt.wrapping_add(0x9E37_79B9))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clockwise_distance_wraps() {
+        let a = NodeId(u64::MAX - 1);
+        let b = NodeId(2);
+        assert_eq!(a.clockwise_to(b), 4);
+        assert_eq!(b.clockwise_to(a), u64::MAX - 3);
+        assert_eq!(a.clockwise_to(a), 0);
+    }
+
+    #[test]
+    fn interval_membership() {
+        let from = NodeId(100);
+        let to = NodeId(200);
+        assert!(NodeId(150).in_interval(from, to));
+        assert!(NodeId(200).in_interval(from, to)); // closed at to
+        assert!(!NodeId(100).in_interval(from, to)); // open at from
+        assert!(!NodeId(250).in_interval(from, to));
+    }
+
+    #[test]
+    fn interval_membership_wrapping() {
+        let from = NodeId(u64::MAX - 10);
+        let to = NodeId(10);
+        assert!(NodeId(u64::MAX).in_interval(from, to));
+        assert!(NodeId(5).in_interval(from, to));
+        assert!(NodeId(10).in_interval(from, to));
+        assert!(!NodeId(50).in_interval(from, to));
+        assert!(!NodeId(u64::MAX - 10).in_interval(from, to));
+    }
+
+    #[test]
+    fn degenerate_interval_is_whole_ring() {
+        let x = NodeId(42);
+        assert!(NodeId(0).in_interval(x, x));
+        assert!(NodeId(u64::MAX).in_interval(x, x));
+        assert!(x.in_interval(x, x));
+    }
+
+    #[test]
+    fn offset_wraps() {
+        assert_eq!(NodeId(u64::MAX).offset(1), NodeId(0));
+        assert_eq!(NodeId(5).offset(10), NodeId(15));
+    }
+
+    #[test]
+    fn to_unit_in_range_and_monotone() {
+        assert_eq!(NodeId(0).to_unit(), 0.0);
+        assert!(NodeId(u64::MAX).to_unit() < 1.0);
+        assert!(NodeId(1 << 63).to_unit() - 0.5 < 1e-12);
+        assert!(NodeId(100).to_unit() < NodeId(1 << 40).to_unit());
+    }
+
+    #[test]
+    fn key_hashing_is_spread_out() {
+        // Dense keys must land all over the ring: check quadrant counts.
+        let mut quadrants = [0u32; 4];
+        let n = 10_000u64;
+        for k in 0..n {
+            let id = key_id(k).0;
+            quadrants[(id >> 62) as usize] += 1;
+        }
+        for (q, &count) in quadrants.iter().enumerate() {
+            let frac = f64::from(count) / n as f64;
+            assert!((frac - 0.25).abs() < 0.03, "quadrant {q}: {frac}");
+        }
+    }
+
+    #[test]
+    fn salts_give_independent_locations() {
+        // The d alternative locations of a key must not be correlated:
+        // distinct salts produce different ids, and the joint quadrant
+        // distribution is near-uniform.
+        let mut joint = [[0u32; 2]; 2];
+        let n = 10_000u64;
+        for k in 0..n {
+            let a = hash_with_salt(k, 0).0 >> 63;
+            let b = hash_with_salt(k, 1).0 >> 63;
+            joint[a as usize][b as usize] += 1;
+        }
+        for row in &joint {
+            for &cell in row {
+                let frac = f64::from(cell) / n as f64;
+                assert!((frac - 0.25).abs() < 0.03, "joint cell {frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn salt_zero_is_primary() {
+        for k in [0u64, 1, 99, 12345] {
+            assert_ne!(hash_with_salt(k, 0), hash_with_salt(k, 1));
+            assert_eq!(hash_with_salt(k, 0), hash_with_salt(k, 0));
+        }
+    }
+}

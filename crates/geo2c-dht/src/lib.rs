@@ -1,0 +1,38 @@
+//! A Chord-style distributed hash table: the paper's motivating
+//! application (§1.1).
+//!
+//! Consistent hashing places both servers and keys on an identifier ring;
+//! a key belongs to its clockwise successor server. Because the arcs
+//! between random server points are non-uniform (longest `Θ(log n / n)`),
+//! plain consistent hashing concentrates `Θ(log n)` times the average
+//! load on unlucky servers. Chord's remedy is `Θ(log n)` *virtual
+//! servers* per physical node; the paper (and its companion IPTPS paper
+//! \[3]) proposes the cheaper two-choices alternative: each item probes
+//! `d ≥ 2` ring locations and is stored at the least-loaded owner.
+//!
+//! This crate implements the full substrate needed to evaluate that
+//! trade-off (experiment E11):
+//!
+//! * [`id`] — the 64-bit identifier ring and key hashing.
+//! * [`chord`] — [`chord::ChordRing`]: sorted node ring, finger tables,
+//!   `O(log n)`-hop greedy lookups with hop counting, and virtual-server
+//!   construction.
+//! * [`placement`] — item placement policies (plain consistent hashing,
+//!   virtual servers, `d`-choice with redirection pointers) and their
+//!   load/lookup metrics.
+//!
+//! The ring geometry is the same mathematics as `geo2c-ring` (a `u64` ring
+//! instead of `[0,1)`); the tests cross-check the two.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chord;
+pub mod churn;
+pub mod id;
+pub mod placement;
+pub mod replication;
+
+pub use chord::ChordRing;
+pub use id::{hash_with_salt, key_id, NodeId};
+pub use placement::{LoadMetrics, LookupMetrics, PlacementPolicy, PlacementReport};

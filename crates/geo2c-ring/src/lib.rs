@@ -1,0 +1,33 @@
+//! The 1-dimensional ring substrate for the geometric two-choices paper.
+//!
+//! Theorem 1 of *Geometric Generalizations of the Power of Two Choices*
+//! (Byers, Considine, Mitzenmacher) places `n` servers uniformly at random
+//! on a circle of circumference 1. The `n` induced arcs are the bins: a
+//! ball probes a uniform point of the circle and is charged to the server
+//! owning the arc containing that point. This crate implements that space:
+//!
+//! * [`point`] — positions on the unit circle with wrapped arithmetic.
+//! * [`partition`] — [`RingPartition`]: the sorted server set with
+//!   `O(log n)` point-to-owner lookup under two ownership conventions
+//!   (clockwise successor, as in Chord/consistent hashing, and symmetric
+//!   nearest neighbour), plus arc-length queries used by the region-aware
+//!   tie-breaking strategies of the paper's Table 3.
+//! * [`tail`] — executable versions of the paper's Lemmas 4, 5 and 6:
+//!   tail bounds on the number of long arcs and on the total length of the
+//!   `a` longest arcs. These are the load-bearing probabilistic facts behind
+//!   Theorem 1, and `geo2c-bench --bin lemmas` validates them empirically.
+//!
+//! The same structure doubles as the consistent-hashing ring for the
+//! Chord-style DHT application crate (`geo2c-dht`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod negdep;
+pub mod partition;
+pub mod point;
+pub mod spacings;
+pub mod tail;
+
+pub use partition::{Ownership, RingPartition};
+pub use point::RingPoint;

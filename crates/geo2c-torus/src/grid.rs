@@ -1,0 +1,306 @@
+//! Exact grid-accelerated nearest-neighbour search on the torus.
+//!
+//! Every ball insertion in the Table 2 experiments needs "which server is
+//! nearest to this probe point?". With `n` servers and `m = n` balls times
+//! `d` probes, brute force would be `O(d·n²)` per trial — hopeless at
+//! `n = 2^20`. A uniform bucket grid with ~1 site per cell answers queries
+//! in `O(1)` expected time while remaining *exact*:
+//!
+//! 1. scan the probe's own cell, then cells at Chebyshev ring 1, 2, …
+//!    (with wraparound), tracking the best site found;
+//! 2. stop as soon as the best distance found is ≤ `(r−1)·w` (with `w` the
+//!    cell width): every unvisited cell at ring ≥ `r` is at least that far
+//!    away in L∞, hence in L2, so it cannot contain a closer site.
+//!
+//! Degenerate grids (a ring would wrap onto itself) fall back to scanning
+//! all cells once, preserving exactness. [`nearest_brute`] is the oracle
+//! the tests compare against (ablation experiment E12 benchmarks both).
+
+use crate::point::TorusPoint;
+
+/// A `g × g` bucket grid over the unit torus holding site indices.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    g: usize,
+    cell_w: f64,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl Grid {
+    /// Builds a grid over `sites` with roughly one site per cell
+    /// (`g = ⌈√n⌉`, min 1).
+    ///
+    /// # Panics
+    /// Panics if `sites` is empty or has more than `u32::MAX` entries.
+    #[must_use]
+    pub fn build(sites: &[TorusPoint]) -> Self {
+        Self::with_cells_per_side(sites, (sites.len() as f64).sqrt().ceil() as usize)
+    }
+
+    /// Builds a grid with an explicit side length (for tests/ablations).
+    ///
+    /// # Panics
+    /// Panics if `sites` is empty or `g == 0`.
+    #[must_use]
+    pub fn with_cells_per_side(sites: &[TorusPoint], g: usize) -> Self {
+        assert!(!sites.is_empty(), "grid needs at least one site");
+        assert!(g > 0, "grid side must be positive");
+        assert!(u32::try_from(sites.len()).is_ok(), "too many sites");
+        let mut buckets = vec![Vec::new(); g * g];
+        let cell_w = 1.0 / g as f64;
+        for (i, p) in sites.iter().enumerate() {
+            let (cx, cy) = Self::cell_coords_for(p, g);
+            buckets[cy * g + cx].push(i as u32);
+        }
+        Self { g, cell_w, buckets }
+    }
+
+    /// Cells per side.
+    #[must_use]
+    pub fn cells_per_side(&self) -> usize {
+        self.g
+    }
+
+    fn cell_coords_for(p: &TorusPoint, g: usize) -> (usize, usize) {
+        // Coordinates are in [0,1); the min guards against FP edge cases.
+        let cx = ((p.x * g as f64) as usize).min(g - 1);
+        let cy = ((p.y * g as f64) as usize).min(g - 1);
+        (cx, cy)
+    }
+
+    /// Exact nearest site to `p`. Ties are broken toward the site scanned
+    /// first (lowest bucket ring, then insertion order) — deterministic for
+    /// a fixed site set.
+    ///
+    /// `sites` must be the same slice the grid was built from.
+    #[must_use]
+    pub fn nearest(&self, p: TorusPoint, sites: &[TorusPoint]) -> usize {
+        let g = self.g;
+        let (cx, cy) = Self::cell_coords_for(&p, g);
+        let mut best_idx = usize::MAX;
+        let mut best_d2 = f64::INFINITY;
+
+        let scan_bucket = |bx: usize, by: usize, best_idx: &mut usize, best_d2: &mut f64| {
+            for &i in &self.buckets[by * g + bx] {
+                let d2 = p.dist2(sites[i as usize]);
+                if d2 < *best_d2 {
+                    *best_d2 = d2;
+                    *best_idx = i as usize;
+                }
+            }
+        };
+
+        let max_ring = g / 2 + 1;
+        for r in 0..=max_ring {
+            if r > 0 {
+                // Every cell at ring >= r is at least (r-1)*w away (L∞,
+                // hence L2). If we already have something at most that
+                // close, no further ring can improve on it.
+                let unreachable = (r as f64 - 1.0) * self.cell_w;
+                if best_idx != usize::MAX && best_d2.sqrt() <= unreachable {
+                    break;
+                }
+            }
+            if 2 * r + 1 >= g {
+                // Ring wraps onto itself: scan everything once and stop.
+                for by in 0..g {
+                    for bx in 0..g {
+                        scan_bucket(bx, by, &mut best_idx, &mut best_d2);
+                    }
+                }
+                break;
+            }
+            if r == 0 {
+                scan_bucket(cx, cy, &mut best_idx, &mut best_d2);
+                continue;
+            }
+            // Chebyshev ring r around (cx, cy), wrapped. 2r+1 < g, so the
+            // wrapped cells are all distinct.
+            let wrap = |v: isize| -> usize { v.rem_euclid(g as isize) as usize };
+            let r = r as isize;
+            let (cxi, cyi) = (cx as isize, cy as isize);
+            for dx in -r..=r {
+                scan_bucket(wrap(cxi + dx), wrap(cyi - r), &mut best_idx, &mut best_d2);
+                scan_bucket(wrap(cxi + dx), wrap(cyi + r), &mut best_idx, &mut best_d2);
+            }
+            for dy in (-r + 1)..r {
+                scan_bucket(wrap(cxi - r), wrap(cyi + dy), &mut best_idx, &mut best_d2);
+                scan_bucket(wrap(cxi + r), wrap(cyi + dy), &mut best_idx, &mut best_d2);
+            }
+        }
+        debug_assert!(best_idx != usize::MAX, "grid search found no site");
+        best_idx
+    }
+
+    /// All site indices within distance `radius` of `p` (inclusive),
+    /// in arbitrary order. Exact; scans every cell intersecting the ball.
+    #[must_use]
+    pub fn within(&self, p: TorusPoint, radius: f64, sites: &[TorusPoint]) -> Vec<usize> {
+        let g = self.g;
+        let mut out = Vec::new();
+        let reach = (radius / self.cell_w).ceil() as usize + 1;
+        let (cx, cy) = Self::cell_coords_for(&p, g);
+        let r2 = radius * radius;
+        if 2 * reach + 1 >= g {
+            for (i, s) in sites.iter().enumerate() {
+                if p.dist2(*s) <= r2 {
+                    out.push(i);
+                }
+            }
+            return out;
+        }
+        let wrap = |v: isize| -> usize { v.rem_euclid(g as isize) as usize };
+        let (cxi, cyi) = (cx as isize, cy as isize);
+        let reach = reach as isize;
+        for dy in -reach..=reach {
+            for dx in -reach..=reach {
+                for &i in &self.buckets[wrap(cyi + dy) * g + wrap(cxi + dx)] {
+                    if p.dist2(sites[i as usize]) <= r2 {
+                        out.push(i as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Brute-force nearest site: the `O(n)` oracle used to validate [`Grid`].
+///
+/// # Panics
+/// Panics if `sites` is empty.
+#[must_use]
+pub fn nearest_brute(p: TorusPoint, sites: &[TorusPoint]) -> usize {
+    assert!(!sites.is_empty(), "nearest_brute needs at least one site");
+    let mut best = 0usize;
+    let mut best_d2 = f64::INFINITY;
+    for (i, s) in sites.iter().enumerate() {
+        let d2 = p.dist2(*s);
+        if d2 < best_d2 {
+            best_d2 = d2;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo2c_util::rng::Xoshiro256pp;
+    use rand::Rng as _;
+
+    fn random_sites(n: usize, seed: u64) -> Vec<TorusPoint> {
+        let mut rng = Xoshiro256pp::from_u64(seed);
+        (0..n).map(|_| TorusPoint::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn single_site() {
+        let sites = vec![TorusPoint::new(0.3, 0.7)];
+        let grid = Grid::build(&sites);
+        let mut rng = Xoshiro256pp::from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(grid.nearest(TorusPoint::random(&mut rng), &sites), 0);
+        }
+    }
+
+    #[test]
+    fn grid_matches_brute_force_distances() {
+        let mut rng = Xoshiro256pp::from_u64(21);
+        for &n in &[2usize, 3, 10, 100, 500] {
+            let sites = random_sites(n, 100 + n as u64);
+            let grid = Grid::build(&sites);
+            for _ in 0..500 {
+                let p = TorusPoint::random(&mut rng);
+                let fast = grid.nearest(p, &sites);
+                let slow = nearest_brute(p, &sites);
+                // Compare distances, not indices (exact ties may differ).
+                assert!(
+                    (p.dist2(sites[fast]) - p.dist2(sites[slow])).abs() < 1e-15,
+                    "n={n}: grid {fast} vs brute {slow} at {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_neighbours_found() {
+        // Probe near (0,0); nearest site is across both wrap seams.
+        let sites = vec![
+            TorusPoint::new(0.98, 0.98),
+            TorusPoint::new(0.5, 0.5),
+            TorusPoint::new(0.25, 0.75),
+        ];
+        let grid = Grid::with_cells_per_side(&sites, 8);
+        assert_eq!(grid.nearest(TorusPoint::new(0.01, 0.01), &sites), 0);
+    }
+
+    #[test]
+    fn degenerate_small_grids() {
+        let sites = random_sites(20, 7);
+        for g in [1usize, 2, 3] {
+            let grid = Grid::with_cells_per_side(&sites, g);
+            let mut rng = Xoshiro256pp::from_u64(8);
+            for _ in 0..200 {
+                let p = TorusPoint::random(&mut rng);
+                let fast = grid.nearest(p, &sites);
+                let slow = nearest_brute(p, &sites);
+                assert!((p.dist2(sites[fast]) - p.dist2(sites[slow])).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_sites_still_exact() {
+        // All sites in one tiny cluster: most grid cells empty, so the
+        // expanding-ring search must keep going for distant probes.
+        let mut rng = Xoshiro256pp::from_u64(9);
+        let sites: Vec<TorusPoint> = (0..50)
+            .map(|_| {
+                TorusPoint::new(
+                    0.5 + 0.01 * (rng.gen::<f64>() - 0.5),
+                    0.5 + 0.01 * (rng.gen::<f64>() - 0.5),
+                )
+            })
+            .collect();
+        let grid = Grid::build(&sites);
+        for _ in 0..300 {
+            let p = TorusPoint::random(&mut rng);
+            let fast = grid.nearest(p, &sites);
+            let slow = nearest_brute(p, &sites);
+            assert!((p.dist2(sites[fast]) - p.dist2(sites[slow])).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn within_radius_matches_filter() {
+        let sites = random_sites(200, 31);
+        let grid = Grid::build(&sites);
+        let mut rng = Xoshiro256pp::from_u64(32);
+        for _ in 0..100 {
+            let p = TorusPoint::random(&mut rng);
+            let radius = rng.gen::<f64>() * 0.3;
+            let mut got = grid.within(p, radius, &sites);
+            got.sort_unstable();
+            let want: Vec<usize> = (0..sites.len())
+                .filter(|&i| p.dist(sites[i]) <= radius)
+                .collect();
+            assert_eq!(got, want, "radius {radius} at {p}");
+        }
+    }
+
+    #[test]
+    fn within_zero_radius() {
+        let sites = vec![TorusPoint::new(0.5, 0.5), TorusPoint::new(0.2, 0.2)];
+        let grid = Grid::build(&sites);
+        let hit = grid.within(TorusPoint::new(0.5, 0.5), 0.0, &sites);
+        assert_eq!(hit, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn empty_sites_rejected() {
+        let _ = Grid::build(&[]);
+    }
+}

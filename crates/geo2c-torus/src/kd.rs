@@ -1,0 +1,469 @@
+//! The k-dimensional torus: the paper's "higher constant dimension"
+//! generalization (§3, footnote 3 — "our argument generalizes to higher
+//! constant dimension").
+//!
+//! Everything needed by the allocation process is nearest-neighbour
+//! search; this module provides it for any constant dimension `K` via
+//! const generics:
+//!
+//! * [`KdPoint<K>`] — points of `[0,1)^K` with wrapped displacement and
+//!   Euclidean distance (diameter `√K/2`).
+//! * [`KdGrid<K>`] — the exact bucket-grid index, generalizing the 2-D
+//!   expanding-ring search to expanding Chebyshev *shells* of cells. The
+//!   same termination certificate applies: every cell in shell `r` is at
+//!   least `(r−1)·w` away in L∞ (hence L2), so the search stops as soon
+//!   as the best distance found is below that.
+//! * [`KdSites<K>`] — the server set with ownership queries.
+//!
+//! Exact Voronoi *volumes* in `K > 2` dimensions would need convex
+//! polytope clipping; region sizes here are Monte-Carlo estimates (they
+//! are only used by the region-size tie-breaks, which are themselves
+//! heuristics). `K = 1` reproduces the ring with nearest-neighbour
+//! ownership and `K = 2` reproduces [`crate::voronoi::TorusSites`] —
+//! both cross-checked in the tests.
+
+use crate::point::{wrap01, wrap_delta};
+use rand::Rng;
+
+/// A point on the unit `K`-torus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KdPoint<const K: usize> {
+    /// Coordinates, each in `[0, 1)`.
+    pub coords: [f64; K],
+}
+
+impl<const K: usize> KdPoint<K> {
+    /// Creates a point, wrapping every coordinate into `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is not finite.
+    #[must_use]
+    pub fn new(coords: [f64; K]) -> Self {
+        let mut wrapped = [0.0; K];
+        for (w, &c) in wrapped.iter_mut().zip(&coords) {
+            assert!(c.is_finite(), "coordinate must be finite, got {c}");
+            *w = wrap01(c);
+        }
+        Self { coords: wrapped }
+    }
+
+    /// Samples a uniformly random point.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut coords = [0.0; K];
+        for c in &mut coords {
+            *c = rng.gen::<f64>();
+        }
+        Self { coords }
+    }
+
+    /// Squared toroidal Euclidean distance.
+    #[inline]
+    #[must_use]
+    pub fn dist2(&self, other: &KdPoint<K>) -> f64 {
+        let mut acc = 0.0;
+        for k in 0..K {
+            let d = wrap_delta(other.coords[k] - self.coords[k]);
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Toroidal Euclidean distance, in `[0, √K/2]`.
+    #[must_use]
+    pub fn dist(&self, other: &KdPoint<K>) -> f64 {
+        self.dist2(other).sqrt()
+    }
+}
+
+/// An exact bucket-grid nearest-neighbour index over the `K`-torus.
+#[derive(Debug, Clone)]
+pub struct KdGrid<const K: usize> {
+    g: usize,
+    cell_w: f64,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl<const K: usize> KdGrid<K> {
+    /// Builds a grid with `g = max(1, ⌊n^(1/K)⌋)` cells per side
+    /// (~1 site per cell).
+    ///
+    /// # Panics
+    /// Panics if `sites` is empty or `K == 0`.
+    #[must_use]
+    pub fn build(sites: &[KdPoint<K>]) -> Self {
+        assert!(K >= 1, "dimension must be at least 1");
+        let g = (sites.len() as f64).powf(1.0 / K as f64).floor().max(1.0) as usize;
+        Self::with_cells_per_side(sites, g)
+    }
+
+    /// Builds a grid with an explicit side length.
+    ///
+    /// # Panics
+    /// Panics if `sites` is empty, `g == 0`, or `g^K` overflows.
+    #[must_use]
+    pub fn with_cells_per_side(sites: &[KdPoint<K>], g: usize) -> Self {
+        assert!(!sites.is_empty(), "grid needs at least one site");
+        assert!(g > 0, "grid side must be positive");
+        let cells = g.checked_pow(K as u32).expect("grid size overflow");
+        let mut buckets = vec![Vec::new(); cells];
+        for (i, p) in sites.iter().enumerate() {
+            buckets[Self::bucket_of(p, g)].push(u32::try_from(i).expect("too many sites"));
+        }
+        Self {
+            g,
+            cell_w: 1.0 / g as f64,
+            buckets,
+        }
+    }
+
+    fn bucket_of(p: &KdPoint<K>, g: usize) -> usize {
+        let mut idx = 0usize;
+        for k in 0..K {
+            let c = ((p.coords[k] * g as f64) as usize).min(g - 1);
+            idx = idx * g + c;
+        }
+        idx
+    }
+
+    /// Enumerates (wrapped) cells at Chebyshev shell `r` around `center`
+    /// and calls `visit` with each bucket index. `2r+1 < g` must hold
+    /// (no self-wrapping), which the caller guarantees.
+    fn for_shell(&self, center: &[usize], r: usize, visit: &mut dyn FnMut(usize)) {
+        // Odometer over the cube [-r, r]^K keeping only L∞ == r points.
+        let g = self.g as isize;
+        let r = r as isize;
+        let mut offsets = [0isize; 16];
+        assert!(K <= 16, "dimension too large for shell walker");
+        for o in offsets.iter_mut().take(K) {
+            *o = -r;
+        }
+        loop {
+            if offsets.iter().take(K).any(|&o| o.abs() == r) {
+                let mut idx = 0usize;
+                for k in 0..K {
+                    let c = (center[k] as isize + offsets[k]).rem_euclid(g) as usize;
+                    idx = idx * self.g + c;
+                }
+                visit(idx);
+            }
+            // Advance the odometer.
+            let mut k = 0;
+            loop {
+                if k == K {
+                    return;
+                }
+                offsets[k] += 1;
+                if offsets[k] <= r {
+                    break;
+                }
+                offsets[k] = -r;
+                k += 1;
+            }
+        }
+    }
+
+    /// Exact nearest site to `p`.
+    ///
+    /// `sites` must be the slice the grid was built from.
+    #[must_use]
+    pub fn nearest(&self, p: &KdPoint<K>, sites: &[KdPoint<K>]) -> usize {
+        let g = self.g;
+        let mut center = [0usize; 16];
+        for k in 0..K {
+            center[k] = ((p.coords[k] * g as f64) as usize).min(g - 1);
+        }
+        let center = &center[..K];
+
+        let mut best_idx = usize::MAX;
+        let mut best_d2 = f64::INFINITY;
+        let scan = |bucket: usize, best_idx: &mut usize, best_d2: &mut f64| {
+            for &i in &self.buckets[bucket] {
+                let d2 = p.dist2(&sites[i as usize]);
+                if d2 < *best_d2 {
+                    *best_d2 = d2;
+                    *best_idx = i as usize;
+                }
+            }
+        };
+
+        let max_shell = g / 2 + 1;
+        for r in 0..=max_shell {
+            if r > 0 {
+                let unreachable = (r as f64 - 1.0) * self.cell_w;
+                if best_idx != usize::MAX && best_d2.sqrt() <= unreachable {
+                    break;
+                }
+            }
+            if 2 * r + 1 >= g {
+                for bucket in 0..self.buckets.len() {
+                    scan(bucket, &mut best_idx, &mut best_d2);
+                }
+                break;
+            }
+            self.for_shell(center, r, &mut |bucket| {
+                scan(bucket, &mut best_idx, &mut best_d2);
+            });
+        }
+        debug_assert!(best_idx != usize::MAX, "kd grid search found no site");
+        best_idx
+    }
+}
+
+/// Brute-force nearest site in `K` dimensions (the oracle).
+///
+/// # Panics
+/// Panics if `sites` is empty.
+#[must_use]
+pub fn kd_nearest_brute<const K: usize>(p: &KdPoint<K>, sites: &[KdPoint<K>]) -> usize {
+    assert!(!sites.is_empty());
+    let mut best = 0usize;
+    let mut best_d2 = f64::INFINITY;
+    for (i, s) in sites.iter().enumerate() {
+        let d2 = p.dist2(s);
+        if d2 < best_d2 {
+            best_d2 = d2;
+            best = i;
+        }
+    }
+    best
+}
+
+/// `n` server sites on the `K`-torus with exact ownership queries.
+#[derive(Debug, Clone)]
+pub struct KdSites<const K: usize> {
+    points: Vec<KdPoint<K>>,
+    grid: KdGrid<K>,
+}
+
+impl<const K: usize> KdSites<K> {
+    /// Places `n ≥ 1` sites uniformly at random.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n > 0, "need at least one site");
+        let points: Vec<KdPoint<K>> = (0..n).map(|_| KdPoint::random(rng)).collect();
+        let grid = KdGrid::build(&points);
+        Self { points, grid }
+    }
+
+    /// Builds from explicit positions.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn from_points(points: Vec<KdPoint<K>>) -> Self {
+        assert!(!points.is_empty(), "need at least one site");
+        let grid = KdGrid::build(&points);
+        Self { points, grid }
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false (construction requires ≥ 1 site).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All site positions.
+    #[must_use]
+    pub fn points(&self) -> &[KdPoint<K>] {
+        &self.points
+    }
+
+    /// Position of site `i`.
+    #[must_use]
+    pub fn point(&self, i: usize) -> &KdPoint<K> {
+        &self.points[i]
+    }
+
+    /// Exact nearest site to `p`.
+    #[must_use]
+    pub fn owner(&self, p: &KdPoint<K>) -> usize {
+        self.grid.nearest(p, &self.points)
+    }
+
+    /// Monte-Carlo estimate of every site's Voronoi cell volume from
+    /// `samples` uniform probes (exact polytope volumes are out of scope
+    /// for `K > 2`; this estimator is used only by region-size
+    /// tie-breaks, which are heuristic anyway).
+    #[must_use]
+    pub fn mc_cell_volumes<R: Rng + ?Sized>(&self, samples: usize, rng: &mut R) -> Vec<f64> {
+        let mut hits = vec![0u64; self.len()];
+        for _ in 0..samples {
+            hits[self.owner(&KdPoint::random(rng))] += 1;
+        }
+        hits.iter().map(|&h| h as f64 / samples as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo2c_util::rng::Xoshiro256pp;
+
+    fn random_sites<const K: usize>(n: usize, seed: u64) -> Vec<KdPoint<K>> {
+        let mut rng = Xoshiro256pp::from_u64(seed);
+        (0..n).map(|_| KdPoint::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn distances_match_2d_implementation() {
+        use crate::point::TorusPoint;
+        let mut rng = Xoshiro256pp::from_u64(1);
+        for _ in 0..500 {
+            let (ax, ay, bx, by) = (
+                rng.gen::<f64>(),
+                rng.gen::<f64>(),
+                rng.gen::<f64>(),
+                rng.gen::<f64>(),
+            );
+            let a2 = TorusPoint::new(ax, ay);
+            let b2 = TorusPoint::new(bx, by);
+            let ak = KdPoint::new([ax, ay]);
+            let bk = KdPoint::new([bx, by]);
+            assert!((a2.dist(b2) - ak.dist(&bk)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kd_grid_matches_brute_in_dim_1_2_3() {
+        let mut rng = Xoshiro256pp::from_u64(2);
+        macro_rules! check_dim {
+            ($k:literal) => {{
+                for &n in &[2usize, 10, 200] {
+                    let sites = random_sites::<$k>(n, 100 + n as u64 + $k);
+                    let grid = KdGrid::build(&sites);
+                    for _ in 0..300 {
+                        let p = KdPoint::<$k>::random(&mut rng);
+                        let fast = grid.nearest(&p, &sites);
+                        let slow = kd_nearest_brute(&p, &sites);
+                        assert!(
+                            (p.dist2(&sites[fast]) - p.dist2(&sites[slow])).abs() < 1e-15,
+                            "K={} n={n}",
+                            $k
+                        );
+                    }
+                }
+            }};
+        }
+        check_dim!(1);
+        check_dim!(2);
+        check_dim!(3);
+    }
+
+    #[test]
+    fn kd1_matches_ring_nearest_ownership() {
+        use geo2c_ring::{Ownership, RingPartition, RingPoint};
+        let mut rng = Xoshiro256pp::from_u64(3);
+        let coords: Vec<f64> = (0..50).map(|_| rng.gen::<f64>()).collect();
+        let sites = KdSites::<1>::from_points(coords.iter().map(|&x| KdPoint::new([x])).collect());
+        let part =
+            RingPartition::from_positions(coords.iter().map(|&x| RingPoint::new(x)).collect());
+        for _ in 0..500 {
+            let x = rng.gen::<f64>();
+            let kd_owner_pos = sites.point(sites.owner(&KdPoint::new([x]))).coords[0];
+            let ring_owner_pos = part
+                .position(part.owner(RingPoint::new(x), Ownership::Nearest))
+                .coord();
+            assert!(
+                (kd_owner_pos - ring_owner_pos).abs() < 1e-12
+                    // allow exact ties resolved differently
+                    || (RingPoint::new(x).distance(RingPoint::new(kd_owner_pos))
+                        - RingPoint::new(x).distance(RingPoint::new(ring_owner_pos)))
+                    .abs()
+                        < 1e-12,
+                "1-D owners differ at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn kd2_matches_torus_sites() {
+        use crate::point::TorusPoint;
+        use crate::voronoi::TorusSites;
+        let mut rng = Xoshiro256pp::from_u64(4);
+        let pts: Vec<(f64, f64)> = (0..100).map(|_| (rng.gen(), rng.gen())).collect();
+        let sites2 =
+            TorusSites::from_points(pts.iter().map(|&(x, y)| TorusPoint::new(x, y)).collect());
+        let sitesk =
+            KdSites::<2>::from_points(pts.iter().map(|&(x, y)| KdPoint::new([x, y])).collect());
+        for _ in 0..500 {
+            let (x, y) = (rng.gen::<f64>(), rng.gen::<f64>());
+            let a = sites2.owner(TorusPoint::new(x, y));
+            let b = sitesk.owner(&KdPoint::new([x, y]));
+            let pa = sites2.point(a);
+            let pb = sitesk.point(b);
+            let probe2 = TorusPoint::new(x, y);
+            let probek = KdPoint::new([x, y]);
+            assert!(
+                (probe2.dist2(pa) - probek.dist2(pb)).abs() < 1e-15,
+                "2-D owners differ at ({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn mc_volumes_partition_unity() {
+        let mut rng = Xoshiro256pp::from_u64(5);
+        let sites = KdSites::<3>::random(16, &mut rng);
+        let volumes = sites.mc_cell_volumes(50_000, &mut rng);
+        let total: f64 = volumes.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9); // exact: fractions of samples
+        // Every cell should get a roughly fair share (1/16 each ± spread).
+        for (i, v) in volumes.iter().enumerate() {
+            assert!(*v > 0.0, "cell {i} got no probes");
+            assert!(*v < 0.4, "cell {i} implausibly large: {v}");
+        }
+    }
+
+    #[test]
+    fn kd_point_wraps_and_rejects_nan() {
+        let p = KdPoint::new([1.25, -0.25, 3.0]);
+        assert!((p.coords[0] - 0.25).abs() < 1e-12);
+        assert!((p.coords[1] - 0.75).abs() < 1e-12);
+        assert_eq!(p.coords[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn kd_point_nan_rejected() {
+        let _ = KdPoint::new([f64::NAN]);
+    }
+
+    #[test]
+    fn high_dim_max_distance() {
+        // Diameter of the K-torus is √K/2.
+        let a = KdPoint::new([0.0, 0.0, 0.0, 0.0]);
+        let b = KdPoint::new([0.5, 0.5, 0.5, 0.5]);
+        assert!((a.dist(&b) - 1.0).abs() < 1e-12); // √4/2 = 1
+    }
+
+    #[test]
+    fn clustered_sites_exact_in_3d() {
+        let mut rng = Xoshiro256pp::from_u64(6);
+        let sites: Vec<KdPoint<3>> = (0..40)
+            .map(|_| {
+                KdPoint::new([
+                    0.5 + 0.02 * (rng.gen::<f64>() - 0.5),
+                    0.5 + 0.02 * (rng.gen::<f64>() - 0.5),
+                    0.5 + 0.02 * (rng.gen::<f64>() - 0.5),
+                ])
+            })
+            .collect();
+        let grid = KdGrid::build(&sites);
+        for _ in 0..200 {
+            let p = KdPoint::<3>::random(&mut rng);
+            let fast = grid.nearest(&p, &sites);
+            let slow = kd_nearest_brute(&p, &sites);
+            assert!((p.dist2(&sites[fast]) - p.dist2(&sites[slow])).abs() < 1e-15);
+        }
+    }
+}

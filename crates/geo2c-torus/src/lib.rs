@@ -1,0 +1,41 @@
+//! The 2-dimensional torus substrate for the geometric two-choices paper.
+//!
+//! Section 3 of *Geometric Generalizations of the Power of Two Choices*
+//! places `n` servers uniformly at random on the unit torus `[0,1)²` (with
+//! wraparound on both axes); the bins are the servers' Voronoi cells under
+//! toroidal Euclidean distance, and a ball probes `d` uniform points, going
+//! to the least-loaded owning server. This crate builds that geometry from
+//! scratch:
+//!
+//! * [`point`] — toroidal points, wrapped displacement and distance.
+//! * [`grid`] — an exact, grid-accelerated nearest-neighbour index
+//!   (expanding-ring search with a provable termination radius), plus the
+//!   brute-force oracle used to verify it.
+//! * [`polygon`] — convex polygons with half-plane clipping and shoelace
+//!   areas; the computational-geometry kernel for Voronoi cells.
+//! * [`voronoi`] — [`TorusSites`]: the server set with owner queries and
+//!   *exact* Voronoi cell construction (clipping the fundamental square
+//!   against perpendicular bisectors of neighbouring sites and their
+//!   relevant periodic images), validated against Monte-Carlo areas.
+//! * [`sector`] — the six-sector geometric argument of Lemma 8 / Figure 1
+//!   and the Lemma 9 tail-bound experiment on the number of large cells.
+//!
+//! The paper's argument generalizes to any constant dimension; this crate
+//! implements the 2-D case the paper evaluates (Table 2) and exposes the
+//! pieces (wrapped distance, grid search) in a way that extends to `k`-D.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grid;
+pub mod kd;
+pub mod point;
+pub mod polygon;
+pub mod sector;
+pub mod voronoi;
+
+pub use grid::Grid;
+pub use kd::{KdPoint, KdSites};
+pub use point::TorusPoint;
+pub use polygon::Polygon;
+pub use voronoi::TorusSites;

@@ -1,0 +1,180 @@
+//! Points on the unit torus `[0,1)²` with wrapped arithmetic.
+//!
+//! The torus identifies `x` with `x+1` on both axes, so displacements are
+//! canonicalized into `[-0.5, 0.5)` per coordinate: the wrapped displacement
+//! is the *shortest* vector from one point to another, and the toroidal
+//! Euclidean distance is its norm (at most `√2/2`).
+
+use rand::Rng;
+
+/// A point on the unit torus, with both coordinates in `[0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TorusPoint {
+    /// Horizontal coordinate in `[0, 1)`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1)`.
+    pub y: f64,
+}
+
+/// Wraps a coordinate into `[0, 1)`.
+#[inline]
+#[must_use]
+pub fn wrap01(v: f64) -> f64 {
+    let mut w = v.rem_euclid(1.0);
+    if w >= 1.0 {
+        w = 0.0;
+    }
+    w
+}
+
+/// Canonicalizes a displacement component into `[-0.5, 0.5)`.
+#[inline]
+#[must_use]
+pub fn wrap_delta(d: f64) -> f64 {
+    let mut w = d.rem_euclid(1.0);
+    if w >= 0.5 {
+        w -= 1.0;
+    }
+    w
+}
+
+impl TorusPoint {
+    /// Creates a point, wrapping both coordinates into `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if either coordinate is not finite.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "torus coordinates must be finite, got ({x}, {y})"
+        );
+        Self {
+            x: wrap01(x),
+            y: wrap01(y),
+        }
+    }
+
+    /// Samples a uniformly random point on the torus.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            x: rng.gen::<f64>(),
+            y: rng.gen::<f64>(),
+        }
+    }
+
+    /// The shortest displacement vector from `self` to `other`, with each
+    /// component in `[-0.5, 0.5)`.
+    #[inline]
+    #[must_use]
+    pub fn delta(self, other: TorusPoint) -> (f64, f64) {
+        (wrap_delta(other.x - self.x), wrap_delta(other.y - self.y))
+    }
+
+    /// Squared toroidal Euclidean distance (cheaper than [`Self::dist`]
+    /// for comparisons).
+    #[inline]
+    #[must_use]
+    pub fn dist2(self, other: TorusPoint) -> f64 {
+        let (dx, dy) = self.delta(other);
+        dx * dx + dy * dy
+    }
+
+    /// Toroidal Euclidean distance, in `[0, √2/2]`.
+    #[inline]
+    #[must_use]
+    pub fn dist(self, other: TorusPoint) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// The point displaced by `(dx, dy)` (wraps).
+    #[must_use]
+    pub fn offset(self, dx: f64, dy: f64) -> TorusPoint {
+        TorusPoint::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl std::fmt::Display for TorusPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo2c_util::rng::Xoshiro256pp;
+
+    #[test]
+    fn new_wraps() {
+        let p = TorusPoint::new(1.25, -0.25);
+        assert!((p.x - 0.25).abs() < 1e-12);
+        assert!((p.y - 0.75).abs() < 1e-12);
+        assert_eq!(TorusPoint::new(1.0, 2.0), TorusPoint::new(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn new_rejects_infinite() {
+        let _ = TorusPoint::new(f64::INFINITY, 0.0);
+    }
+
+    #[test]
+    fn wrap_delta_canonical_range() {
+        assert!((wrap_delta(0.7) - -0.3).abs() < 1e-12);
+        assert!((wrap_delta(-0.7) - 0.3).abs() < 1e-12);
+        assert_eq!(wrap_delta(0.5), -0.5);
+        assert_eq!(wrap_delta(-0.5), -0.5);
+        assert_eq!(wrap_delta(0.0), 0.0);
+    }
+
+    #[test]
+    fn distance_takes_shortest_path() {
+        let a = TorusPoint::new(0.05, 0.05);
+        let b = TorusPoint::new(0.95, 0.95);
+        // Shortest path wraps both axes: (−0.1, −0.1).
+        assert!((a.dist(b) - (0.02f64).sqrt()).abs() < 1e-12);
+        assert_eq!(a.dist(b), b.dist(a));
+    }
+
+    #[test]
+    fn max_distance_is_half_diagonal() {
+        let a = TorusPoint::new(0.0, 0.0);
+        let b = TorusPoint::new(0.5, 0.5);
+        assert!((a.dist(b) - (0.5f64).sqrt()).abs() < 1e-12);
+        let mut rng = Xoshiro256pp::from_u64(2);
+        for _ in 0..1000 {
+            let p = TorusPoint::random(&mut rng);
+            let q = TorusPoint::random(&mut rng);
+            assert!(p.dist(q) <= (0.5f64).sqrt() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn delta_consistent_with_offset() {
+        let mut rng = Xoshiro256pp::from_u64(3);
+        for _ in 0..1000 {
+            let p = TorusPoint::random(&mut rng);
+            let (dx, dy) = (rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+            let q = p.offset(dx, dy);
+            let (gx, gy) = p.delta(q);
+            // The recovered displacement equals the applied one (both are
+            // already canonical), modulo the ±0.5 boundary.
+            if dx.abs() < 0.499 && dy.abs() < 0.499 {
+                assert!((gx - dx).abs() < 1e-9, "dx {dx} vs {gx}");
+                assert!((gy - dy).abs() < 1e-9, "dy {dy} vs {gy}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_points_in_unit_square() {
+        let mut rng = Xoshiro256pp::from_u64(4);
+        for _ in 0..1000 {
+            let p = TorusPoint::random(&mut rng);
+            assert!((0.0..1.0).contains(&p.x));
+            assert!((0.0..1.0).contains(&p.y));
+        }
+    }
+}

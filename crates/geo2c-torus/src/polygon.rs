@@ -1,0 +1,247 @@
+//! Convex polygons with half-plane clipping — the computational-geometry
+//! kernel behind exact Voronoi cells.
+//!
+//! A Voronoi cell on the torus is constructed in the *local frame* of its
+//! site (the site at the origin, no wraparound within the frame): start
+//! from the fundamental square `[−½, ½]²` — which always contains the cell,
+//! because any point outside it is closer to a periodic image of the site —
+//! and intersect with the half-plane `‖x‖ ≤ ‖x − δ‖` for each neighbouring
+//! site displacement `δ`. That half-plane is `2δ·x ≤ ‖δ‖²`, so a single
+//! primitive suffices: clip a convex polygon by `a·x + b·y ≤ c`
+//! (Sutherland–Hodgman specialised to one plane).
+
+/// A convex polygon in the plane, vertices in counter-clockwise order.
+///
+/// An empty vertex list represents the empty polygon (fully clipped away).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    verts: Vec<(f64, f64)>,
+}
+
+impl Polygon {
+    /// Creates a polygon from CCW vertices.
+    #[must_use]
+    pub fn new(verts: Vec<(f64, f64)>) -> Self {
+        Self { verts }
+    }
+
+    /// The axis-aligned square `[−h, h]²` (CCW).
+    #[must_use]
+    pub fn centered_square(h: f64) -> Self {
+        Self::new(vec![(-h, -h), (h, -h), (h, h), (-h, h)])
+    }
+
+    /// Vertices in CCW order.
+    #[must_use]
+    pub fn vertices(&self) -> &[(f64, f64)] {
+        &self.verts
+    }
+
+    /// True if the polygon has been clipped to nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.verts.len() < 3
+    }
+
+    /// Signed area via the shoelace formula (positive for CCW ordering).
+    #[must_use]
+    pub fn signed_area(&self) -> f64 {
+        if self.verts.len() < 3 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 0..self.verts.len() {
+            let (x1, y1) = self.verts[i];
+            let (x2, y2) = self.verts[(i + 1) % self.verts.len()];
+            acc += x1 * y2 - x2 * y1;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Largest squared distance from the origin to any vertex
+    /// (0 for the empty polygon). Used as the termination certificate for
+    /// incremental Voronoi construction: once every remaining candidate
+    /// site is farther than `2·max_r`, no bisector can cut the polygon.
+    #[must_use]
+    pub fn max_r2(&self) -> f64 {
+        self.verts
+            .iter()
+            .map(|&(x, y)| x * x + y * y)
+            .fold(0.0, f64::max)
+    }
+
+    /// True if `(px, py)` lies inside or on the boundary (convexity and CCW
+    /// order assumed).
+    #[must_use]
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        if self.verts.len() < 3 {
+            return false;
+        }
+        for i in 0..self.verts.len() {
+            let (x1, y1) = self.verts[i];
+            let (x2, y2) = self.verts[(i + 1) % self.verts.len()];
+            let cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1);
+            if cross < -1e-12 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Clips the polygon to the half-plane `a·x + b·y ≤ c`, in place.
+    ///
+    /// Runs one pass of Sutherland–Hodgman; the result is again convex and
+    /// CCW. Clipping an already-empty polygon is a no-op.
+    pub fn clip_halfplane(&mut self, a: f64, b: f64, c: f64) {
+        if self.verts.len() < 3 {
+            return;
+        }
+        let inside = |&(x, y): &(f64, f64)| a * x + b * y <= c;
+        // Fast path: if every vertex is inside, nothing changes.
+        if self.verts.iter().all(inside) {
+            return;
+        }
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(self.verts.len() + 1);
+        for i in 0..self.verts.len() {
+            let cur = self.verts[i];
+            let nxt = self.verts[(i + 1) % self.verts.len()];
+            let cur_in = inside(&cur);
+            let nxt_in = inside(&nxt);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != nxt_in {
+                // Edge crosses the boundary: add the intersection point.
+                let denom = a * (nxt.0 - cur.0) + b * (nxt.1 - cur.1);
+                // denom cannot be 0 when the two endpoints straddle the
+                // line, but guard against FP degeneracy.
+                if denom.abs() > f64::EPSILON {
+                    let t = (c - a * cur.0 - b * cur.1) / denom;
+                    let t = t.clamp(0.0, 1.0);
+                    out.push((cur.0 + t * (nxt.0 - cur.0), cur.1 + t * (nxt.1 - cur.1)));
+                }
+            }
+        }
+        if out.len() < 3 {
+            out.clear();
+        }
+        self.verts = out;
+    }
+
+    /// Clips to the perpendicular-bisector half-plane keeping points closer
+    /// to the origin than to `(dx, dy)`: `2δ·x ≤ ‖δ‖²`.
+    pub fn clip_bisector(&mut self, dx: f64, dy: f64) {
+        self.clip_halfplane(2.0 * dx, 2.0 * dy, dx * dx + dy * dy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::centered_square(0.5)
+    }
+
+    #[test]
+    fn square_area() {
+        assert!((unit_square().area() - 1.0).abs() < 1e-12);
+        assert!(unit_square().signed_area() > 0.0);
+        assert!((Polygon::centered_square(0.25).area() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_keeps_half() {
+        let mut p = unit_square();
+        p.clip_halfplane(1.0, 0.0, 0.0); // x <= 0
+        assert!((p.area() - 0.5).abs() < 1e-12);
+        assert!(p.contains(-0.25, 0.0));
+        assert!(!p.contains(0.25, 0.0));
+    }
+
+    #[test]
+    fn clip_diagonal() {
+        let mut p = unit_square();
+        p.clip_halfplane(1.0, 1.0, 0.0); // x + y <= 0 cuts the square in half
+        assert!((p.area() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_corner() {
+        let mut p = unit_square();
+        // x + y <= -0.5 keeps only the corner triangle below the
+        // anti-diagonal through (-0.5, 0) and (0, -0.5): area 1/8.
+        p.clip_halfplane(1.0, 1.0, -0.5);
+        assert!((p.area() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_everything_gives_empty() {
+        let mut p = unit_square();
+        p.clip_halfplane(1.0, 0.0, -2.0); // x <= -2: nothing survives
+        assert!(p.is_empty());
+        assert_eq!(p.area(), 0.0);
+        assert_eq!(p.max_r2(), 0.0);
+        // Further clipping is a no-op.
+        p.clip_halfplane(0.0, 1.0, 0.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn clip_nothing_is_noop() {
+        let mut p = unit_square();
+        let before = p.clone();
+        p.clip_halfplane(1.0, 0.0, 10.0);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn repeated_clips_monotone_area() {
+        let mut p = unit_square();
+        let mut last = p.area();
+        for k in 0..8 {
+            let angle = 0.7 * f64::from(k);
+            p.clip_halfplane(angle.cos(), angle.sin(), 0.3);
+            let a = p.area();
+            assert!(a <= last + 1e-12);
+            last = a;
+        }
+    }
+
+    #[test]
+    fn bisector_clip_matches_halfplane() {
+        // Bisector of origin and (0.4, 0): keep x <= 0.2.
+        let mut p = unit_square();
+        p.clip_bisector(0.4, 0.0);
+        assert!((p.area() - 0.7).abs() < 1e-12);
+        for &(x, _) in p.vertices() {
+            assert!(x <= 0.2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_r2_square() {
+        assert!((unit_square().max_r2() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_boundary_and_outside() {
+        let p = unit_square();
+        assert!(p.contains(0.5, 0.5));
+        assert!(p.contains(0.0, 0.0));
+        assert!(!p.contains(0.6, 0.0));
+        assert!(!Polygon::new(vec![]).contains(0.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_polygons_have_zero_area() {
+        assert_eq!(Polygon::new(vec![]).area(), 0.0);
+        assert_eq!(Polygon::new(vec![(0.0, 0.0), (1.0, 0.0)]).area(), 0.0);
+    }
+}

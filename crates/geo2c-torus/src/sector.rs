@@ -1,0 +1,296 @@
+//! The six-sector argument (Lemma 8 / Figure 1) and the Voronoi tail bound
+//! (Lemma 9), as executable experiments.
+//!
+//! **Lemma 8.** Divide the disc of area `c/n` centred at site `u` into six
+//! 60° sectors (sector 1 spans 0°–60° from the positive x-axis, etc.). If
+//! the Voronoi cell of `u` has area ≥ `c/n`, then at least one sector
+//! contains none of the other `n−1` sites. Contrapositive: if all six
+//! sectors are occupied, the cell is contained in the disc — because any
+//! point `w` making an angle within a sector's span is closer to that
+//! sector's occupant `v` than to `u` once `d(u,w) > d(u,v)` and the angle
+//! `∠(v,u,w) ≤ 60°` (law of cosines with `cos a > 1/2`).
+//!
+//! **Lemma 9.** Consequently the number of cells of area ≥ `c/n` is at most
+//! `Z = Σ_{i,j} Z_{i,j}` (site `i`, sector `j` empty), whose expectation is
+//! `6n(1 − c/6n)^{n−1} < 6n e^{−c/6}`, and
+//! `Pr(#cells ≥ c/n > 12 n e^{−c/6}) = o(1/n⁴)` for `ln n ≥ c ≥ 12`
+//! (via a Doob martingale with an `ln³n` Lipschitz correction).
+//!
+//! This module provides the sector-occupancy primitive, a direct check of
+//! Lemma 8 on random instances, and the Lemma 9 Monte-Carlo experiment
+//! (E4 and E7 in DESIGN.md).
+
+use crate::voronoi::TorusSites;
+use geo2c_util::parallel::parallel_map;
+use geo2c_util::rng::StreamSeeder;
+use geo2c_util::stats::RunningStats;
+
+/// Radius of the disc of area `a`: `√(a/π)`.
+#[must_use]
+pub fn disc_radius(area: f64) -> f64 {
+    (area / std::f64::consts::PI).sqrt()
+}
+
+/// Sector index (0–5) of the displacement `(dx, dy)`: sector `k` spans
+/// angles `[60k°, 60(k+1)°)` counter-clockwise from the positive x-axis.
+#[must_use]
+pub fn sector_of(dx: f64, dy: f64) -> usize {
+    let angle = dy.atan2(dx); // (−π, π]
+    let angle = if angle < 0.0 {
+        angle + 2.0 * std::f64::consts::PI
+    } else {
+        angle
+    };
+    let k = (angle / (std::f64::consts::PI / 3.0)) as usize;
+    k.min(5)
+}
+
+/// Occupancy of the six sectors of the disc of area `c/n` around site `i`:
+/// `occupied[k]` is true iff some *other* site lies in sector `k` within
+/// the disc.
+#[must_use]
+pub fn sector_occupancy(sites: &TorusSites, i: usize, c: f64) -> [bool; 6] {
+    let n = sites.len();
+    let radius = disc_radius(c / n as f64);
+    let p = sites.point(i);
+    let mut occupied = [false; 6];
+    for j in sites.grid().within(p, radius, sites.points()) {
+        if j == i {
+            continue;
+        }
+        let (dx, dy) = p.delta(sites.point(j));
+        occupied[sector_of(dx, dy)] = true;
+    }
+    occupied
+}
+
+/// True if at least one of the six sectors around site `i` (disc of area
+/// `c/n`) is empty — the event whose count upper-bounds the number of
+/// large cells in Lemma 9.
+#[must_use]
+pub fn has_empty_sector(sites: &TorusSites, i: usize, c: f64) -> bool {
+    sector_occupancy(sites, i, c).iter().any(|&occ| !occ)
+}
+
+/// Lemma 9's count threshold `12 n e^{−c/6}`.
+#[must_use]
+pub fn lemma9_threshold(n: usize, c: f64) -> f64 {
+    12.0 * n as f64 * (-c / 6.0).exp()
+}
+
+/// Expected value of the sector-based upper bound `Z`:
+/// `6n (1 − c/(6n))^{n−1}` (< `6n e^{−c/6}`).
+#[must_use]
+pub fn expected_empty_sectors(n: usize, c: f64) -> f64 {
+    let nf = n as f64;
+    if c / 6.0 >= nf {
+        return 0.0;
+    }
+    6.0 * nf * (1.0 - c / (6.0 * nf)).powi(n as i32 - 1)
+}
+
+/// One `c`-row of the Lemma 9 Monte-Carlo experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct VoronoiTail {
+    /// Cells of area ≥ `c/n` are "large".
+    pub c: f64,
+    /// The count threshold `12 n e^{−c/6}`.
+    pub threshold: f64,
+    /// Analytic `E[Z] = 6n(1 − c/6n)^{n−1}`.
+    pub expected_z: f64,
+    /// Observed mean number of large cells.
+    pub mean_large_cells: f64,
+    /// Observed mean of the sector upper bound `Z`.
+    pub mean_z: f64,
+    /// Fraction of trials where `#large cells > 12 n e^{−c/6}`.
+    pub violation_rate: f64,
+    /// Fraction of (trial, large cell) pairs violating Lemma 8, i.e. a
+    /// cell of area ≥ `c/n` with all six sectors occupied. Must be 0.
+    pub lemma8_violations: u64,
+}
+
+/// Runs `trials` random placements of `n` sites and measures, for each `c`:
+/// the number of Voronoi cells of area ≥ `c/n`, the sector bound `Z`, and
+/// direct Lemma 8 compliance (experiments E4 + E7).
+#[must_use]
+pub fn voronoi_tail_experiment(
+    n: usize,
+    cs: &[f64],
+    trials: usize,
+    seeder: &StreamSeeder,
+    threads: usize,
+) -> Vec<VoronoiTail> {
+    // Per trial, per c: (large_cell_count, z_count, lemma8_violations).
+    let per_trial: Vec<Vec<(usize, usize, u64)>> = parallel_map(trials, threads, |t| {
+        let mut rng = seeder.stream(t as u64);
+        let sites = TorusSites::random(n, &mut rng);
+        let areas = sites.cell_areas();
+        cs.iter()
+            .map(|&c| {
+                let cutoff = c / n as f64;
+                let mut large = 0usize;
+                let mut z = 0usize;
+                let mut violations = 0u64;
+                for i in 0..n {
+                    let empty = has_empty_sector(&sites, i, c);
+                    if empty {
+                        z += 1;
+                    }
+                    if areas[i] >= cutoff {
+                        large += 1;
+                        if !empty {
+                            violations += 1;
+                        }
+                    }
+                }
+                (large, z, violations)
+            })
+            .collect()
+    });
+
+    cs.iter()
+        .enumerate()
+        .map(|(ci, &c)| {
+            let threshold = lemma9_threshold(n, c);
+            let mut large_stats = RunningStats::new();
+            let mut z_stats = RunningStats::new();
+            let mut violations_of_threshold = 0usize;
+            let mut lemma8_violations = 0u64;
+            for row in &per_trial {
+                let (large, z, viol) = row[ci];
+                large_stats.push(large as f64);
+                z_stats.push(z as f64);
+                if large as f64 > threshold {
+                    violations_of_threshold += 1;
+                }
+                lemma8_violations += viol;
+            }
+            VoronoiTail {
+                c,
+                threshold,
+                expected_z: expected_empty_sectors(n, c),
+                mean_large_cells: large_stats.mean(),
+                mean_z: z_stats.mean(),
+                violation_rate: violations_of_threshold as f64 / trials as f64,
+                lemma8_violations,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::TorusPoint;
+    use geo2c_util::rng::Xoshiro256pp;
+
+    #[test]
+    fn sector_of_cardinal_directions() {
+        assert_eq!(sector_of(1.0, 0.001), 0); // just above +x axis
+        assert_eq!(sector_of(0.3, 0.6), 1); // ~63°
+        assert_eq!(sector_of(-0.5, 0.5), 2); // 135°
+        assert_eq!(sector_of(-1.0, -0.001), 3); // just below −x axis
+        assert_eq!(sector_of(-0.001, -1.0), 4); // ~270° − ε
+        assert_eq!(sector_of(0.5, -0.5), 5); // 315°
+    }
+
+    #[test]
+    fn sector_boundaries() {
+        // Exactly on the +x axis: angle 0 → sector 0.
+        assert_eq!(sector_of(1.0, 0.0), 0);
+        // Exactly 60°: belongs to sector 1 (half-open sectors).
+        let a = std::f64::consts::PI / 3.0;
+        assert_eq!(sector_of(a.cos(), a.sin()), 1);
+    }
+
+    #[test]
+    fn disc_radius_formula() {
+        let r = disc_radius(std::f64::consts::PI);
+        assert!((r - 1.0).abs() < 1e-12);
+        assert!((disc_radius(0.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_detects_placed_neighbours() {
+        let n_area = 16.0; // c = 16 with n = 4 sites → disc area 4/4… keep explicit
+        // Site 0 at centre; one neighbour in sector 0, one in sector 3.
+        let sites = TorusSites::from_points(vec![
+            TorusPoint::new(0.5, 0.5),
+            TorusPoint::new(0.52, 0.501), // east: sector 0
+            TorusPoint::new(0.47, 0.499), // west: sector 3
+            TorusPoint::new(0.1, 0.1),    // far away
+        ]);
+        let c = n_area; // radius = sqrt(c/(n π)) = sqrt(16/(4π)) ≈ 1.128 → clipped by torus, all close sites in disc
+        let occ = sector_occupancy(&sites, 0, c);
+        assert!(occ[0], "east neighbour in sector 0");
+        assert!(occ[3], "west neighbour in sector 3");
+        assert!(has_empty_sector(&sites, 0, c) || occ.iter().all(|&o| o));
+    }
+
+    #[test]
+    fn lemma8_holds_on_random_instances() {
+        // Direct check: any cell of area ≥ c/n must have an empty sector.
+        let mut rng = Xoshiro256pp::from_u64(51);
+        for trial in 0..10 {
+            let n = 128;
+            let sites = TorusSites::random(n, &mut rng);
+            let areas = sites.cell_areas();
+            for c in [2.0, 4.0, 8.0] {
+                let cutoff = c / n as f64;
+                for i in 0..n {
+                    if areas[i] >= cutoff {
+                        assert!(
+                            has_empty_sector(&sites, i, c),
+                            "trial {trial}, c={c}, cell {i} area {} violates Lemma 8",
+                            areas[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn z_dominates_large_cell_count() {
+        // Lemma 8 implies #large cells ≤ Z for every instance.
+        let seeder = StreamSeeder::new(52);
+        let rows = voronoi_tail_experiment(64, &[3.0, 6.0], 10, &seeder, 2);
+        for row in &rows {
+            assert_eq!(row.lemma8_violations, 0);
+            assert!(
+                row.mean_large_cells <= row.mean_z + 1e-9,
+                "c={}: large {} > Z {}",
+                row.c,
+                row.mean_large_cells,
+                row.mean_z
+            );
+        }
+    }
+
+    #[test]
+    fn tail_experiment_monotone_in_c() {
+        let seeder = StreamSeeder::new(53);
+        let rows = voronoi_tail_experiment(128, &[2.0, 6.0, 12.0], 10, &seeder, 2);
+        assert!(rows[0].mean_large_cells >= rows[1].mean_large_cells);
+        assert!(rows[1].mean_large_cells >= rows[2].mean_large_cells);
+        // Z tracks its expectation loosely.
+        for row in &rows {
+            assert!(
+                row.mean_z <= 2.0 * row.expected_z + 5.0,
+                "c={}: Z {} vs E[Z] {}",
+                row.c,
+                row.mean_z,
+                row.expected_z
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_deterministic_across_thread_counts() {
+        let seeder = StreamSeeder::new(54);
+        let a = voronoi_tail_experiment(32, &[4.0], 6, &seeder, 1);
+        let b = voronoi_tail_experiment(32, &[4.0], 6, &seeder, 3);
+        assert_eq!(a[0].mean_large_cells, b[0].mean_large_cells);
+        assert_eq!(a[0].mean_z, b[0].mean_z);
+    }
+}

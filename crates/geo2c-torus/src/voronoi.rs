@@ -1,0 +1,501 @@
+//! Random sites on the torus, ownership queries, and exact Voronoi cells.
+//!
+//! [`TorusSites`] is the Section-3 substrate: `n` servers at uniform random
+//! positions, where a probe point belongs to its nearest server — i.e. the
+//! servers' Voronoi cells are the bins. Ownership queries go through the
+//! exact grid index ([`crate::grid::Grid`]).
+//!
+//! ## Exact cells on a torus
+//!
+//! The Voronoi cell of site `u` is computed in `u`'s local frame: it always
+//! lies inside the fundamental square `[−½, ½]²` (a point farther than that
+//! in some axis is closer to a periodic image of `u` itself), so we clip
+//! that square against the perpendicular bisector of every *relevant image*
+//! of every other site. A site image at displacement `δ` produces a
+//! bisector at distance `‖δ‖/2` from the origin; since no vertex of the
+//! square is farther than `√2/2 ≈ 0.707` from the origin, images with
+//! `‖δ‖ > √2` can never cut, and the 3×3 block of images (components in
+//! `δ₀ + {−1,0,1}`, `δ₀` the canonical displacement) is always sufficient.
+//!
+//! Two constructions are provided:
+//! * [`TorusSites::cell_brute`] — clips against all `9(n−1)` image
+//!   bisectors; the oracle.
+//! * [`TorusSites::cell`] — grid-accelerated: processes candidate sites in
+//!   expanding radius `r` and stops once `2·max_vertex_radius ≤ r`, at
+//!   which point no unprocessed site (all at distance `> r`) can cut the
+//!   polygon. Expected `O(1)` neighbours per cell for uniform sites.
+//!
+//! Cell areas are the paper's "bin sizes" on the torus; they are validated
+//! three ways in the tests (against the brute oracle, against Monte-Carlo
+//! hit rates, and by the partition-of-unity property Σ areas = 1).
+
+use crate::grid::Grid;
+use crate::point::TorusPoint;
+use crate::polygon::Polygon;
+use geo2c_util::parallel::parallel_map;
+use rand::Rng;
+
+/// `n` server sites on the unit torus with exact ownership and Voronoi
+/// geometry.
+#[derive(Debug, Clone)]
+pub struct TorusSites {
+    points: Vec<TorusPoint>,
+    grid: Grid,
+}
+
+impl TorusSites {
+    /// Places `n ≥ 1` sites independently and uniformly at random.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n > 0, "torus sites need at least one server");
+        let points: Vec<TorusPoint> = (0..n).map(|_| TorusPoint::random(rng)).collect();
+        let grid = Grid::build(&points);
+        Self { points, grid }
+    }
+
+    /// Builds from explicit positions.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn from_points(points: Vec<TorusPoint>) -> Self {
+        assert!(!points.is_empty(), "torus sites need at least one server");
+        let grid = Grid::build(&points);
+        Self { points, grid }
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false: construction requires at least one site.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All site positions (index = server id).
+    #[must_use]
+    pub fn points(&self) -> &[TorusPoint] {
+        &self.points
+    }
+
+    /// Position of site `i`.
+    #[must_use]
+    pub fn point(&self, i: usize) -> TorusPoint {
+        self.points[i]
+    }
+
+    /// The grid index (exposed for the sector experiments).
+    #[must_use]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Exact nearest site to `p` (grid-accelerated).
+    #[must_use]
+    pub fn owner(&self, p: TorusPoint) -> usize {
+        self.grid.nearest(p, &self.points)
+    }
+
+    /// Brute-force nearest site (the oracle used in tests/ablations).
+    #[must_use]
+    pub fn owner_brute(&self, p: TorusPoint) -> usize {
+        crate::grid::nearest_brute(p, &self.points)
+    }
+
+    /// Clips `poly` (in site `i`'s local frame) against all nine images of
+    /// site `j`.
+    fn clip_against_site(&self, poly: &mut Polygon, i: usize, j: usize) {
+        let (dx0, dy0) = self.points[i].delta(self.points[j]);
+        for ix in -1i32..=1 {
+            for iy in -1i32..=1 {
+                let dx = dx0 + f64::from(ix);
+                let dy = dy0 + f64::from(iy);
+                let d2 = dx * dx + dy * dy;
+                if d2 == 0.0 {
+                    // Coincident sites: the bisector is undefined; by the
+                    // tie convention the lower index keeps the cell.
+                    continue;
+                }
+                // A bisector at distance ‖δ‖/2 from the origin only cuts if
+                // some vertex is at least that far out.
+                if d2 / 4.0 <= poly.max_r2() {
+                    poly.clip_bisector(dx, dy);
+                }
+                if poly.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Exact Voronoi cell of site `i` by clipping against every other
+    /// site's images: the `O(n)` oracle.
+    #[must_use]
+    pub fn cell_brute(&self, i: usize) -> Polygon {
+        let mut poly = Polygon::centered_square(0.5);
+        for j in 0..self.points.len() {
+            if j != i {
+                self.clip_against_site(&mut poly, i, j);
+            }
+        }
+        poly
+    }
+
+    /// Exact Voronoi cell of site `i`, grid-accelerated.
+    ///
+    /// Processes candidate neighbours in expanding radius; stops once every
+    /// unprocessed site is too far for its bisector to reach the current
+    /// polygon. Equal to [`Self::cell_brute`] up to FP roundoff.
+    #[must_use]
+    pub fn cell(&self, i: usize) -> Polygon {
+        let n = self.points.len();
+        let mut poly = Polygon::centered_square(0.5);
+        if n == 1 {
+            return poly;
+        }
+        let p = self.points[i];
+        let mut processed = vec![false; n];
+        processed[i] = true;
+        // Start near the expected nearest-neighbour distance (~1/√n) and
+        // double until the termination certificate holds.
+        let mut r = (1.0 / (n as f64).sqrt()).max(1e-3);
+        loop {
+            for j in self.grid.within(p, r, &self.points) {
+                if !processed[j] {
+                    processed[j] = true;
+                    self.clip_against_site(&mut poly, i, j);
+                }
+            }
+            // Any unprocessed site is at distance > r; its nearest image
+            // bisector is at distance > r/2 from the origin. If the whole
+            // polygon is within r/2 of the origin, we are done.
+            if 4.0 * poly.max_r2() <= r * r {
+                break;
+            }
+            if r > std::f64::consts::FRAC_1_SQRT_2 {
+                // All sites processed (torus diameter is √2/2): exact now.
+                break;
+            }
+            r *= 2.0;
+        }
+        poly
+    }
+
+    /// Area of site `i`'s Voronoi cell.
+    #[must_use]
+    pub fn cell_area(&self, i: usize) -> f64 {
+        self.cell(i).area()
+    }
+
+    /// Areas of all cells (sequential). Sums to 1 up to FP roundoff.
+    #[must_use]
+    pub fn cell_areas(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.cell_area(i)).collect()
+    }
+
+    /// Areas of all cells computed on `threads` workers.
+    #[must_use]
+    pub fn cell_areas_parallel(&self, threads: usize) -> Vec<f64> {
+        parallel_map(self.len(), threads, |i| self.cell_area(i))
+    }
+
+    /// Monte-Carlo estimate of all cell areas from `samples` uniform probe
+    /// points: the hit-rate validator for the exact construction.
+    #[must_use]
+    pub fn mc_cell_areas<R: Rng + ?Sized>(&self, samples: usize, rng: &mut R) -> Vec<f64> {
+        let mut hits = vec![0u64; self.len()];
+        for _ in 0..samples {
+            hits[self.owner(TorusPoint::random(rng))] += 1;
+        }
+        hits.iter()
+            .map(|&h| h as f64 / samples as f64)
+            .collect()
+    }
+
+    /// The largest cell area (`Θ(log n / n)` w.h.p., per Section 3).
+    #[must_use]
+    pub fn max_cell_area(&self) -> f64 {
+        (0..self.len())
+            .map(|i| self.cell_area(i))
+            .fold(0.0, f64::max)
+    }
+
+    /// The Delaunay neighbours of site `i`: sites whose Voronoi cells
+    /// share an edge with `i`'s cell.
+    ///
+    /// Computed by witness points: for each edge of `i`'s cell, the edge
+    /// midpoint is equidistant from `i` and exactly the neighbour that
+    /// contributed the edge (vertices — triple points — are avoided by
+    /// using midpoints). On the torus the resulting graph is a
+    /// triangulation of a genus-1 surface, so its **average degree is
+    /// exactly 6** (Euler's formula `V − E + F = 0`) — a strong
+    /// whole-structure validator used by the tests.
+    ///
+    /// Degenerate (co-circular) configurations have measure zero under
+    /// random placement; ties are resolved by the distance tolerance.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        let cell = self.cell(i);
+        let verts = cell.vertices();
+        let mut out: Vec<usize> = Vec::new();
+        if verts.len() < 2 {
+            return out;
+        }
+        let site = self.points[i];
+        for e in 0..verts.len() {
+            let (x1, y1) = verts[e];
+            let (x2, y2) = verts[(e + 1) % verts.len()];
+            // Skip degenerate zero-length edges from clipping roundoff.
+            if ((x2 - x1).powi(2) + (y2 - y1).powi(2)).sqrt() < 1e-12 {
+                continue;
+            }
+            let (mx, my) = ((x1 + x2) / 2.0, (y1 + y2) / 2.0);
+            let witness = site.offset(mx, my);
+            let d_site = witness.dist(site);
+            let tol = 1e-9_f64.max(d_site * 1e-9);
+            for j in self.grid.within(witness, d_site + tol, &self.points) {
+                if j != i
+                    && (witness.dist(self.points[j]) - d_site).abs() <= tol
+                    && !out.contains(&j)
+                {
+                    out.push(j);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Mean Delaunay degree over all sites (≈ 6 on the torus).
+    #[must_use]
+    pub fn mean_degree(&self) -> f64 {
+        let total: usize = (0..self.len()).map(|i| self.neighbors(i).len()).sum();
+        total as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo2c_util::rng::Xoshiro256pp;
+
+    #[test]
+    fn single_site_owns_unit_cell() {
+        let sites = TorusSites::from_points(vec![TorusPoint::new(0.3, 0.3)]);
+        assert!((sites.cell_area(0) - 1.0).abs() < 1e-12);
+        assert_eq!(sites.owner(TorusPoint::new(0.9, 0.1)), 0);
+    }
+
+    #[test]
+    fn two_sites_split_torus_in_half() {
+        // Opposite sites: each cell is a half-torus band of area 1/2.
+        let sites = TorusSites::from_points(vec![
+            TorusPoint::new(0.25, 0.5),
+            TorusPoint::new(0.75, 0.5),
+        ]);
+        assert!((sites.cell_area(0) - 0.5).abs() < 1e-9);
+        assert!((sites.cell_area(1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_sites_in_grid_pattern() {
+        // Sites at the centres of the four quadrants: each cell is a
+        // quarter square of area 1/4.
+        let sites = TorusSites::from_points(vec![
+            TorusPoint::new(0.25, 0.25),
+            TorusPoint::new(0.75, 0.25),
+            TorusPoint::new(0.25, 0.75),
+            TorusPoint::new(0.75, 0.75),
+        ]);
+        for i in 0..4 {
+            assert!(
+                (sites.cell_area(i) - 0.25).abs() < 1e-9,
+                "cell {i}: {}",
+                sites.cell_area(i)
+            );
+        }
+    }
+
+    #[test]
+    fn areas_partition_unity() {
+        let mut rng = Xoshiro256pp::from_u64(41);
+        for &n in &[2usize, 3, 10, 64, 257] {
+            let sites = TorusSites::random(n, &mut rng);
+            let total: f64 = sites.cell_areas().iter().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-7,
+                "n={n}: areas sum to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_cell_matches_brute_oracle() {
+        let mut rng = Xoshiro256pp::from_u64(42);
+        let sites = TorusSites::random(100, &mut rng);
+        for i in (0..100).step_by(7) {
+            let fast = sites.cell(i).area();
+            let brute = sites.cell_brute(i).area();
+            assert!(
+                (fast - brute).abs() < 1e-10,
+                "cell {i}: fast {fast} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_areas_match_sequential() {
+        let mut rng = Xoshiro256pp::from_u64(43);
+        let sites = TorusSites::random(64, &mut rng);
+        let seq = sites.cell_areas();
+        let par = sites.cell_areas_parallel(4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact_areas() {
+        let mut rng = Xoshiro256pp::from_u64(44);
+        let sites = TorusSites::random(16, &mut rng);
+        let exact = sites.cell_areas();
+        let mc = sites.mc_cell_areas(200_000, &mut rng);
+        for (i, (e, m)) in exact.iter().zip(&mc).enumerate() {
+            // s.e. of a proportion at 2e5 samples is ≤ ~0.0012.
+            assert!(
+                (e - m).abs() < 0.01,
+                "cell {i}: exact {e} vs MC {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_contains_own_site_region() {
+        // The origin (the site itself, in local frame) is inside its cell.
+        let mut rng = Xoshiro256pp::from_u64(45);
+        let sites = TorusSites::random(50, &mut rng);
+        for i in 0..50 {
+            assert!(sites.cell(i).contains(0.0, 0.0), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn owner_matches_cell_membership() {
+        // Sample points; the owner's cell (in the owner's local frame)
+        // must contain the probe's displacement.
+        let mut rng = Xoshiro256pp::from_u64(46);
+        let sites = TorusSites::random(30, &mut rng);
+        for _ in 0..300 {
+            let p = TorusPoint::random(&mut rng);
+            let o = sites.owner(p);
+            let (dx, dy) = sites.point(o).delta(p);
+            assert!(
+                sites.cell(o).contains(dx, dy),
+                "probe {p} owner {o} displacement ({dx}, {dy})"
+            );
+        }
+    }
+
+    #[test]
+    fn max_cell_area_scales_like_log_n_over_n() {
+        // Loose sanity: max area is within [1/n, C log n / n] for random
+        // placements (Section 3 says Θ(log n / n) w.h.p.).
+        let mut rng = Xoshiro256pp::from_u64(47);
+        let n = 512;
+        let sites = TorusSites::random(n, &mut rng);
+        let max = sites.max_cell_area();
+        let nf = n as f64;
+        assert!(max >= 1.0 / nf, "max {max}");
+        assert!(max <= 12.0 * nf.ln() / nf, "max {max}");
+    }
+
+    #[test]
+    fn owner_brute_and_grid_agree() {
+        let mut rng = Xoshiro256pp::from_u64(48);
+        let sites = TorusSites::random(200, &mut rng);
+        for _ in 0..500 {
+            let p = TorusPoint::random(&mut rng);
+            let a = sites.owner(p);
+            let b = sites.owner_brute(p);
+            assert!((p.dist2(sites.point(a)) - p.dist2(sites.point(b))).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_sites_rejected() {
+        let mut rng = Xoshiro256pp::from_u64(1);
+        let _ = TorusSites::random(0, &mut rng);
+    }
+
+    #[test]
+    fn delaunay_neighbors_are_symmetric() {
+        let mut rng = Xoshiro256pp::from_u64(60);
+        let sites = TorusSites::random(60, &mut rng);
+        for i in 0..60 {
+            for &j in &sites.neighbors(i) {
+                assert!(
+                    sites.neighbors(j).contains(&i),
+                    "asymmetric edge {i} -> {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delaunay_mean_degree_is_six() {
+        // Euler's formula on the torus: average Delaunay degree exactly 6
+        // for a simplicial triangulation (a.s. for random sites).
+        let mut rng = Xoshiro256pp::from_u64(61);
+        for n in [32usize, 100, 300] {
+            let sites = TorusSites::random(n, &mut rng);
+            let mean = sites.mean_degree();
+            assert!(
+                (mean - 6.0).abs() < 0.2,
+                "n={n}: mean Delaunay degree {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn four_site_grid_neighbors() {
+        // Quadrant grid: each site's cell is a square meeting the other
+        // three cells (two across edges, one only at corners — but on the
+        // torus each pair shares TWO parallel edges, so all are edge
+        // neighbours except the diagonal, which meets only at corners).
+        let sites = TorusSites::from_points(vec![
+            TorusPoint::new(0.25, 0.25),
+            TorusPoint::new(0.75, 0.25),
+            TorusPoint::new(0.25, 0.75),
+            TorusPoint::new(0.75, 0.75),
+        ]);
+        let n0 = sites.neighbors(0);
+        assert!(n0.contains(&1), "horizontal neighbour");
+        assert!(n0.contains(&2), "vertical neighbour");
+        assert!(!n0.contains(&0));
+    }
+
+    #[test]
+    fn two_sites_neighbor_each_other() {
+        let sites = TorusSites::from_points(vec![
+            TorusPoint::new(0.2, 0.5),
+            TorusPoint::new(0.7, 0.5),
+        ]);
+        assert_eq!(sites.neighbors(0), vec![1]);
+        assert_eq!(sites.neighbors(1), vec![0]);
+    }
+
+    #[test]
+    fn single_site_has_no_neighbors() {
+        let sites = TorusSites::from_points(vec![TorusPoint::new(0.5, 0.5)]);
+        assert!(sites.neighbors(0).is_empty());
+    }
+}

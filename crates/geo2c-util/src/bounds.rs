@@ -1,0 +1,227 @@
+//! Analytic concentration bounds used throughout the paper's proofs.
+//!
+//! The paper leans on three tools, all provided here in executable form
+//! so the lemma experiments can print *bound vs observed* side by side:
+//!
+//! * [`chernoff_upper`] — the multiplicative Chernoff bound the paper
+//!   states as Lemma 2: `Pr(B(n,p) ≥ 2np) ≤ e^{−np/3}` (and its general
+//!   `(1+δ)` form).
+//! * [`chernoff_kl`] — the sharp Chernoff–Hoeffding bound
+//!   `Pr(B(n,p) ≥ na) ≤ e^{−n·KL(a‖p)}`, strictly tighter than Lemma 2;
+//!   useful to show how much slack the paper's constants carry.
+//! * [`azuma_upper`] — Azuma's inequality for `c`-Lipschitz Doob
+//!   martingales, the engine of Lemmas 5 and 9.
+//! * [`binomial_tail`] — the exact tail `Pr(B(n,p) ≥ k)` by stable
+//!   summation, as ground truth for small `n`.
+
+/// Multiplicative Chernoff bound, the paper's Lemma 2 (δ = 1 case):
+/// `Pr(B(n,p) ≥ (1+δ)np) ≤ exp(−np·δ²/(2+δ))`.
+///
+/// With `δ = 1` the exponent is `np/3`, matching the paper's statement.
+///
+/// # Panics
+/// Panics unless `p ∈ [0,1]` and `delta ≥ 0`.
+#[must_use]
+pub fn chernoff_upper(n: u64, p: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(delta >= 0.0, "delta must be nonnegative");
+    let np = n as f64 * p;
+    (-np * delta * delta / (2.0 + delta)).exp().min(1.0)
+}
+
+/// Binary Kullback–Leibler divergence `KL(a ‖ p)` in nats.
+///
+/// # Panics
+/// Panics unless both arguments are in `[0, 1]`.
+#[must_use]
+pub fn kl_divergence(a: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&p));
+    let term = |x: f64, y: f64| -> f64 {
+        if x == 0.0 {
+            0.0
+        } else if y == 0.0 {
+            f64::INFINITY
+        } else {
+            x * (x / y).ln()
+        }
+    };
+    term(a, p) + term(1.0 - a, 1.0 - p)
+}
+
+/// Sharp Chernoff–Hoeffding upper tail: `Pr(B(n,p) ≥ na) ≤ e^{−n KL(a‖p)}`
+/// for `a ≥ p` (returns 1 when `a < p` — the bound is vacuous there).
+#[must_use]
+pub fn chernoff_kl(n: u64, p: f64, a: f64) -> f64 {
+    if a < p {
+        return 1.0;
+    }
+    (-(n as f64) * kl_divergence(a, p)).exp().min(1.0)
+}
+
+/// One-sided Azuma–Hoeffding: for a martingale with `|X_i − X_{i−1}| ≤ c`
+/// over `n` steps, `Pr(X_n − X_0 ≥ t) ≤ exp(−t²/(2nc²))`.
+///
+/// # Panics
+/// Panics unless `c > 0` and `t ≥ 0`.
+#[must_use]
+pub fn azuma_upper(n: u64, c: f64, t: f64) -> f64 {
+    assert!(c > 0.0, "Lipschitz constant must be positive");
+    assert!(t >= 0.0, "deviation must be nonnegative");
+    (-(t * t) / (2.0 * n as f64 * c * c)).exp().min(1.0)
+}
+
+/// Exact upper tail `Pr(B(n,p) ≥ k)` by stable forward summation of the
+/// pmf (ratios, no factorials). Intended for `n` up to ~10⁶.
+///
+/// # Panics
+/// Panics unless `p ∈ [0,1]`.
+#[must_use]
+pub fn binomial_tail(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n || p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0; // k <= n here
+    }
+    // Start at the mode-ish point k; pmf(k) via logs, then ratio-walk up.
+    let ln_pmf_k = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    let mut pmf = ln_pmf_k.exp();
+    let mut total = 0.0;
+    for i in k..=n {
+        total += pmf;
+        if pmf < 1e-300 && total > 0.0 {
+            break;
+        }
+        // pmf(i+1)/pmf(i) = (n−i)/(i+1) · p/(1−p)
+        pmf *= (n - i) as f64 / (i + 1) as f64 * (p / (1.0 - p));
+    }
+    total.min(1.0)
+}
+
+/// `ln C(n, k)` via the log-gamma identity, using Stirling's series.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)` — exact summation below 256, Stirling's series (to the
+/// `1/(1260 n^5)` term) above; absolute error < 1e-10 in both regimes.
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 256 {
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x.powi(3))
+        + 1.0 / (1260.0 * x.powi(5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chernoff_matches_paper_lemma2_form() {
+        // Pr(B(n,p) >= 2np) <= e^{-np/3}.
+        let n = 10_000;
+        let p = 0.01;
+        let bound = chernoff_upper(n, p, 1.0);
+        let expected = (-(n as f64) * p / 3.0).exp();
+        assert!((bound - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chernoff_caps_at_one() {
+        assert_eq!(chernoff_upper(1, 0.0, 1.0), 1.0);
+        assert_eq!(chernoff_upper(0, 0.5, 2.0), 1.0);
+    }
+
+    #[test]
+    fn kl_properties() {
+        assert_eq!(kl_divergence(0.3, 0.3), 0.0);
+        assert!(kl_divergence(0.6, 0.3) > 0.0);
+        assert_eq!(kl_divergence(0.5, 0.0), f64::INFINITY);
+        assert_eq!(kl_divergence(0.0, 0.5), (0.5f64).recip().ln() * 1.0 * 0.0 + (1.0f64 / 0.5).ln());
+        // KL(0 || p) = ln(1/(1-p)).
+        assert!((kl_divergence(0.0, 0.5) - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_bound_dominates_lemma2_and_truth() {
+        let n = 2000;
+        let p = 0.02;
+        let k = (2.0 * n as f64 * p) as u64; // the 2np point
+        let exact = binomial_tail(n, p, k);
+        let kl = chernoff_kl(n, p, k as f64 / n as f64);
+        let lemma2 = chernoff_upper(n, p, 1.0);
+        assert!(exact <= kl + 1e-12, "exact {exact} vs KL {kl}");
+        assert!(kl <= lemma2 + 1e-12, "KL {kl} vs Lemma 2 {lemma2}");
+    }
+
+    #[test]
+    fn azuma_scales_with_lipschitz() {
+        let loose = azuma_upper(100, 2.0, 20.0);
+        let tight = azuma_upper(100, 1.0, 20.0);
+        assert!(tight < loose);
+        // Paper's Lemma 5 shape: n steps, c = 2, t = n e^{-c}.
+        let n = 1u64 << 14;
+        let t = n as f64 * (-4.0f64).exp();
+        let bound = azuma_upper(n, 2.0, t);
+        assert!(bound < 1.0);
+    }
+
+    #[test]
+    fn binomial_tail_exact_small_cases() {
+        // B(3, 1/2): Pr(>=2) = 4/8 = 0.5; Pr(>=3) = 1/8.
+        assert!((binomial_tail(3, 0.5, 2) - 0.5).abs() < 1e-12);
+        assert!((binomial_tail(3, 0.5, 3) - 0.125).abs() < 1e-12);
+        assert_eq!(binomial_tail(5, 0.3, 0), 1.0);
+        assert_eq!(binomial_tail(5, 0.3, 6), 0.0);
+        assert_eq!(binomial_tail(5, 0.0, 1), 0.0);
+        assert_eq!(binomial_tail(5, 1.0, 5), 1.0);
+    }
+
+    #[test]
+    fn binomial_tail_matches_normal_regime() {
+        // n = 10^4, p = 0.5: Pr(B >= n/2 + 2σ) ≈ 0.0228 (normal approx).
+        let n = 10_000u64;
+        let sigma = (n as f64 * 0.25).sqrt();
+        let k = (n as f64 / 2.0 + 2.0 * sigma).round() as u64;
+        let tail = binomial_tail(n, 0.5, k);
+        assert!((tail - 0.0228).abs() < 0.004, "tail {tail}");
+    }
+
+    #[test]
+    fn ln_factorial_consistency_across_regimes() {
+        // Stirling (n >= 256) must agree with exact summation at the seam.
+        let exact: f64 = (2..=300u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(300) - exact).abs() < 1e-8);
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_choose_symmetry_and_pascal() {
+        assert!((ln_choose(10, 3) - 120.0f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(10, 3) - ln_choose(10, 7)).abs() < 1e-10);
+        assert_eq!(ln_choose(5, 9), f64::NEG_INFINITY);
+        // Pascal: C(n,k) = C(n-1,k-1) + C(n-1,k) — check in linear space.
+        let c = |n: u64, k: u64| ln_choose(n, k).exp();
+        assert!((c(20, 8) - (c(19, 7) + c(19, 8))).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,250 @@
+//! Integer-valued empirical distributions.
+//!
+//! The paper reports its headline results (Tables 1–3) as *distributions of
+//! the maximum load* over trials: e.g. for `n = 2^12`, `d = 2`, "4 : 88.1%,
+//! 5 : 11.8%, 6 : 0.1%". [`Counter`] collects such distributions and renders
+//! them in exactly that form, so the `geo2c-bench` table binaries can print
+//! output that is line-for-line comparable with the paper.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A frequency counter over `u64` values, kept in sorted order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Counter {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn add(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records `k` observations of `value`.
+    pub fn add_n(&mut self, value: u64, k: u64) {
+        if k > 0 {
+            *self.counts.entry(value).or_insert(0) += k;
+            self.total += k;
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        for (&v, &c) in &other.counts {
+            self.add_n(v, c);
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations of exactly `value`.
+    #[must_use]
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Fraction of observations equal to `value` (0 if the counter is empty).
+    #[must_use]
+    pub fn fraction(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest observed value, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest observed value, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Most frequent value (smallest such value on ties), if any.
+    #[must_use]
+    pub fn mode(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&v, _)| v)
+    }
+
+    /// Mean of the observations (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .map(|(&v, &c)| v as f64 * c as f64)
+            .sum();
+        sum / self.total as f64
+    }
+
+    /// Fraction of observations that are ≥ `value`.
+    #[must_use]
+    pub fn fraction_at_least(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let c: u64 = self.counts.range(value..).map(|(_, &c)| c).sum();
+        c as f64 / self.total as f64
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Renders the distribution in the paper's style:
+    /// `"4: 88.1%  5: 11.8%  6: 0.1%"`, one decimal place, increasing value.
+    ///
+    /// Values with zero recorded observations are omitted, as in the paper.
+    #[must_use]
+    pub fn paper_style(&self) -> String {
+        let mut out = String::new();
+        for (v, c) in self.iter() {
+            if !out.is_empty() {
+                out.push_str("  ");
+            }
+            let pct = 100.0 * c as f64 / self.total.max(1) as f64;
+            let _ = write!(out, "{v}: {pct:.1}%");
+        }
+        if out.is_empty() {
+            out.push('-');
+        }
+        out
+    }
+
+    /// Renders one line per value: `"  4 ...... 88.1%"`, mirroring the
+    /// layout of the paper's Tables 1–3 cells.
+    #[must_use]
+    pub fn paper_column(&self) -> String {
+        let mut out = String::new();
+        for (v, c) in self.iter() {
+            let pct = 100.0 * c as f64 / self.total.max(1) as f64;
+            let _ = writeln!(out, "{v:>4} ...... {pct:.1}%");
+        }
+        out
+    }
+}
+
+impl FromIterator<u64> for Counter {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut c = Counter::new();
+        for v in iter {
+            c.add(v);
+        }
+        c
+    }
+}
+
+impl Extend<u64> for Counter {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_fractions() {
+        let c: Counter = [4u64, 4, 4, 5, 5, 6].into_iter().collect();
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.count(4), 3);
+        assert_eq!(c.count(7), 0);
+        assert!((c.fraction(4) - 0.5).abs() < 1e-12);
+        assert_eq!(c.min(), Some(4));
+        assert_eq!(c.max(), Some(6));
+        assert_eq!(c.mode(), Some(4));
+        assert!((c.mean() - 28.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_at_least() {
+        let c: Counter = [1u64, 2, 2, 3, 10].into_iter().collect();
+        assert!((c.fraction_at_least(2) - 0.8).abs() < 1e-12);
+        assert!((c.fraction_at_least(4) - 0.2).abs() < 1e-12);
+        assert_eq!(c.fraction_at_least(11), 0.0);
+        assert_eq!(c.fraction_at_least(0), 1.0);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = Counter::new();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.min(), None);
+        assert_eq!(c.max(), None);
+        assert_eq!(c.mode(), None);
+        assert_eq!(c.mean(), 0.0);
+        assert_eq!(c.fraction(3), 0.0);
+        assert_eq!(c.paper_style(), "-");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a: Counter = [1u64, 2].into_iter().collect();
+        let b: Counter = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+        assert_eq!(a.count(3), 1);
+    }
+
+    #[test]
+    fn paper_style_formatting() {
+        let mut c = Counter::new();
+        c.add_n(4, 881);
+        c.add_n(5, 118);
+        c.add_n(6, 1);
+        assert_eq!(c.paper_style(), "4: 88.1%  5: 11.8%  6: 0.1%");
+    }
+
+    #[test]
+    fn paper_column_formatting() {
+        let mut c = Counter::new();
+        c.add_n(3, 500);
+        c.add_n(4, 500);
+        let col = c.paper_column();
+        assert!(col.contains("3 ...... 50.0%"));
+        assert!(col.contains("4 ...... 50.0%"));
+    }
+
+    #[test]
+    fn mode_prefers_smaller_on_tie() {
+        let c: Counter = [7u64, 7, 9, 9].into_iter().collect();
+        assert_eq!(c.mode(), Some(7));
+    }
+
+    #[test]
+    fn add_n_zero_is_noop() {
+        let mut c = Counter::new();
+        c.add_n(5, 0);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.count(5), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared infrastructure for the *geometric power of two choices* workspace.
+//!
+//! This crate provides the non-geometric substrate that every experiment in
+//! the reproduction relies on:
+//!
+//! * [`rng`] — deterministic, splittable random-number generation. Every
+//!   experiment in the paper is a Monte-Carlo trial; reproducibility across
+//!   threads requires that trial `i` sees the same stream regardless of which
+//!   worker executes it. We implement SplitMix64 (seeding / stream
+//!   derivation) and xoshiro256++ (bulk generation) in-tree so results are
+//!   stable across platforms and `rand` versions.
+//! * [`parallel`] — a small fork-join trial runner built on
+//!   `crossbeam::scope`. The paper's tables are 1000-trial sweeps; trials are
+//!   embarrassingly parallel.
+//! * [`stats`] — streaming summary statistics (Welford) and exact order
+//!   statistics used by the tail-bound experiments (Lemmas 4–6, 9).
+//! * [`hist`] — integer-valued distributions. The paper reports *maximum
+//!   load* as a percentage distribution over trials (Tables 1–3); this module
+//!   reproduces that presentation.
+//! * [`table`] — plain-text table rendering for the paper-style output of the
+//!   `geo2c-bench` binaries.
+//! * [`bounds`] — executable concentration bounds (Chernoff / Lemma 2,
+//!   Chernoff–Hoeffding KL form, Azuma, exact binomial tails) so lemma
+//!   experiments print *bound vs observed* from one source of truth.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod hist;
+pub mod parallel;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use hist::Counter;
+pub use parallel::{num_threads, parallel_map};
+pub use rng::{SplitMix64, StreamSeeder, Xoshiro256pp};
+pub use stats::{OrderStats, RunningStats};
+pub use table::TextTable;

@@ -1,0 +1,382 @@
+//! Deterministic, splittable random number generation.
+//!
+//! All simulations in this workspace are Monte-Carlo experiments whose
+//! results must be *exactly* reproducible: the committed numbers in
+//! `EXPERIMENTS.md` were produced by specific seeds, and the parallel trial
+//! runner must give trial `i` the same stream no matter how trials are
+//! scheduled onto threads.
+//!
+//! We therefore implement two tiny, well-known generators in-tree rather
+//! than relying on `rand`'s unspecified `StdRng` algorithm:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood's 64-bit mixer. Used exclusively
+//!   for *seed derivation* (it equidistributes even pathological seeds such
+//!   as 0, 1, 2, …).
+//! * [`Xoshiro256pp`] — Blackman & Vigna's xoshiro256++, the workhorse
+//!   generator for the simulations. It is extremely fast (a few ns per
+//!   `u64`), has a 2^256−1 period, and passes BigCrush.
+//!
+//! Both implement [`rand::RngCore`]/[`rand::SeedableRng`], so they compose
+//! with the `rand` distribution machinery (`gen_range`, `gen::<f64>()`, …).
+//!
+//! # Stream derivation
+//!
+//! [`StreamSeeder`] maps `(experiment seed, trial index)` to an independent
+//! generator. Internally it feeds both values through SplitMix64 so that
+//! consecutive trial indices yield statistically unrelated streams.
+//!
+//! ```
+//! use geo2c_util::rng::StreamSeeder;
+//! use rand::Rng;
+//!
+//! let seeder = StreamSeeder::new(42);
+//! let mut a = seeder.stream(0);
+//! let mut b = seeder.stream(1);
+//! // Streams are deterministic ...
+//! assert_eq!(seeder.stream(0).gen::<u64>(), a.gen::<u64>());
+//! // ... and distinct per trial.
+//! assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+//! ```
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// Golden-ratio increment used by SplitMix64.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood, OOPSLA 2014).
+///
+/// A counter-based generator: each output is a strong 64-bit mix of an
+/// internal counter that advances by the golden-ratio constant. Its value
+/// here is seed *expansion*: any 64-bit state — including 0 — produces a
+/// high-entropy output sequence, which makes it the standard tool for
+/// seeding larger-state generators such as xoshiro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator whose counter starts at `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output and advances the counter.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
+    }
+}
+
+/// The SplitMix64 finalizer: a bijective avalanche mix of `z`.
+#[inline]
+#[must_use]
+pub fn mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_u64(self, dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::new(state)
+    }
+}
+
+/// xoshiro256++ pseudo-random generator (Blackman & Vigna, 2019).
+///
+/// 256 bits of state, period 2^256 − 1, ~0.8 ns per output on modern
+/// hardware. This is the generator every simulation trial uses; see the
+/// module docs for why we pin the algorithm in-tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator by expanding `seed` through SplitMix64, per the
+    /// reference implementation's seeding recommendation.
+    #[must_use]
+    pub fn from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next();
+        }
+        // The all-zero state is the one fixed point; SplitMix64 cannot emit
+        // four consecutive zeros, but guard anyway for from_seed paths.
+        if s == [0, 0, 0, 0] {
+            s = [GOLDEN_GAMMA, 1, 2, 3];
+        }
+        Self { s }
+    }
+
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` using the top 53 bits, matching
+    /// the reference `(x >> 11) * 2^-53` construction.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.step() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RngCore for Xoshiro256pp {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_u64(self, dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256pp {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0, 0, 0, 0] {
+            s = [GOLDEN_GAMMA, 1, 2, 3];
+        }
+        Self { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_u64(state)
+    }
+}
+
+/// Little-endian `u64`-at-a-time byte filling shared by both generators.
+fn fill_bytes_via_u64<R: RngCore>(rng: &mut R, dest: &mut [u8]) {
+    let mut chunks = dest.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let bytes = rng.next_u64().to_le_bytes();
+        rem.copy_from_slice(&bytes[..rem.len()]);
+    }
+}
+
+/// Derives independent per-trial generators from a single experiment seed.
+///
+/// The derivation is `xoshiro256++` seeded by
+/// `SplitMix64(mix(seed) ^ mix(trial + φ))`, so that neither sequential
+/// seeds nor sequential trial indices produce correlated streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSeeder {
+    root: u64,
+}
+
+impl StreamSeeder {
+    /// Creates a seeder rooted at `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { root: mix(seed) }
+    }
+
+    /// Returns the generator for `trial`. Calling this twice with the same
+    /// index yields identical streams.
+    #[must_use]
+    pub fn stream(&self, trial: u64) -> Xoshiro256pp {
+        Xoshiro256pp::from_u64(self.root ^ mix(trial.wrapping_add(GOLDEN_GAMMA)))
+    }
+
+    /// Derives a child seeder for a named sub-experiment, so that e.g. the
+    /// "table1" and "table2" sweeps of the same run never share streams.
+    #[must_use]
+    pub fn child(&self, label: &str) -> Self {
+        let mut h = self.root;
+        for &b in label.as_bytes() {
+            h = mix(h ^ u64::from(b));
+        }
+        Self { root: h }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed = 1234567 from the public-domain
+        // splitmix64.c (Vigna). First three outputs.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next(), 6457827717110365317);
+        assert_eq!(sm.next(), 3203168211198807973);
+        assert_eq!(sm.next(), 9817491932198370423);
+    }
+
+    #[test]
+    fn splitmix_zero_seed_is_fine() {
+        let mut sm = SplitMix64::new(0);
+        let a = sm.next();
+        let b = sm.next();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Cross-checked against an independent Python implementation of the
+        // reference xoshiro256++ seeded by splitmix64(7).
+        let mut rng = Xoshiro256pp::from_u64(7);
+        assert_eq!(rng.next_u64(), 1021219803524665661);
+        assert_eq!(rng.next_u64(), 3174977118032272916);
+        assert_eq!(rng.next_u64(), 13236943193235544178);
+        assert_eq!(rng.next_u64(), 7880630202246103356);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_distinct_seeds() {
+        let mut a1 = Xoshiro256pp::from_u64(7);
+        let mut a2 = Xoshiro256pp::from_u64(7);
+        let mut b = Xoshiro256pp::from_u64(8);
+        let xs1: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let xs2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs1, xs2);
+        assert_ne!(xs1, ys);
+    }
+
+    #[test]
+    fn xoshiro_from_seed_round_trips_state_words() {
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&1u64.to_le_bytes());
+        seed[8..16].copy_from_slice(&2u64.to_le_bytes());
+        seed[16..24].copy_from_slice(&3u64.to_le_bytes());
+        seed[24..].copy_from_slice(&4u64.to_le_bytes());
+        let rng = Xoshiro256pp::from_seed(seed);
+        assert_eq!(rng.s, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn xoshiro_zero_seed_does_not_stick_at_zero() {
+        let mut rng = Xoshiro256pp::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn next_f64_is_unit_interval_and_well_spread() {
+        let mut rng = Xoshiro256pp::from_u64(99);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        // Mean of U[0,1) over 1e5 samples: s.e. ≈ 0.0009.
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Xoshiro256pp::from_u64(3);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(0..17);
+            assert!(v < 17);
+        }
+    }
+
+    #[test]
+    fn stream_seeder_is_reproducible_and_label_sensitive() {
+        let s = StreamSeeder::new(5);
+        assert_eq!(s.stream(3).next_u64(), s.stream(3).next_u64());
+        assert_ne!(s.stream(3).next_u64(), s.stream(4).next_u64());
+        let c1 = s.child("table1");
+        let c2 = s.child("table2");
+        assert_ne!(c1.stream(0).next_u64(), c2.stream(0).next_u64());
+        assert_eq!(
+            s.child("table1").stream(0).next_u64(),
+            c1.stream(0).next_u64()
+        );
+    }
+
+    #[test]
+    fn sequential_trial_streams_look_independent() {
+        // Crude independence check: across 64 consecutive trial indices, the
+        // first outputs should have no duplicated values and roughly half
+        // the bits set.
+        let s = StreamSeeder::new(1);
+        let outs: Vec<u64> = (0..64).map(|t| s.stream(t).next_u64()).collect();
+        let mut dedup = outs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), outs.len());
+        let ones: u32 = outs.iter().map(|x| x.count_ones()).sum();
+        let frac = f64::from(ones) / (64.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.05, "bit fraction {frac}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_non_multiple_of_eight() {
+        let mut rng = Xoshiro256pp::from_u64(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

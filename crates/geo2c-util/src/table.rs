@@ -1,0 +1,165 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The `geo2c-bench` binaries print paper-style tables to stdout; this is a
+//! dependency-free column-aligned renderer. Cells may span multiple lines
+//! (the paper's table cells are themselves small distributions, one value
+//! per line), and rows are padded so multi-line cells align.
+
+/// A simple column-aligned text table with optional multi-line cells.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows extend the column count.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with two-space column gutters and a rule under the
+    /// header. Multi-line cells are expanded into extra physical lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        if ncols == 0 {
+            return String::new();
+        }
+
+        // Column widths consider every line of every (possibly multi-line) cell.
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                for line in cell.lines() {
+                    widths[i] = widths[i].max(line.chars().count());
+                }
+                if cell.is_empty() {
+                    widths[i] = widths[i].max(0);
+                }
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+            let line_count = cells
+                .iter()
+                .map(|c| c.lines().count().max(1))
+                .max()
+                .unwrap_or(1);
+            for li in 0..line_count {
+                let mut line_out = String::new();
+                for (ci, width) in widths.iter().enumerate() {
+                    let text = cells
+                        .get(ci)
+                        .and_then(|c| c.lines().nth(li))
+                        .unwrap_or("");
+                    let pad = width.saturating_sub(text.chars().count());
+                    line_out.push_str(text);
+                    line_out.push_str(&" ".repeat(pad));
+                    if ci + 1 < widths.len() {
+                        line_out.push_str("  ");
+                    }
+                }
+                out.push_str(line_out.trim_end());
+                out.push('\n');
+            }
+        };
+
+        if !self.header.is_empty() {
+            render_row(&mut out, &self.header, &widths);
+            let rule_len = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            out.push_str(&"-".repeat(rule_len));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            render_row(&mut out, row, &widths);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["n", "d=1", "d=2"]);
+        t.push_row(["256", "7", "4"]);
+        t.push_row(["65536", "15", "5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("n"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // The d=1 column starts at the same offset in both data rows.
+        let off2 = lines[2].find('7').unwrap();
+        let off3 = lines[3].find("15").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    fn multiline_cells_expand() {
+        let mut t = TextTable::new(["n", "dist"]);
+        t.push_row(["256", "4: 88.1%\n5: 11.9%"]);
+        let s = t.render();
+        assert!(s.contains("4: 88.1%"));
+        assert!(s.contains("5: 11.9%"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.push_row(["1"]);
+        let s = t.render();
+        assert!(s.contains('1'));
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        let t = TextTable::new(Vec::<String>::new());
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = TextTable::new(["x"]);
+        t.push_row(["y"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

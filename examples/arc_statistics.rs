@@ -1,0 +1,84 @@
+//! Why consistent hashing is imbalanced — and exactly how much: the arc
+//! order statistics behind Theorem 1.
+//!
+//! Places `n` servers on the ring and compares the measured arc-length
+//! order statistics against the exact closed forms (Rényi spacings
+//! representation) and the paper's Lemma 4/6 upper bounds, showing both
+//! that the substrate is statistically correct and how much slack the
+//! paper's bounds carry.
+//!
+//! ```text
+//! cargo run --release --example arc_statistics
+//! ```
+
+use two_choices::ring::spacings::{
+    arc_survival, expected_kth_longest, expected_max_arc, expected_top_a_sum,
+};
+use two_choices::ring::tail::{lemma6_bound, longest_arc_bound};
+use two_choices::ring::RingPartition;
+use two_choices::util::rng::Xoshiro256pp;
+use two_choices::util::stats::RunningStats;
+
+fn main() {
+    let n = 1 << 14;
+    let trials = 200;
+    let mut rng = Xoshiro256pp::from_u64(314);
+
+    // Collect order statistics over trials.
+    let mut max_stats = RunningStats::new();
+    let mut k10_stats = RunningStats::new();
+    let mut top64_stats = RunningStats::new();
+    let mut count_c4 = RunningStats::new();
+    for _ in 0..trials {
+        let part = RingPartition::random(n, &mut rng);
+        let mut arcs = part.arc_lengths();
+        arcs.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        max_stats.push(arcs[0] * n as f64);
+        k10_stats.push(arcs[9] * n as f64);
+        top64_stats.push(arcs[..64].iter().sum::<f64>());
+        count_c4.push(arcs.iter().filter(|&&l| l >= 4.0 / n as f64).count() as f64);
+    }
+
+    println!("n = {n} servers, {trials} trials; arc lengths in units of 1/n\n");
+    println!("{:<34} {:>10} {:>10}", "quantity", "measured", "exact");
+    println!(
+        "{:<34} {:>10.2} {:>10.2}",
+        "longest arc (x n)",
+        max_stats.mean(),
+        expected_max_arc(n) * n as f64
+    );
+    println!(
+        "{:<34} {:>10.2} {:>10.2}",
+        "10th longest arc (x n)",
+        k10_stats.mean(),
+        expected_kth_longest(n, 10) * n as f64
+    );
+    println!(
+        "{:<34} {:>10.4} {:>10.4}",
+        "sum of 64 longest arcs",
+        top64_stats.mean(),
+        expected_top_a_sum(n, 64)
+    );
+    println!(
+        "{:<34} {:>10.1} {:>10.1}",
+        "#arcs >= 4/n",
+        count_c4.mean(),
+        n as f64 * arc_survival(n, 4.0 / n as f64)
+    );
+
+    println!("\npaper's upper bounds (the proofs only need these, loosely):");
+    println!(
+        "  longest arc:      bound 4 ln n / n = {:.2}/n   vs exact mean {:.2}/n",
+        longest_arc_bound(n) * n as f64,
+        expected_max_arc(n) * n as f64
+    );
+    println!(
+        "  top-64 arc sum:   bound 2(a/n)ln(n/a) = {:.4} vs exact mean {:.4}",
+        lemma6_bound(n, 64),
+        expected_top_a_sum(n, 64)
+    );
+
+    println!("\nThe longest arc is ~ln n = {:.1} times the average — that is the", (n as f64).ln());
+    println!("Θ(log n) imbalance of plain consistent hashing that two choices");
+    println!("erase (Theorem 1), and the tail the paper's Lemmas 4-6 control.");
+}

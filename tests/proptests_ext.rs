@@ -1,0 +1,124 @@
+//! Property tests for the extension modules: the k-D torus, the
+//! negative-dependence machinery, the non-uniform probe mixture, and
+//! replication invariants.
+
+use proptest::prelude::*;
+use two_choices::core::nonuniform::{MixRingSpace, RingMix};
+use two_choices::core::space::Space;
+use two_choices::ring::negdep::forward_gaps;
+use two_choices::ring::{RingPartition, RingPoint};
+use two_choices::torus::kd::{kd_nearest_brute, KdGrid, KdPoint};
+
+fn coords01(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, len)
+}
+
+proptest! {
+    #[test]
+    fn kd3_grid_matches_brute(
+        xs in coords01(2..25),
+        probes in coords01(3..9),
+    ) {
+        // Build 3-D sites by rolling consecutive coordinates.
+        let sites: Vec<KdPoint<3>> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                KdPoint::new([
+                    x,
+                    xs[(i + 1) % xs.len()],
+                    xs[(i * 7 + 3) % xs.len()],
+                ])
+            })
+            .collect();
+        let grid = KdGrid::build(&sites);
+        for w in probes.windows(3) {
+            let p = KdPoint::new([w[0], w[1], w[2]]);
+            let fast = grid.nearest(&p, &sites);
+            let slow = kd_nearest_brute(&p, &sites);
+            prop_assert!(
+                (p.dist2(&sites[fast]) - p.dist2(&sites[slow])).abs() < 1e-15
+            );
+        }
+    }
+
+    #[test]
+    fn kd_distance_symmetric_and_bounded(
+        a in coords01(4..5),
+        b in coords01(4..5),
+    ) {
+        let pa = KdPoint::new([a[0], a[1], a[2], a[3]]);
+        let pb = KdPoint::new([b[0], b[1], b[2], b[3]]);
+        prop_assert!((pa.dist(&pb) - pb.dist(&pa)).abs() < 1e-12);
+        // Diameter of the 4-torus is √4/2 = 1.
+        prop_assert!(pa.dist(&pb) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn forward_gaps_sum_to_one_and_are_nonnegative(xs in coords01(1..60)) {
+        let points: Vec<RingPoint> = xs.into_iter().map(RingPoint::new).collect();
+        let gaps = forward_gaps(&points);
+        prop_assert_eq!(gaps.len(), points.len());
+        for &g in &gaps {
+            prop_assert!(g >= 0.0);
+        }
+        let total: f64 = gaps.iter().sum();
+        // All-coincident points are the only degenerate case (total 0).
+        let all_same = points.windows(2).all(|w| w[0] == w[1]);
+        if !all_same {
+            prop_assert!((total - 1.0).abs() < 1e-9, "gaps sum to {}", total);
+        }
+    }
+
+    #[test]
+    fn mix_masses_always_partition_unity(
+        xs in coords01(1..40),
+        q in 0.0f64..1.0,
+        start in 0.0f64..1.0,
+        width in 0.01f64..1.0,
+    ) {
+        let part = RingPartition::from_positions(
+            xs.into_iter().map(RingPoint::new).collect(),
+        );
+        let n = part.len();
+        let space = MixRingSpace::new(part, RingMix::new(q, start, width));
+        let total: f64 = (0..n).map(|i| space.region_size(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "masses sum to {}", total);
+        for i in 0..n {
+            prop_assert!(space.region_size(i) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn mix_arc_mass_is_monotone_in_arc(
+        q in 0.0f64..1.0,
+        start in 0.0f64..1.0,
+        width in 0.01f64..1.0,
+        from in 0.0f64..1.0,
+        len1 in 0.0f64..0.5,
+        len2 in 0.0f64..0.49,
+    ) {
+        // Extending an arc clockwise cannot decrease its probe mass.
+        let mix = RingMix::new(q, start, width);
+        let a = RingPoint::new(from);
+        let mid = a.offset(len1);
+        let far = a.offset(len1 + len2);
+        let m1 = mix.arc_mass(a, mid);
+        let m2 = mix.arc_mass(a, far);
+        prop_assert!(m2 >= m1 - 1e-12, "mass shrank: {} -> {}", m1, m2);
+    }
+}
+
+#[test]
+fn replication_sets_are_prefixes_of_successor_walk() {
+    use two_choices::dht::chord::ChordRing;
+    use two_choices::dht::replication::distinct_physical_successors;
+    use two_choices::util::rng::Xoshiro256pp;
+    let mut rng = Xoshiro256pp::from_u64(11);
+    let ring = ChordRing::with_virtual_servers(12, 3, &mut rng);
+    for start in 0..ring.num_virtual() {
+        let two = distinct_physical_successors(&ring, start, 2);
+        let four = distinct_physical_successors(&ring, start, 4);
+        assert_eq!(&four[..2], &two[..], "start {start}: prefix property");
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-module consistency between the three analytic layers — exact
+//! spacings theory (`geo2c-ring::spacings`), concentration bounds
+//! (`geo2c-util::bounds`), and the Monte-Carlo substrate — the relations
+//! the paper's proofs implicitly rely on.
+
+use two_choices::ring::spacings;
+use two_choices::ring::tail;
+use two_choices::ring::RingPartition;
+use two_choices::util::bounds;
+use two_choices::util::rng::Xoshiro256pp;
+
+/// Lemma 4's Chernoff step concretely: the count N_c is (stochastically
+/// below) a Binomial(n, e^{−c}); the exact binomial tail at the 2ne^{−c}
+/// threshold must dominate the observed violation rate, and the paper's
+/// Lemma 2 form must dominate the exact tail.
+#[test]
+fn lemma4_bound_chain_holds_empirically() {
+    let n = 1 << 12;
+    let trials = 400;
+    let c = 6.0f64;
+    let p = (-c).exp();
+    let threshold = tail::lemma4_threshold(n, c);
+
+    let mut rng = Xoshiro256pp::from_u64(17);
+    let mut violations = 0usize;
+    for _ in 0..trials {
+        let part = RingPartition::random(n, &mut rng);
+        let count = tail::count_arcs_at_least(&part.arc_lengths(), c / n as f64);
+        if count as f64 >= threshold {
+            violations += 1;
+        }
+    }
+    let observed = violations as f64 / trials as f64;
+    let exact_binomial = bounds::binomial_tail(n as u64, p, threshold.ceil() as u64);
+    let lemma2 = bounds::chernoff_upper(n as u64, p, 1.0);
+    // observed ≾ exact binomial tail ≤ Lemma 2 bound. The binomial tail
+    // is itself conservative for N_c (negative dependence helps), so we
+    // allow observational noise of a couple trials.
+    assert!(
+        observed <= exact_binomial.max(2.5 / trials as f64),
+        "observed {observed} vs binomial {exact_binomial}"
+    );
+    assert!(exact_binomial <= lemma2 + 1e-12);
+}
+
+/// The exact expected-count formula, the spacings survival function, and
+/// the tail module's closed form all agree.
+#[test]
+fn expected_count_three_ways() {
+    let n = 1 << 10;
+    for c in [1.0, 2.0, 5.0] {
+        let a = spacings::expected_count_at_least(n, c);
+        let b = tail::expected_long_arcs(n, c);
+        let s = n as f64 * spacings::arc_survival(n, c / n as f64);
+        assert!((a - b).abs() < 1e-9);
+        assert!((a - s).abs() < 1e-9);
+    }
+}
+
+/// Lemma 6's bound dominates the exact expectation of the top-a sum for
+/// every a in its domain, with the documented ~2x slack at the low end.
+#[test]
+fn lemma6_dominates_exact_expectation() {
+    let n = 1 << 16;
+    let lnn = (n as f64).ln();
+    let lo = (lnn * lnn) as usize;
+    for a in [lo, 2 * lo, n / 256, n / 64] {
+        let bound = tail::lemma6_bound(n, a);
+        let exact = spacings::expected_top_a_sum(n, a);
+        assert!(
+            bound > exact,
+            "a={a}: bound {bound} must exceed exact mean {exact}"
+        );
+    }
+}
+
+/// The paper's longest-arc bound 4 ln n / n is ≈ 4x the exact mean H_n/n.
+#[test]
+fn longest_arc_bound_slack() {
+    for exp in [10u32, 16, 20] {
+        let n = 1usize << exp;
+        let ratio = tail::longest_arc_bound(n) / spacings::expected_max_arc(n);
+        assert!(
+            (3.0..=4.5).contains(&ratio),
+            "n=2^{exp}: slack ratio {ratio}"
+        );
+    }
+}
+
+/// Azuma with Lipschitz constant 2 (Lemma 5's setting) is always weaker
+/// than the negative-dependence Chernoff route (Lemma 4) at the paper's
+/// threshold — the quantitative content of the paper's remark that
+/// negative dependence "slightly simplifies Theorem 1".
+#[test]
+fn lemma4_beats_lemma5_throughout() {
+    let n = 1 << 14;
+    for c in [2.0f64, 3.0, 4.0, 6.0, 8.0] {
+        let l4 = tail::lemma4_prob_bound(n, c);
+        let l5 = tail::lemma5_prob_bound(n, c);
+        assert!(l4 <= l5, "c={c}: Lemma 4 {l4} vs Lemma 5 {l5}");
+    }
+}
+
+/// KL-form Chernoff ≤ the paper's Lemma 2 form at the 2np point, for the
+/// parameter ranges the lemmas use.
+#[test]
+fn kl_bound_tightens_lemma2() {
+    for &(n, p) in &[(1u64 << 12, 0.01f64), (1 << 16, 0.001), (1 << 10, 0.1)] {
+        let kl = bounds::chernoff_kl(n, p, 2.0 * p);
+        let l2 = bounds::chernoff_upper(n, p, 1.0);
+        assert!(kl <= l2 + 1e-12, "n={n} p={p}: KL {kl} vs L2 {l2}");
+    }
+}
