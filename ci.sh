@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate for the two-choices workspace. Every check must pass; run from
+# the repository root. Mirrors what a GitHub Actions workflow would run
+# (kept as a script because the build environment is offline).
+set -euo pipefail
+
+say() { printf '\n== %s ==\n' "$*"; }
+
+say "rustfmt"
+cargo fmt --all --check
+
+say "clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+say "build (release)"
+cargo build --release
+
+say "tests (workspace unit + integration + doctests)"
+cargo test -q
+
+say "docs (no warnings allowed)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+say "benches compile"
+cargo bench -p geo2c-bench --no-run
+
+say "all green"

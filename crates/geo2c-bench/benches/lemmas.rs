@@ -36,11 +36,7 @@ fn bench_sector_test(c: &mut Criterion) {
         let sites = TorusSites::random(n, &mut rng);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("all_sites_c6", n), &n, |b, &n| {
-            b.iter(|| {
-                (0..n)
-                    .filter(|&i| has_empty_sector(&sites, i, 6.0))
-                    .count()
-            });
+            b.iter(|| (0..n).filter(|&i| has_empty_sector(&sites, i, 6.0)).count());
         });
     }
     group.finish();
@@ -59,5 +55,10 @@ fn bench_cell_area_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_arc_census, bench_sector_test, bench_cell_area_sweep);
+criterion_group!(
+    benches,
+    bench_arc_census,
+    bench_sector_test,
+    bench_cell_area_sweep
+);
 criterion_main!(benches);

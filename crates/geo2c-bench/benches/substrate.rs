@@ -19,16 +19,10 @@ fn bench_nearest_neighbour(c: &mut Criterion) {
         let n = 1usize << exp;
         let mut rng = Xoshiro256pp::from_u64(1);
         let sites = TorusSites::random(n, &mut rng);
-        let queries: Vec<TorusPoint> =
-            (0..1024).map(|_| TorusPoint::random(&mut rng)).collect();
+        let queries: Vec<TorusPoint> = (0..1024).map(|_| TorusPoint::random(&mut rng)).collect();
         group.throughput(Throughput::Elements(queries.len() as u64));
         group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
-            b.iter(|| {
-                queries
-                    .iter()
-                    .map(|&q| sites.owner(q))
-                    .sum::<usize>()
-            });
+            b.iter(|| queries.iter().map(|&q| sites.owner(q)).sum::<usize>());
         });
         group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
             b.iter(|| {

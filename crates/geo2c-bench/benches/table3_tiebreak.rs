@@ -14,10 +14,16 @@ fn bench_tiebreaks(c: &mut Criterion) {
     let n = 1usize << 12;
     group.throughput(Throughput::Elements(n as u64));
     let policies = [
-        ("arc-larger", Strategy::with_tie_break(2, TieBreak::LargerRegion)),
+        (
+            "arc-larger",
+            Strategy::with_tie_break(2, TieBreak::LargerRegion),
+        ),
         ("arc-random", Strategy::with_tie_break(2, TieBreak::Random)),
         ("arc-left", Strategy::with_tie_break(2, TieBreak::Leftmost)),
-        ("arc-smaller", Strategy::with_tie_break(2, TieBreak::SmallerRegion)),
+        (
+            "arc-smaller",
+            Strategy::with_tie_break(2, TieBreak::SmallerRegion),
+        ),
         ("voecking", Strategy::voecking(2)),
     ];
     for (name, strategy) in policies {

@@ -22,7 +22,10 @@ use geo2c_util::table::TextTable;
 
 fn main() {
     let cli = Cli::parse(20, (10, 10), 12);
-    banner("E16: node failures and re-placement (items = 16 x nodes)", &cli);
+    banner(
+        "E16: node failures and re-placement (items = 16 x nodes)",
+        &cli,
+    );
     let n = 1usize << cli.max_exp;
     let m = (16 * n) as u64;
     let seeder = StreamSeeder::new(cli.seed).child("churn");
@@ -36,14 +39,16 @@ fn main() {
     ]);
     for (name, policy, v) in [
         ("consistent", PlacementPolicy::Consistent, 1usize),
-        ("virtual(log n)", PlacementPolicy::Consistent, (n as f64).log2().ceil() as usize),
+        (
+            "virtual(log n)",
+            PlacementPolicy::Consistent,
+            (n as f64).log2().ceil() as usize,
+        ),
         ("2-choice", PlacementPolicy::DChoice { d: 2 }, 1),
     ] {
         for &fail in &[0.1f64, 0.3, 0.5] {
             let rows: Vec<(f64, f64, f64)> = parallel_map(cli.trials, cli.threads, |trial| {
-                let mut rng = seeder
-                    .child(&format!("{name}/{fail}"))
-                    .stream(trial as u64);
+                let mut rng = seeder.child(&format!("{name}/{fail}")).stream(trial as u64);
                 let report = churn_experiment(n, v, policy, m, fail, &mut rng);
                 (
                     f64::from(report.max_before),

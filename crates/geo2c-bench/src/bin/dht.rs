@@ -67,20 +67,19 @@ fn main() {
     ]);
     for config in &configs {
         // Each trial: fresh ring + placement + sampled lookups.
-        let rows: Vec<(f64, f64, f64, u32, f64)> =
-            parallel_map(cli.trials, cli.threads, |trial| {
-                let mut rng = seeder.child(config.name).stream(trial as u64);
-                let ring = ChordRing::with_virtual_servers(n, config.virtual_servers, &mut rng);
-                let report = evaluate(&ring, config.policy, m, lookup_samples, &mut rng);
-                let lookup = report.lookup.expect("lookups sampled");
-                (
-                    f64::from(report.load.max),
-                    report.load.stddev,
-                    lookup.mean_hops,
-                    lookup.max_hops,
-                    lookup.redirect_rate,
-                )
-            });
+        let rows: Vec<(f64, f64, f64, u32, f64)> = parallel_map(cli.trials, cli.threads, |trial| {
+            let mut rng = seeder.child(config.name).stream(trial as u64);
+            let ring = ChordRing::with_virtual_servers(n, config.virtual_servers, &mut rng);
+            let report = evaluate(&ring, config.policy, m, lookup_samples, &mut rng);
+            let lookup = report.lookup.expect("lookups sampled");
+            (
+                f64::from(report.load.max),
+                report.load.stddev,
+                lookup.mean_hops,
+                lookup.max_hops,
+                lookup.redirect_rate,
+            )
+        });
         let mut max_load = RunningStats::new();
         let mut sigma = RunningStats::new();
         let mut hops = RunningStats::new();

@@ -17,11 +17,7 @@ use geo2c_core::strategy::Strategy;
 use geo2c_util::rng::Xoshiro256pp;
 use geo2c_util::table::TextTable;
 
-fn cell_text<const K: usize>(
-    n: usize,
-    d: usize,
-    config: &SweepConfig,
-) -> (String, f64) {
+fn cell_text<const K: usize>(n: usize, d: usize, config: &SweepConfig) -> (String, f64) {
     let label = format!("dim{K}/n{n}/d{d}");
     let cell = sweep_max_load(
         move |rng: &mut Xoshiro256pp| KdTorusSpace::<K>::random(n, rng),

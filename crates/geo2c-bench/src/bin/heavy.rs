@@ -23,7 +23,14 @@ fn main() {
     let n = 1usize << cli.max_exp;
     let ms = [n / 4, n, 4 * n, 16 * n];
 
-    let mut t = TextTable::new(["space", "m", "m/n", "mean max", "slack (max - m/n)", "distribution"]);
+    let mut t = TextTable::new([
+        "space",
+        "m",
+        "m/n",
+        "mean max",
+        "slack (max - m/n)",
+        "distribution",
+    ]);
     for kind in [SpaceKind::Uniform, SpaceKind::Ring] {
         let rows = heavy_load_sweep(kind, Strategy::two_choice(), n, &ms, &config);
         for row in rows {

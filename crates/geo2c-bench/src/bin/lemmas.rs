@@ -24,7 +24,10 @@ use geo2c_util::table::TextTable;
 
 fn main() {
     let cli = Cli::parse(200, (14, 14), 16);
-    banner("Lemma validations (arcs: Lemmas 4-6; Voronoi: Lemmas 8-9)", &cli);
+    banner(
+        "Lemma validations (arcs: Lemmas 4-6; Voronoi: Lemmas 8-9)",
+        &cli,
+    );
     let seeder = StreamSeeder::new(cli.seed);
 
     // ---- Lemmas 4/5: long-arc count tails --------------------------------

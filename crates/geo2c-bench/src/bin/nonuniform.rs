@@ -43,7 +43,10 @@ fn dist_text(dist: &Counter) -> String {
 
 fn main() {
     let cli = Cli::parse(100, (12, 12), 16);
-    banner("E15: non-uniform servers / probes on the ring (m = n)", &cli);
+    banner(
+        "E15: non-uniform servers / probes on the ring (m = n)",
+        &cli,
+    );
     let config = cli.sweep_config();
     let n = 1usize << cli.max_exp;
     let w = 0.1;

@@ -52,10 +52,10 @@ fn main() {
 
     let mut t = TextTable::new(["i", "fluid n*s_i", "uniform", "ring", "torus"]);
     let get = |v: &[f64], i: usize| v.get(i).copied().unwrap_or(0.0);
-    for i in 0..depth {
+    for (i, &fluid_share) in fluid.iter().enumerate().take(depth) {
         t.push_row([
             (i + 1).to_string(),
-            format!("{:.1}", n as f64 * fluid[i]),
+            format!("{:.1}", n as f64 * fluid_share),
             format!("{:.1}", get(&uniform, i)),
             format!("{:.1}", get(&ring, i)),
             format!("{:.1}", get(&torus, i)),

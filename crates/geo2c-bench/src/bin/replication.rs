@@ -20,7 +20,10 @@ use geo2c_util::table::TextTable;
 
 fn main() {
     let cli = Cli::parse(16, (10, 10), 12);
-    banner("E17: replication x placement (items = 16 x nodes, 30% failures)", &cli);
+    banner(
+        "E17: replication x placement (items = 16 x nodes, 30% failures)",
+        &cli,
+    );
     let n = 1usize << cli.max_exp;
     let m = (16 * n) as u64;
     let fail = 0.3;

@@ -18,13 +18,15 @@ use geo2c_util::table::TextTable;
 
 fn main() {
     let cli = Cli::parse(200, (8, 16), 24);
-    banner("Table 1: experimental maximum load with random arcs (m = n)", &cli);
+    banner(
+        "Table 1: experimental maximum load with random arcs (m = n)",
+        &cli,
+    );
     let config = cli.sweep_config();
 
     let ds = [1usize, 2, 3, 4];
-    let mut table = TextTable::new(
-        std::iter::once("n".to_string()).chain(ds.iter().map(|d| format!("d={d}"))),
-    );
+    let mut table =
+        TextTable::new(std::iter::once("n".to_string()).chain(ds.iter().map(|d| format!("d={d}"))));
     for n in cli.sweep_sizes() {
         let mut row = vec![pow2_label(n)];
         for &d in &ds {

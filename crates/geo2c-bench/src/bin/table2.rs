@@ -24,9 +24,8 @@ fn main() {
     let config = cli.sweep_config();
 
     let ds = [1usize, 2, 3, 4];
-    let mut table = TextTable::new(
-        std::iter::once("n".to_string()).chain(ds.iter().map(|d| format!("d={d}"))),
-    );
+    let mut table =
+        TextTable::new(std::iter::once("n".to_string()).chain(ds.iter().map(|d| format!("d={d}"))));
     for n in cli.sweep_sizes() {
         let mut row = vec![pow2_label(n)];
         for &d in &ds {

@@ -175,10 +175,7 @@ mod tests {
             max_exp: 18,
             extra: vec![],
         };
-        assert_eq!(
-            cli.sweep_sizes(),
-            vec![1 << 8, 1 << 12, 1 << 16, 1 << 18]
-        );
+        assert_eq!(cli.sweep_sizes(), vec![1 << 8, 1 << 12, 1 << 16, 1 << 18]);
         let cli2 = Cli { max_exp: 16, ..cli };
         assert_eq!(cli2.sweep_sizes(), vec![1 << 8, 1 << 12, 1 << 16]);
     }

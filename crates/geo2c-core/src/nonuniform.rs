@@ -195,12 +195,7 @@ impl Space for MixRingSpace {
             .owner(self.mix.sample(rng), Ownership::Successor)
     }
 
-    fn sample_owner_in_division<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        j: usize,
-        d: usize,
-    ) -> usize {
+    fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
         assert!(d > 0 && j < d, "division {j} of {d}");
         // Rejection-sample the mixture into the division's interval; the
         // division law is the mixture conditioned on the interval.
@@ -277,13 +272,13 @@ mod tests {
         let mut rng = Xoshiro256pp::from_u64(4);
         let part = RingPartition::random(16, &mut rng);
         let space = MixRingSpace::new(part, RingMix::new(0.6, 0.7, 0.15));
-        let mut hits = vec![0u64; 16];
+        let mut hits = [0u64; 16];
         let samples = 300_000;
         for _ in 0..samples {
             hits[space.sample_owner(&mut rng)] += 1;
         }
-        for i in 0..16 {
-            let rate = hits[i] as f64 / f64::from(samples);
+        for (i, &h) in hits.iter().enumerate() {
+            let rate = h as f64 / f64::from(samples);
             assert!(
                 (rate - space.region_size(i)).abs() < 0.01,
                 "server {i}: rate {rate} vs mass {}",
@@ -294,7 +289,8 @@ mod tests {
 
     #[test]
     fn arc_mass_handles_wrapping_arcs() {
-        let mix = RingMix::new(1.0, 0.9, 0.2); // cluster [0.9, 1.0) ∪ [0, 0.1)
+        // Cluster [0.9, 1.0) ∪ [0, 0.1).
+        let mix = RingMix::new(1.0, 0.9, 0.2);
         // Arc (0.95, 0.05] lies entirely inside the cluster: mass = 0.1/0.2.
         let m = mix.arc_mass(RingPoint::new(0.95), RingPoint::new(0.05));
         assert!((m - 0.5).abs() < 1e-12, "wrapped arc mass {m}");
@@ -348,9 +344,8 @@ mod tests {
     #[test]
     fn division_sampling_stays_in_division() {
         let mut rng = Xoshiro256pp::from_u64(7);
-        let part = RingPartition::from_positions(
-            (0..8).map(|i| RingPoint::new(i as f64 / 8.0)).collect(),
-        );
+        let part =
+            RingPartition::from_positions((0..8).map(|i| RingPoint::new(i as f64 / 8.0)).collect());
         let space = MixRingSpace::new(part, RingMix::new(0.5, 0.0, 0.5));
         for j in 0..2 {
             for _ in 0..200 {

@@ -36,8 +36,7 @@ pub trait Space {
     ///
     /// # Panics
     /// Implementations panic if `j >= d` or `d == 0`.
-    fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize)
-        -> usize;
+    fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize;
 
     /// The measure (arc length / cell area / `1/n`) of `server`'s region.
     fn region_size(&self, server: usize) -> f64;
@@ -83,12 +82,7 @@ impl Space for UniformSpace {
         rng.gen_range(0..self.n)
     }
 
-    fn sample_owner_in_division<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        j: usize,
-        d: usize,
-    ) -> usize {
+    fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
         assert!(d > 0 && j < d, "division {j} of {d}");
         // Bin index ranges [j*n/d, (j+1)*n/d); Vöcking's groups.
         let lo = j * self.n / d;
@@ -163,16 +157,10 @@ impl Space for RingSpace {
     }
 
     fn sample_owner<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        self.partition
-            .owner(RingPoint::random(rng), self.ownership)
+        self.partition.owner(RingPoint::random(rng), self.ownership)
     }
 
-    fn sample_owner_in_division<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        j: usize,
-        d: usize,
-    ) -> usize {
+    fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
         assert!(d > 0 && j < d, "division {j} of {d}");
         // Uniform point in the interval [j/d, (j+1)/d) of the circle.
         let x = (j as f64 + rng.gen::<f64>()) / d as f64;
@@ -241,12 +229,7 @@ impl Space for TorusSpace {
         self.sites.owner(TorusPoint::random(rng))
     }
 
-    fn sample_owner_in_division<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        j: usize,
-        d: usize,
-    ) -> usize {
+    fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
         assert!(d > 0 && j < d, "division {j} of {d}");
         // Vertical strip x ∈ [j/d, (j+1)/d), y uniform.
         let x = (j as f64 + rng.gen::<f64>()) / d as f64;
@@ -319,12 +302,7 @@ impl<const K: usize> Space for KdTorusSpace<K> {
         self.sites.owner(&geo2c_torus::kd::KdPoint::random(rng))
     }
 
-    fn sample_owner_in_division<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        j: usize,
-        d: usize,
-    ) -> usize {
+    fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
         assert!(d > 0 && j < d, "division {j} of {d}");
         // Slab along the first axis; remaining coordinates uniform.
         let mut coords = [0.0f64; K];
@@ -422,12 +400,7 @@ impl Space for AnySpace {
         }
     }
 
-    fn sample_owner_in_division<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        j: usize,
-        d: usize,
-    ) -> usize {
+    fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
         match self {
             AnySpace::Uniform(s) => s.sample_owner_in_division(rng, j, d),
             AnySpace::Ring(s) => s.sample_owner_in_division(rng, j, d),
@@ -483,11 +456,10 @@ mod tests {
         let rates = hit_rates(&space, 200_000, 3);
         let total: f64 = (0..8).map(|i| space.region_size(i)).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        for i in 0..8 {
+        for (i, &rate) in rates.iter().enumerate() {
             assert!(
-                (rates[i] - space.region_size(i)).abs() < 0.01,
-                "server {i}: rate {} vs size {}",
-                rates[i],
+                (rate - space.region_size(i)).abs() < 0.01,
+                "server {i}: rate {rate} vs size {}",
                 space.region_size(i)
             );
         }
@@ -500,11 +472,10 @@ mod tests {
         let rates = hit_rates(&space, 200_000, 5);
         let total: f64 = (0..8).map(|i| space.region_size(i)).sum();
         assert!((total - 1.0).abs() < 1e-7);
-        for i in 0..8 {
+        for (i, &rate) in rates.iter().enumerate() {
             assert!(
-                (rates[i] - space.region_size(i)).abs() < 0.01,
-                "server {i}: rate {} vs size {}",
-                rates[i],
+                (rate - space.region_size(i)).abs() < 0.01,
+                "server {i}: rate {rate} vs size {}",
                 space.region_size(i)
             );
         }
@@ -552,10 +523,8 @@ mod tests {
         let mut rng = Xoshiro256pp::from_u64(9);
         // A 2-site torus split left/right at x=0.25 / 0.75: probes from
         // division 0 (x ∈ [0, 0.5)) should mostly hit site 0.
-        let sites = TorusSites::from_points(vec![
-            TorusPoint::new(0.25, 0.5),
-            TorusPoint::new(0.75, 0.5),
-        ]);
+        let sites =
+            TorusSites::from_points(vec![TorusPoint::new(0.25, 0.5), TorusPoint::new(0.75, 0.5)]);
         let space = TorusSpace::from_sites(sites);
         let mut hits0 = 0;
         for _ in 0..1000 {
@@ -601,12 +570,11 @@ mod tests {
         let rates = hit_rates(&space, 100_000, 21);
         let total: f64 = (0..8).map(|i| space.region_size(i)).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        for i in 0..8 {
+        for (i, &rate) in rates.iter().enumerate() {
             // Both are MC estimates; compare loosely.
             assert!(
-                (rates[i] - space.region_size(i)).abs() < 0.03,
-                "site {i}: rate {} vs volume {}",
-                rates[i],
+                (rate - space.region_size(i)).abs() < 0.03,
+                "site {i}: rate {rate} vs volume {}",
                 space.region_size(i)
             );
         }
@@ -622,10 +590,15 @@ mod tests {
         for seed in 0..10 {
             let mut rng = Xoshiro256pp::from_u64(400 + seed);
             let space = KdTorusSpace::<3>::random(n, &mut rng);
-            one_total += u64::from(run_trial(&space, &Strategy::one_choice(), n, &mut rng).max_load);
-            two_total += u64::from(run_trial(&space, &Strategy::two_choice(), n, &mut rng).max_load);
+            one_total +=
+                u64::from(run_trial(&space, &Strategy::one_choice(), n, &mut rng).max_load);
+            two_total +=
+                u64::from(run_trial(&space, &Strategy::two_choice(), n, &mut rng).max_load);
         }
-        assert!(two_total < one_total, "3-torus: d=2 {two_total} !< d=1 {one_total}");
+        assert!(
+            two_total < one_total,
+            "3-torus: d=2 {two_total} !< d=1 {one_total}"
+        );
     }
 
     #[test]

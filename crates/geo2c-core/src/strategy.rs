@@ -237,22 +237,19 @@ impl Strategy {
                 // Reservoir-sample uniformly among all tied candidates.
                 // `first` and `second` are already drawn; continue the scan.
                 let mut chosen = first;
-                let mut seen = 1usize;
-                for s in std::iter::once(second).chain(tied) {
-                    seen += 1;
-                    if rng.gen_range(0..seen) == 0 {
+                for (extra, s) in std::iter::once(second).chain(tied).enumerate() {
+                    // `extra + 2` candidates seen so far, counting `first`.
+                    if rng.gen_range(0..extra + 2) == 0 {
                         chosen = s;
                     }
                 }
                 chosen
             }
-            TieBreak::LowestIndex => {
-                std::iter::once(first)
-                    .chain(std::iter::once(second))
-                    .chain(tied)
-                    .min()
-                    .expect("nonempty")
-            }
+            TieBreak::LowestIndex => std::iter::once(first)
+                .chain(std::iter::once(second))
+                .chain(tied)
+                .min()
+                .expect("nonempty"),
             TieBreak::Leftmost => {
                 let mut best = first;
                 for s in std::iter::once(second).chain(tied) {
@@ -306,7 +303,10 @@ mod tests {
 
     #[test]
     fn tie_break_parsing() {
-        assert_eq!("arc-smaller".parse::<TieBreak>().unwrap(), TieBreak::SmallerRegion);
+        assert_eq!(
+            "arc-smaller".parse::<TieBreak>().unwrap(),
+            TieBreak::SmallerRegion
+        );
         assert_eq!("random".parse::<TieBreak>().unwrap(), TieBreak::Random);
         assert_eq!("arc-left".parse::<TieBreak>().unwrap(), TieBreak::Leftmost);
         assert!("bogus".parse::<TieBreak>().is_err());
@@ -419,10 +419,7 @@ mod tests {
     #[test]
     fn larger_region_is_opposite_of_smaller() {
         use geo2c_ring::{RingPartition, RingPoint};
-        let part = RingPartition::from_positions(vec![
-            RingPoint::new(0.0),
-            RingPoint::new(0.5),
-        ]);
+        let part = RingPartition::from_positions(vec![RingPoint::new(0.0), RingPoint::new(0.5)]);
         let space = RingSpace::with_ownership(part, geo2c_ring::Ownership::Successor);
         let loads = [0u32; 2];
         let mut rng = Xoshiro256pp::from_u64(6);

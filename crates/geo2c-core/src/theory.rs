@@ -294,7 +294,11 @@ mod tests {
         let s = fluid_limit_profile(1, 1.0, 5);
         assert!((s[0] - (1.0 - (-1.0f64).exp())).abs() < 1e-6, "{}", s[0]);
         // Poisson: s_2 = 1 − 2e^{−1}.
-        assert!((s[1] - (1.0 - 2.0 * (-1.0f64).exp())).abs() < 1e-6, "{}", s[1]);
+        assert!(
+            (s[1] - (1.0 - 2.0 * (-1.0f64).exp())).abs() < 1e-6,
+            "{}",
+            s[1]
+        );
     }
 
     #[test]

@@ -57,9 +57,7 @@ pub fn apply_churn(ring: &ChordRing, failed: &[bool]) -> (ChordRing, Vec<Option<
     }
     assert!(next > 0, "at least one node must survive");
     let pairs: Vec<(crate::id::NodeId, u32)> = (0..ring.num_virtual())
-        .filter_map(|v| {
-            remap[ring.physical_of(v)].map(|new_phys| (ring.id(v), new_phys))
-        })
+        .filter_map(|v| remap[ring.physical_of(v)].map(|new_phys| (ring.id(v), new_phys)))
         .collect();
     (ChordRing::from_pairs(pairs, next as usize), remap)
 }
@@ -194,14 +192,7 @@ mod tests {
         // Consistent hashing's minimal-disruption property: failing a
         // fraction f of nodes orphans ≈ f of the items.
         let mut rng = Xoshiro256pp::from_u64(3);
-        let report = churn_experiment(
-            256,
-            1,
-            PlacementPolicy::Consistent,
-            16_384,
-            0.25,
-            &mut rng,
-        );
+        let report = churn_experiment(256, 1, PlacementPolicy::Consistent, 16_384, 0.25, &mut rng);
         let frac = report.moved_items as f64 / 16_384.0;
         assert!(
             (frac - 0.25).abs() < 0.08,

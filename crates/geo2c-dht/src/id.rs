@@ -81,7 +81,9 @@ pub fn key_id(key: u64) -> NodeId {
 /// for lookups).
 #[must_use]
 pub fn hash_with_salt(key: u64, salt: u64) -> NodeId {
-    NodeId(mix(mix(key ^ 0xA076_1D64_78BD_642F) ^ mix(salt.wrapping_add(0x9E37_79B9))))
+    NodeId(mix(
+        mix(key ^ 0xA076_1D64_78BD_642F) ^ mix(salt.wrapping_add(0x9E37_79B9))
+    ))
 }
 
 #[cfg(test)]

@@ -235,10 +235,14 @@ mod tests {
         for _ in 0..5 {
             let ring = ChordRing::new(n, &mut rng);
             plain_total += u64::from(
-                evaluate(&ring, PlacementPolicy::Consistent, m, 0, &mut rng).load.max,
+                evaluate(&ring, PlacementPolicy::Consistent, m, 0, &mut rng)
+                    .load
+                    .max,
             );
             choice_total += u64::from(
-                evaluate(&ring, PlacementPolicy::DChoice { d: 2 }, m, 0, &mut rng).load.max,
+                evaluate(&ring, PlacementPolicy::DChoice { d: 2 }, m, 0, &mut rng)
+                    .load
+                    .max,
             );
         }
         assert!(
@@ -261,10 +265,14 @@ mod tests {
             let plain = ChordRing::new(n, &mut rng);
             let virt = ChordRing::with_virtual_servers(n, v, &mut rng);
             virt_total += u64::from(
-                evaluate(&virt, PlacementPolicy::Consistent, m, 0, &mut rng).load.max,
+                evaluate(&virt, PlacementPolicy::Consistent, m, 0, &mut rng)
+                    .load
+                    .max,
             );
             choice_total += u64::from(
-                evaluate(&plain, PlacementPolicy::DChoice { d: 2 }, m, 0, &mut rng).load.max,
+                evaluate(&plain, PlacementPolicy::DChoice { d: 2 }, m, 0, &mut rng)
+                    .load
+                    .max,
             );
         }
         assert!(
@@ -280,7 +288,13 @@ mod tests {
         // …we break ties by first-best, i.e. primary wins ties).
         let mut rng = Xoshiro256pp::from_u64(6);
         let ring = ChordRing::new(64, &mut rng);
-        let report = evaluate(&ring, PlacementPolicy::DChoice { d: 2 }, 2000, 500, &mut rng);
+        let report = evaluate(
+            &ring,
+            PlacementPolicy::DChoice { d: 2 },
+            2000,
+            500,
+            &mut rng,
+        );
         let frac = report.redirected_items as f64 / 2000.0;
         assert!(frac > 0.1 && frac < 0.6, "redirect fraction {frac}");
         let lookup = report.lookup.unwrap();
@@ -296,9 +310,15 @@ mod tests {
         let plain = evaluate(&ring, PlacementPolicy::Consistent, 1000, 1000, &mut rng)
             .lookup
             .unwrap();
-        let choice = evaluate(&ring, PlacementPolicy::DChoice { d: 2 }, 1000, 1000, &mut rng)
-            .lookup
-            .unwrap();
+        let choice = evaluate(
+            &ring,
+            PlacementPolicy::DChoice { d: 2 },
+            1000,
+            1000,
+            &mut rng,
+        )
+        .lookup
+        .unwrap();
         assert!(
             choice.mean_hops <= plain.mean_hops + 1.0 + 0.5,
             "choice {} vs plain {}",

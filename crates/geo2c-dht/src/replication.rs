@@ -100,7 +100,10 @@ pub fn place_replicated(
         }
         replica_sets.push(holders);
     }
-    ReplicatedPlacement { loads, replica_sets }
+    ReplicatedPlacement {
+        loads,
+        replica_sets,
+    }
 }
 
 /// Availability report after failing a random node subset.
@@ -160,8 +163,7 @@ mod tests {
         let mut rng = Xoshiro256pp::from_u64(2);
         let ring = ChordRing::new(32, &mut rng);
         for r in [2usize, 3] {
-            let placement =
-                place_replicated(&ring, PlacementPolicy::Consistent, 400, r);
+            let placement = place_replicated(&ring, PlacementPolicy::Consistent, 400, r);
             let total: u64 = placement.loads.iter().map(|&l| u64::from(l)).sum();
             assert_eq!(total, 400 * r as u64, "r={r}");
             // All replica sets have r distinct members.
@@ -220,7 +222,11 @@ mod tests {
         }
         assert!(avail[0] < avail[1] && avail[1] < avail[2], "{avail:?}");
         // r=1 loses ≈ the fail fraction (30%); r=4 loses ≈ 0.3⁴ ≈ 1%.
-        assert!((avail[0] - 0.7).abs() < 0.05, "r=1 availability {}", avail[0]);
+        assert!(
+            (avail[0] - 0.7).abs() < 0.05,
+            "r=1 availability {}",
+            avail[0]
+        );
         assert!(avail[2] > 0.97, "r=4 availability {}", avail[2]);
     }
 
@@ -234,9 +240,8 @@ mod tests {
         let mut choice_total = 0u64;
         for _ in 0..4 {
             let ring = ChordRing::new(n, &mut rng);
-            plain_total += u64::from(
-                place_replicated(&ring, PlacementPolicy::Consistent, m, r).max_load(),
-            );
+            plain_total +=
+                u64::from(place_replicated(&ring, PlacementPolicy::Consistent, m, r).max_load());
             choice_total += u64::from(
                 place_replicated(&ring, PlacementPolicy::DChoice { d: 2 }, m, r).max_load(),
             );

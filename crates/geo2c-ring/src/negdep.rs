@@ -166,12 +166,7 @@ pub fn negative_dependence_experiment(
 /// arc) is **size-biased** and has a strictly heavier tail,
 /// `≈ (1 + c) e^{−c}` instead of `e^{−c}`.
 #[must_use]
-pub fn marginal_self_check<R: Rng + ?Sized>(
-    n: usize,
-    c: f64,
-    trials: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn marginal_self_check<R: Rng + ?Sized>(n: usize, c: f64, trials: usize, rng: &mut R) -> f64 {
     let cutoff = c / n as f64;
     let mut hits = 0u64;
     for _ in 0..trials {
@@ -256,7 +251,12 @@ mod tests {
                 exact_marginal(256, row.c)
             );
             // k=1: joint is the marginal itself; ratio ≈ 1.
-            assert!((row.ratio - 1.0).abs() < 0.2, "c={}: ratio {}", row.c, row.ratio);
+            assert!(
+                (row.ratio - 1.0).abs() < 0.2,
+                "c={}: ratio {}",
+                row.c,
+                row.ratio
+            );
         }
     }
 
@@ -265,8 +265,7 @@ mod tests {
         // The lemma's content: ratio ≤ 1 (+ sampling noise; within-trial
         // group samples are correlated, so allow a few percent).
         let seeder = StreamSeeder::new(3);
-        let rows =
-            negative_dependence_experiment(512, &[1.0, 2.0], &[2, 3], 2500, &seeder, 2);
+        let rows = negative_dependence_experiment(512, &[1.0, 2.0], &[2, 3], 2500, &seeder, 2);
         for row in rows {
             assert!(
                 row.ratio <= 1.05,

@@ -48,8 +48,7 @@ impl RingPartition {
     #[must_use]
     pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
         assert!(n > 0, "a ring partition needs at least one server");
-        let mut positions: Vec<RingPoint> =
-            (0..n).map(|_| RingPoint::random(rng)).collect();
+        let mut positions: Vec<RingPoint> = (0..n).map(|_| RingPoint::random(rng)).collect();
         positions.sort();
         Self { positions }
     }
@@ -60,7 +59,10 @@ impl RingPartition {
     /// Panics if `positions` is empty.
     #[must_use]
     pub fn from_positions(mut positions: Vec<RingPoint>) -> Self {
-        assert!(!positions.is_empty(), "a ring partition needs at least one server");
+        assert!(
+            !positions.is_empty(),
+            "a ring partition needs at least one server"
+        );
         positions.sort();
         Self { positions }
     }
@@ -93,9 +95,7 @@ impl RingPartition {
     /// coordinate ≥ `p`, wrapping to server 0 past the top of the circle.
     #[must_use]
     pub fn successor_index(&self, p: RingPoint) -> usize {
-        let idx = self
-            .positions
-            .partition_point(|s| s.coord() < p.coord());
+        let idx = self.positions.partition_point(|s| s.coord() < p.coord());
         if idx == self.positions.len() {
             0
         } else {
@@ -230,10 +230,7 @@ mod tests {
         for n in [1usize, 2, 3, 17, 256] {
             let part = RingPartition::random(n, &mut rng);
             let total: f64 = part.arc_lengths().iter().sum();
-            assert!(
-                (total - 1.0).abs() < 1e-9,
-                "n={n}: arcs sum to {total}"
-            );
+            assert!((total - 1.0).abs() < 1e-9, "n={n}: arcs sum to {total}");
         }
     }
 
@@ -317,9 +314,9 @@ mod tests {
             for _ in 0..samples {
                 hits[part.owner(RingPoint::random(&mut rng), ownership)] += 1;
             }
-            for i in 0..part.len() {
+            for (i, &h) in hits.iter().enumerate() {
                 let expected = part.region_size(i, ownership);
-                let got = f64::from(hits[i]) / f64::from(samples);
+                let got = f64::from(h) / f64::from(samples);
                 assert!(
                     (got - expected).abs() < 0.01,
                     "{ownership:?} server {i}: size {expected} vs hit rate {got}"

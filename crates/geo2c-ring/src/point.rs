@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn ordering_is_by_coordinate() {
-        let mut pts = vec![
+        let mut pts = [
             RingPoint::new(0.9),
             RingPoint::new(0.1),
             RingPoint::new(0.5),

@@ -175,10 +175,7 @@ mod tests {
             let exact = expected_top_a_sum(n, a);
             let bound = crate::tail::lemma6_bound(n, a);
             let ratio = bound / exact;
-            assert!(
-                (1.3..=2.2).contains(&ratio),
-                "a={a}: bound/exact = {ratio}"
-            );
+            assert!((1.3..=2.2).contains(&ratio), "a={a}: bound/exact = {ratio}");
         }
     }
 

@@ -74,7 +74,10 @@ pub fn expected_long_arcs(n: usize, c: f64) -> f64 {
 /// Panics unless `1 ≤ a < n` (the ratio `ln(n/a)` must be positive).
 #[must_use]
 pub fn lemma6_bound(n: usize, a: usize) -> f64 {
-    assert!(a >= 1 && a < n, "lemma 6 requires 1 <= a < n, got a={a}, n={n}");
+    assert!(
+        a >= 1 && a < n,
+        "lemma 6 requires 1 <= a < n, got a={a}, n={n}"
+    );
     let (af, nf) = (a as f64, n as f64);
     2.0 * (af / nf) * (nf / af).ln()
 }
@@ -192,10 +195,7 @@ pub fn longest_arcs_experiment(
         for i in 0..max_size {
             prefix.push(prefix[i] + arcs[i]);
         }
-        sizes
-            .iter()
-            .map(|&a| prefix[a.min(max_size)])
-            .collect()
+        sizes.iter().map(|&a| prefix[a.min(max_size)]).collect()
     });
 
     sizes
@@ -285,7 +285,12 @@ mod tests {
                 row.expected
             );
             // The Chernoff threshold is ~2x the mean, so violations are rare.
-            assert!(row.violation_rate <= 0.1, "c={}: rate {}", row.c, row.violation_rate);
+            assert!(
+                row.violation_rate <= 0.1,
+                "c={}: rate {}",
+                row.c,
+                row.violation_rate
+            );
         }
         // Monotone: larger c means fewer long arcs.
         assert!(rows[0].mean_count > rows[1].mean_count);

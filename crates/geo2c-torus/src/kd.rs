@@ -170,8 +170,8 @@ impl<const K: usize> KdGrid<K> {
     pub fn nearest(&self, p: &KdPoint<K>, sites: &[KdPoint<K>]) -> usize {
         let g = self.g;
         let mut center = [0usize; 16];
-        for k in 0..K {
-            center[k] = ((p.coords[k] * g as f64) as usize).min(g - 1);
+        for (slot, &coord) in center.iter_mut().zip(&p.coords) {
+            *slot = ((coord * g as f64) as usize).min(g - 1);
         }
         let center = &center[..K];
 
@@ -416,7 +416,8 @@ mod tests {
         let sites = KdSites::<3>::random(16, &mut rng);
         let volumes = sites.mc_cell_volumes(50_000, &mut rng);
         let total: f64 = volumes.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9); // exact: fractions of samples
+        // Exact: volumes are fractions of the same sample set.
+        assert!((total - 1.0).abs() < 1e-9);
         // Every cell should get a roughly fair share (1/16 each ± spread).
         for (i, v) in volumes.iter().enumerate() {
             assert!(*v > 0.0, "cell {i} got no probes");

@@ -131,12 +131,12 @@ pub fn voronoi_tail_experiment(
                 let mut large = 0usize;
                 let mut z = 0usize;
                 let mut violations = 0u64;
-                for i in 0..n {
+                for (i, &area) in areas.iter().enumerate() {
                     let empty = has_empty_sector(&sites, i, c);
                     if empty {
                         z += 1;
                     }
-                    if areas[i] >= cutoff {
+                    if area >= cutoff {
                         large += 1;
                         if !empty {
                             violations += 1;
@@ -212,7 +212,8 @@ mod tests {
 
     #[test]
     fn occupancy_detects_placed_neighbours() {
-        let n_area = 16.0; // c = 16 with n = 4 sites → disc area 4/4… keep explicit
+        // c = 16 with n = 4 sites → disc area 4/4… keep explicit.
+        let n_area = 16.0;
         // Site 0 at centre; one neighbour in sector 0, one in sector 3.
         let sites = TorusSites::from_points(vec![
             TorusPoint::new(0.5, 0.5),
@@ -237,12 +238,11 @@ mod tests {
             let areas = sites.cell_areas();
             for c in [2.0, 4.0, 8.0] {
                 let cutoff = c / n as f64;
-                for i in 0..n {
-                    if areas[i] >= cutoff {
+                for (i, &area) in areas.iter().enumerate() {
+                    if area >= cutoff {
                         assert!(
                             has_empty_sector(&sites, i, c),
-                            "trial {trial}, c={c}, cell {i} area {} violates Lemma 8",
-                            areas[i]
+                            "trial {trial}, c={c}, cell {i} area {area} violates Lemma 8",
                         );
                     }
                 }

@@ -214,9 +214,7 @@ impl TorusSites {
         for _ in 0..samples {
             hits[self.owner(TorusPoint::random(rng))] += 1;
         }
-        hits.iter()
-            .map(|&h| h as f64 / samples as f64)
-            .collect()
+        hits.iter().map(|&h| h as f64 / samples as f64).collect()
     }
 
     /// The largest cell area (`Θ(log n / n)` w.h.p., per Section 3).
@@ -296,10 +294,8 @@ mod tests {
     #[test]
     fn two_sites_split_torus_in_half() {
         // Opposite sites: each cell is a half-torus band of area 1/2.
-        let sites = TorusSites::from_points(vec![
-            TorusPoint::new(0.25, 0.5),
-            TorusPoint::new(0.75, 0.5),
-        ]);
+        let sites =
+            TorusSites::from_points(vec![TorusPoint::new(0.25, 0.5), TorusPoint::new(0.75, 0.5)]);
         assert!((sites.cell_area(0) - 0.5).abs() < 1e-9);
         assert!((sites.cell_area(1) - 0.5).abs() < 1e-9);
     }
@@ -329,10 +325,7 @@ mod tests {
         for &n in &[2usize, 3, 10, 64, 257] {
             let sites = TorusSites::random(n, &mut rng);
             let total: f64 = sites.cell_areas().iter().sum();
-            assert!(
-                (total - 1.0).abs() < 1e-7,
-                "n={n}: areas sum to {total}"
-            );
+            assert!((total - 1.0).abs() < 1e-7, "n={n}: areas sum to {total}");
         }
     }
 
@@ -370,10 +363,7 @@ mod tests {
         let mc = sites.mc_cell_areas(200_000, &mut rng);
         for (i, (e, m)) in exact.iter().zip(&mc).enumerate() {
             // s.e. of a proportion at 2e5 samples is ≤ ~0.0012.
-            assert!(
-                (e - m).abs() < 0.01,
-                "cell {i}: exact {e} vs MC {m}"
-            );
+            assert!((e - m).abs() < 0.01, "cell {i}: exact {e} vs MC {m}");
         }
     }
 
@@ -485,10 +475,8 @@ mod tests {
 
     #[test]
     fn two_sites_neighbor_each_other() {
-        let sites = TorusSites::from_points(vec![
-            TorusPoint::new(0.2, 0.5),
-            TorusPoint::new(0.7, 0.5),
-        ]);
+        let sites =
+            TorusSites::from_points(vec![TorusPoint::new(0.2, 0.5), TorusPoint::new(0.7, 0.5)]);
         assert_eq!(sites.neighbors(0), vec![1]);
         assert_eq!(sites.neighbors(1), vec![0]);
     }

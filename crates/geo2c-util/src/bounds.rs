@@ -155,7 +155,10 @@ mod tests {
         assert_eq!(kl_divergence(0.3, 0.3), 0.0);
         assert!(kl_divergence(0.6, 0.3) > 0.0);
         assert_eq!(kl_divergence(0.5, 0.0), f64::INFINITY);
-        assert_eq!(kl_divergence(0.0, 0.5), (0.5f64).recip().ln() * 1.0 * 0.0 + (1.0f64 / 0.5).ln());
+        assert_eq!(
+            kl_divergence(0.0, 0.5),
+            (0.5f64).recip().ln() * 1.0 * 0.0 + (1.0f64 / 0.5).ln()
+        );
         // KL(0 || p) = ln(1/(1-p)).
         assert!((kl_divergence(0.0, 0.5) - (2.0f64).ln()).abs() < 1e-12);
     }

@@ -93,11 +93,7 @@ impl Counter {
         if self.total == 0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .counts
-            .iter()
-            .map(|(&v, &c)| v as f64 * c as f64)
-            .sum();
+        let sum: f64 = self.counts.iter().map(|(&v, &c)| v as f64 * c as f64).sum();
         sum / self.total as f64
     }
 

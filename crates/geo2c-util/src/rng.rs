@@ -63,6 +63,8 @@ impl SplitMix64 {
     }
 
     /// Returns the next 64-bit output and advances the counter.
+    // Deliberately named after the reference C API; this is not an Iterator.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
@@ -143,10 +145,7 @@ impl Xoshiro256pp {
     #[inline]
     fn step(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

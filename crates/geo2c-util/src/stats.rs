@@ -140,7 +140,10 @@ impl OrderStats {
     /// Creates a sample from a vector of observations.
     #[must_use]
     pub fn from_vec(data: Vec<f64>) -> Self {
-        Self { data, sorted: false }
+        Self {
+            data,
+            sorted: false,
+        }
     }
 
     /// Adds one observation.

@@ -56,9 +56,6 @@ impl TextTable {
                 for line in cell.lines() {
                     widths[i] = widths[i].max(line.chars().count());
                 }
-                if cell.is_empty() {
-                    widths[i] = widths[i].max(0);
-                }
             }
         };
         measure(&mut widths, &self.header);
@@ -76,10 +73,7 @@ impl TextTable {
             for li in 0..line_count {
                 let mut line_out = String::new();
                 for (ci, width) in widths.iter().enumerate() {
-                    let text = cells
-                        .get(ci)
-                        .and_then(|c| c.lines().nth(li))
-                        .unwrap_or("");
+                    let text = cells.get(ci).and_then(|c| c.lines().nth(li)).unwrap_or("");
                     let pad = width.saturating_sub(text.chars().count());
                     line_out.push_str(text);
                     line_out.push_str(&" ".repeat(pad));

@@ -78,7 +78,10 @@ fn main() {
         expected_top_a_sum(n, 64)
     );
 
-    println!("\nThe longest arc is ~ln n = {:.1} times the average — that is the", (n as f64).ln());
+    println!(
+        "\nThe longest arc is ~ln n = {:.1} times the average — that is the",
+        (n as f64).ln()
+    );
     println!("Θ(log n) imbalance of plain consistent hashing that two choices");
     println!("erase (Theorem 1), and the tail the paper's Lemmas 4-6 control.");
 }

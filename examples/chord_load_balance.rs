@@ -61,7 +61,13 @@ fn main() {
 
     // 3. Two choices: items hash twice, stored at the lighter owner, with
     //    a redirection pointer at the primary location.
-    let r = evaluate(&plain, PlacementPolicy::DChoice { d: 2 }, m, lookups, &mut rng);
+    let r = evaluate(
+        &plain,
+        PlacementPolicy::DChoice { d: 2 },
+        m,
+        lookups,
+        &mut rng,
+    );
     let l = r.lookup.as_ref().expect("lookups sampled");
     println!(
         "{:<18} {:>9} {:>9.2} {:>10.2} {:>11.1} {:>13}",

@@ -20,15 +20,24 @@ fn main() {
     let config = SweepConfig::new(100).with_seed(5);
 
     let policies = [
-        ("arc-larger", Strategy::with_tie_break(2, TieBreak::LargerRegion)),
+        (
+            "arc-larger",
+            Strategy::with_tie_break(2, TieBreak::LargerRegion),
+        ),
         ("arc-random", Strategy::with_tie_break(2, TieBreak::Random)),
         ("arc-left", Strategy::with_tie_break(2, TieBreak::Leftmost)),
-        ("arc-smaller", Strategy::with_tie_break(2, TieBreak::SmallerRegion)),
+        (
+            "arc-smaller",
+            Strategy::with_tie_break(2, TieBreak::SmallerRegion),
+        ),
         ("voecking", Strategy::voecking(2)),
     ];
 
-    println!("Random arcs, n = m = {n}, d = 2, {} trials\n", config.trials);
-    println!("{:<14} {:>10} {}", "tie-break", "mean max", "distribution");
+    println!(
+        "Random arcs, n = m = {n}, d = 2, {} trials\n",
+        config.trials
+    );
+    println!("{:<14} {:>10} distribution", "tie-break", "mean max");
     for (name, strategy) in policies {
         let cell = sweep_kind(SpaceKind::Ring, strategy, n, n, &config);
         println!(
@@ -38,7 +47,10 @@ fn main() {
         );
     }
 
-    println!("\ntheory: plain band ln ln n / ln 2 = {:.2};", two_choice_band(n, 2));
+    println!(
+        "\ntheory: plain band ln ln n / ln 2 = {:.2};",
+        two_choice_band(n, 2)
+    );
     println!(
         "voecking band ln ln n / (2 ln phi_2) = {:.2} (phi_2 = golden ratio).",
         voecking_band(n, 2)

@@ -67,10 +67,7 @@ fn grid_aligned_torus_sites() {
     let pts: Vec<TorusPoint> = (0..g)
         .flat_map(|i| {
             (0..g).map(move |j| {
-                TorusPoint::new(
-                    (i as f64 + 0.5) / g as f64,
-                    (j as f64 + 0.5) / g as f64,
-                )
+                TorusPoint::new((i as f64 + 0.5) / g as f64, (j as f64 + 0.5) / g as f64)
             })
         })
         .collect();
@@ -97,9 +94,7 @@ fn collinear_torus_sites() {
         let p = TorusPoint::random(&mut rng);
         let fast = sites.owner(p);
         let slow = sites.owner_brute(p);
-        assert!(
-            (p.dist2(sites.point(fast)) - p.dist2(sites.point(slow))).abs() < 1e-15
-        );
+        assert!((p.dist2(sites.point(fast)) - p.dist2(sites.point(slow))).abs() < 1e-15);
     }
     let total: f64 = sites.cell_areas().iter().sum();
     assert!((total - 1.0).abs() < 1e-9);
@@ -119,9 +114,7 @@ fn clustered_torus_space_full_trial() {
         let r = run_trial(&space, &strategy, 200, &mut rng);
         assert_eq!(r.total_balls(), 200, "{}", strategy.label());
     }
-    let total: f64 = (0..space.num_servers())
-        .map(|i| space.region_size(i))
-        .sum();
+    let total: f64 = (0..space.num_servers()).map(|i| space.region_size(i)).sum();
     assert!((total - 1.0).abs() < 1e-6, "areas sum to {total}");
 }
 
@@ -145,9 +138,8 @@ fn tiny_systems() {
 fn probes_on_exact_server_positions() {
     // A probe exactly at a server's coordinate belongs to that server
     // (closed-at-server convention) — exercised deliberately.
-    let part = RingPartition::from_positions(
-        (0..8).map(|i| RingPoint::new(i as f64 / 8.0)).collect(),
-    );
+    let part =
+        RingPartition::from_positions((0..8).map(|i| RingPoint::new(i as f64 / 8.0)).collect());
     for i in 0..8 {
         let owner = part.owner(RingPoint::new(i as f64 / 8.0), Ownership::Successor);
         assert_eq!(part.position(owner).coord(), i as f64 / 8.0);

@@ -53,10 +53,14 @@ fn dht_two_choice_flattens_load_across_seeds() {
         let mut rng = Xoshiro256pp::from_u64(seed);
         let ring = ChordRing::new(n, &mut rng);
         plain.push(f64::from(
-            evaluate(&ring, PlacementPolicy::Consistent, m, 0, &mut rng).load.max,
+            evaluate(&ring, PlacementPolicy::Consistent, m, 0, &mut rng)
+                .load
+                .max,
         ));
         choice.push(f64::from(
-            evaluate(&ring, PlacementPolicy::DChoice { d: 2 }, m, 0, &mut rng).load.max,
+            evaluate(&ring, PlacementPolicy::DChoice { d: 2 }, m, 0, &mut rng)
+                .load
+                .max,
         ));
     }
     assert!(
@@ -79,7 +83,13 @@ fn dht_placement_matches_abstract_simulation() {
     for seed in 0..10 {
         let mut rng = Xoshiro256pp::from_u64(100 + seed);
         let ring = ChordRing::new(n, &mut rng);
-        let report = evaluate(&ring, PlacementPolicy::DChoice { d: 2 }, m as u64, 0, &mut rng);
+        let report = evaluate(
+            &ring,
+            PlacementPolicy::DChoice { d: 2 },
+            m as u64,
+            0,
+            &mut rng,
+        );
         dht_stats.push(f64::from(report.load.max));
 
         let mut rng2 = Xoshiro256pp::from_u64(200 + seed);
@@ -112,16 +122,27 @@ fn three_schemes_ordering() {
         let ring1 = ChordRing::new(n, &mut rng);
         let ringv = ChordRing::with_virtual_servers(n, v, &mut rng);
         plain.push(f64::from(
-            evaluate(&ring1, PlacementPolicy::Consistent, m, 0, &mut rng).load.max,
+            evaluate(&ring1, PlacementPolicy::Consistent, m, 0, &mut rng)
+                .load
+                .max,
         ));
         virt.push(f64::from(
-            evaluate(&ringv, PlacementPolicy::Consistent, m, 0, &mut rng).load.max,
+            evaluate(&ringv, PlacementPolicy::Consistent, m, 0, &mut rng)
+                .load
+                .max,
         ));
         choice.push(f64::from(
-            evaluate(&ring1, PlacementPolicy::DChoice { d: 2 }, m, 0, &mut rng).load.max,
+            evaluate(&ring1, PlacementPolicy::DChoice { d: 2 }, m, 0, &mut rng)
+                .load
+                .max,
         ));
     }
-    assert!(virt.mean() < plain.mean(), "virtual {} !< plain {}", virt.mean(), plain.mean());
+    assert!(
+        virt.mean() < plain.mean(),
+        "virtual {} !< plain {}",
+        virt.mean(),
+        plain.mean()
+    );
     assert!(choice.mean() < plain.mean());
     // The paper's pitch: 2-choice at least matches virtual servers.
     assert!(

@@ -41,7 +41,10 @@ fn different_seeds_give_different_runs() {
     };
     let a = trial(1);
     let b = trial(2);
-    assert_ne!(a.loads, b.loads, "independent seeds produced identical load vectors");
+    assert_ne!(
+        a.loads, b.loads,
+        "independent seeds produced identical load vectors"
+    );
     assert_eq!(a.total_balls(), b.total_balls());
 }
 

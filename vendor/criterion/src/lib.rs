@@ -1,0 +1,257 @@
+//! Offline API-compatible subset of the `criterion` benchmarking crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of criterion that the `geo2c-bench` bench targets use:
+//! [`Criterion`], [`BenchmarkGroup`] (`sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `finish`), [`BenchmarkId`],
+//! [`Throughput`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up once,
+//! then timed over an adaptively chosen iteration count (doubling until the
+//! measurement window exceeds ~20 ms), and the mean ns/iter is printed with
+//! derived throughput when configured. There are no HTML reports, outlier
+//! analysis, or baseline comparisons — the goal is that `cargo bench`
+//! builds, runs, and prints honest wall-clock numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(20);
+
+/// The benchmark manager: entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().render(None), None, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sizing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim sizes measurement windows
+    /// adaptively instead of sampling a fixed count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used to derive rate figures.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().render(Some(&self.name)), self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.render(Some(&self.name)), self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name and an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: Some(name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Full `group/name/parameter` label.
+    fn render(&self, group: Option<&str>) -> String {
+        let mut out = String::new();
+        for part in [group, self.name.as_deref(), self.parameter.as_deref()]
+            .into_iter()
+            .flatten()
+        {
+            if !out.is_empty() {
+                out.push('/');
+            }
+            out.push_str(part);
+        }
+        out
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            name: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Units of work per iteration, used to derive rate figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine` (adaptively choosing the
+    /// iteration count) and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (and a correctness smoke run).
+        black_box(routine());
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_WINDOW || iters >= (1 << 24) {
+                self.iters_done = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+}
+
+/// Executes one benchmark and prints its result line.
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mut line = format!("bench: {label:<48}");
+    if bencher.iters_done == 0 {
+        line.push_str(" (no measurement — closure never called Bencher::iter)");
+        println!("{line}");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64;
+    let _ = write!(line, " {:>14.1} ns/iter", ns_per_iter);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns_per_iter / 1e9);
+            let _ = write!(line, " {:>14.0} elem/s", rate);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns_per_iter / 1e9);
+            let _ = write!(line, " {:>14.0} B/s", rate);
+        }
+        None => {}
+    }
+    let _ = write!(line, "  ({} iters)", bencher.iters_done);
+    println!("{line}");
+}
+
+/// Bundles bench functions into a callable group. Mirrors
+/// `criterion::criterion_group!` (both the plain and `name =`/`config =`
+/// forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups. Mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,75 @@
+//! Offline API-compatible subset of the `crossbeam` crate.
+//!
+//! The workspace uses exactly one crossbeam feature — [`scope`] — as the
+//! fork-join substrate of `geo2c_util::parallel::parallel_map`. Since
+//! Rust 1.63 the standard library ships scoped threads, so this shim
+//! implements the `crossbeam::scope` surface directly on
+//! [`std::thread::scope`]:
+//!
+//! * the scope closure receives a [`thread::Scope`] handle,
+//! * [`thread::Scope::spawn`] passes that handle to each worker closure
+//!   (crossbeam's nested-spawn convention), and
+//! * [`thread::ScopedJoinHandle::join`] returns a
+//!   [`std::thread::Result`], exactly like crossbeam's handle.
+//!
+//! One behavioural simplification: upstream `crossbeam::scope` returns
+//! `Err` when a spawned thread panicked without being joined. Here the
+//! standard library's scope propagates such panics directly (the caller in
+//! `geo2c-util` joins every handle and treats a worker panic as fatal
+//! either way).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+pub mod thread {
+    //! Scoped thread primitives mirroring `crossbeam::thread`.
+
+    /// A handle to a fork-join scope, passed to the [`scope`](super::scope)
+    /// closure and to every spawned worker.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a thread spawned inside a scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        pub(crate) inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The worker closure receives
+        /// the scope handle so it can spawn further workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = self.inner;
+            ScopedJoinHandle {
+                inner: scope.spawn(move || f(&Scope { inner: scope })),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+}
+
+/// Creates a fork-join scope: all threads spawned inside are joined before
+/// `scope` returns. Mirrors `crossbeam::scope`.
+///
+/// # Errors
+/// The `Result` wrapper exists for crossbeam signature compatibility; this
+/// implementation always returns `Ok` (worker panics propagate as panics).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&thread::Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&thread::Scope { inner: s })))
+}

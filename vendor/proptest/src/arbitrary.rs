@@ -1,0 +1,57 @@
+//! The [`any`] entry point: a canonical strategy per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+
+/// Returns the canonical strategy for `T` (full-domain uniform for the
+/// primitives implemented here). Mirrors `proptest::arbitrary::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical full-domain generator.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+ $(,)?) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform on `[0, 1)` — finite by construction (upstream generates
+    /// NaN/infinities too; the workspace's tests only use bounded ranges).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}

@@ -1,0 +1,28 @@
+//! Strategies for collections.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::Range;
+
+/// Generates a `Vec` whose length is uniform in `len` (half-open) and whose
+/// elements come from `element`. Mirrors `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty vec length range");
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.next_below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of proptest that the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (multiple `#[test] fn name(pat in strategy)`
+//!   items, each run for many generated cases);
+//! * the [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`]
+//!   assertion macros;
+//! * the [`strategy::Strategy`] trait with `prop_filter` and `prop_map`
+//!   adapters;
+//! * strategies for numeric ranges, tuples, [`collection::vec`], and
+//!   [`arbitrary::any`].
+//!
+//! ## Differences from upstream
+//!
+//! * **No shrinking.** A failing case panics with the generated values in
+//!   scope of the assertion message, but is not minimised.
+//! * **Deterministic by default.** Each test derives its RNG seed from the
+//!   test's name, so failures reproduce exactly across runs. Set
+//!   `PROPTEST_SEED` to explore a different part of the input space.
+//! * The number of cases per test is 128, or `PROPTEST_CASES` if set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace re-exports mirroring upstream's `prop::` convention
+/// (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The items a property test needs in scope, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` that generates [`test_runner::cases`] random inputs
+/// and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            __proptest_rng,
+                        );
+                    )+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure, like
+/// `assert!`; upstream's early-return semantics are not needed without
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}

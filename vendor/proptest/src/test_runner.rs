@@ -1,0 +1,82 @@
+//! The case loop and its deterministic RNG.
+
+/// Deterministic generator used to produce test cases (SplitMix64 — small,
+/// well distributed, and stable across platforms).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform index in `[0, bound)` (`bound > 0`), unbiased.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Number of generated cases per property test: `PROPTEST_CASES` if set,
+/// otherwise 128.
+#[must_use]
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// FNV-1a hash of the test name, used as the default seed so each test
+/// explores its own (reproducible) stream.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `body` for [`cases`] generated cases. The seed is derived from the
+/// test name, or taken from `PROPTEST_SEED` if set.
+pub fn run<F: FnMut(&mut TestRng)>(name: &str, mut body: F) {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or_else(|| name_seed(name), |s: u64| s ^ name_seed(name));
+    let mut rng = TestRng::new(seed);
+    for _ in 0..cases() {
+        body(&mut rng);
+    }
+}

@@ -1,0 +1,182 @@
+//! Sampling distributions: the [`Standard`] distribution behind
+//! `Rng::gen` and the uniform-range machinery behind `Rng::gen_range`.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`. Mirrors
+/// `rand::distributions::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng` as the entropy source.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution for each primitive type: uniform over the
+/// whole domain for integers and `bool`, uniform on `[0, 1)` for floats.
+/// Mirrors `rand::distributions::Standard`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),+ $(,)?) => {
+        $(
+            impl Distribution<$t> for Standard {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )+
+    };
+}
+
+standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream uses the sign bit of one 32-bit draw.
+        (rng.next_u32() >> 31) == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform on `[0, 1)` with 53-bit resolution — the
+    /// `(x >> 11) * 2^-53` construction used by upstream `rand` and by the
+    /// xoshiro reference implementation.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform on `[0, 1)` with 24-bit resolution.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges (the engine behind `Rng::gen_range`).
+
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A range that can produce uniformly distributed samples of `T`.
+    /// Mirrors `rand::distributions::uniform::SampleRange`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Returns an unbiased uniform draw from `[0, span)` (`span > 0`) by
+    /// rejection sampling on the top of the 64-bit space.
+    #[inline]
+    fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span.is_power_of_two() {
+            return rng.next_u64() & (span - 1);
+        }
+        // Reject draws from the final partial block so every residue is
+        // equally likely. The rejection zone is < span (< 2^-11 of draws
+        // for every span the workspace uses).
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    macro_rules! range_int {
+        ($($t:ty as $wide:ty),+ $(,)?) => {
+            $(
+                impl SampleRange<$t> for Range<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                        self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+                    }
+                }
+
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+                    }
+                }
+            )+
+        };
+    }
+
+    range_int!(
+        u8 as u64,
+        u16 as u64,
+        u32 as u64,
+        u64 as u64,
+        usize as u64,
+        i8 as i64,
+        i16 as i64,
+        i32 as i64,
+        i64 as i64,
+        isize as i64,
+    );
+
+    macro_rules! range_float {
+        ($($t:ty, $unit:expr),+ $(,)?) => {
+            $(
+                impl SampleRange<$t> for Range<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let u = $unit(rng);
+                        self.start + (self.end - self.start) * u
+                    }
+                }
+            )+
+        };
+    }
+
+    range_float!(
+        f64,
+        (|rng: &mut R| (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)),
+        f32,
+        (|rng: &mut R| (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)),
+    );
+}

@@ -1,0 +1,179 @@
+//! Offline API-compatible subset of the `rand` crate (0.8-era surface).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate re-implements exactly the slice of `rand`'s API that the
+//! workspace uses: [`RngCore`], [`SeedableRng`], the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`, `sample`), the [`distributions`]
+//! machinery behind them, and [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! Semantics match `rand 0.8` where the workspace depends on them:
+//!
+//! * `gen::<f64>()` draws from `[0, 1)` using the high 53 bits of one
+//!   `next_u64` call (`Standard` distribution);
+//! * `gen_range(lo..hi)` over integers is unbiased (rejection sampling);
+//! * `shuffle` is a Fisher–Yates shuffle driven by `gen_range`.
+//!
+//! The concrete generators themselves live in `geo2c-util::rng` (the
+//! workspace pins its own SplitMix64 / xoshiro256++), so nothing here
+//! affects reproducibility of the experiments — this crate only supplies
+//! the trait plumbing and distribution adapters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod seq;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// Error type reported by fallible RNG operations.
+///
+/// The in-tree generators are infallible, so this error is never produced;
+/// it exists so that `RngCore::try_fill_bytes` keeps the upstream signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw 32/64-bit output and byte
+/// filling. Mirrors `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure as an [`Error`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+/// Mirrors `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size byte seed.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it through SplitMix64
+    /// exactly as upstream `rand` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion (Steele, Lea & Flood), the upstream default.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods layered over [`RngCore`]. Mirrors
+/// `rand::Rng` and is blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        let v: f64 = Standard.sample(self);
+        v < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Fills `dest` with random bytes (alias of [`RngCore::fill_bytes`]).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

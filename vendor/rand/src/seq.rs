@@ -1,0 +1,41 @@
+//! Sequence-related random operations, mirroring `rand::seq`.
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices: shuffling and random element selection.
+/// Mirrors `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type of the sequence.
+    type Item;
+
+    /// Shuffles the sequence in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = gen_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, self.len())])
+        }
+    }
+}
+
+/// Unbiased index draw in `[0, bound)`, matching `Rng::gen_range`.
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    use crate::distributions::uniform::SampleRange;
+    (0..bound).sample_single(rng)
+}
