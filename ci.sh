@@ -24,4 +24,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 say "benches compile"
 cargo bench -p geo2c-bench --no-run
 
+say "table expectations (quick scale vs results/quick/, statistical tolerance)"
+cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check
+
+say "table expectations (reference scale vs results/ + EXPERIMENTS.md; ~1 min single-core)"
+cargo run --release -q -p geo2c-bench --bin run_tables -- --check
+
 say "all green"

@@ -9,16 +9,17 @@
 //! remark about maintaining reliability.
 //!
 //! ```text
-//! cargo run --release -p geo2c-bench --bin churn [--trials T] [--max-exp K]
+//! cargo run --release -p geo2c-bench --bin churn [--trials T] [--max-exp K] [--json PATH]
 //! ```
 
 use geo2c_bench::{banner, pow2_label, Cli};
 use geo2c_dht::churn::churn_experiment;
 use geo2c_dht::placement::PlacementPolicy;
+use geo2c_report::markdown::render_text;
+use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_util::parallel::parallel_map;
 use geo2c_util::rng::StreamSeeder;
 use geo2c_util::stats::RunningStats;
-use geo2c_util::table::TextTable;
 
 fn main() {
     let cli = Cli::parse(20, (10, 10), 12);
@@ -30,13 +31,14 @@ fn main() {
     let m = (16 * n) as u64;
     let seeder = StreamSeeder::new(cli.seed).child("churn");
 
-    let mut t = TextTable::new([
-        "scheme",
-        "fail %",
-        "max before",
-        "max after",
-        "moved items %",
-    ]);
+    let spec = ExperimentSpec::new("churn", "E16: node failures and re-placement")
+        .paper_ref("conclusion (reliability)")
+        .trials(cli.trials)
+        .seed(cli.seed)
+        .param("nodes", Json::from_usize(n))
+        .param("items", Json::from_u64(m));
+    let mut result = ExperimentResult::new(spec);
+
     for (name, policy, v) in [
         ("consistent", PlacementPolicy::Consistent, 1usize),
         (
@@ -64,19 +66,21 @@ fn main() {
                 after.push(a);
                 moved.push(mv);
             }
-            t.push_row([
-                name.to_string(),
-                format!("{:.0}", fail * 100.0),
-                format!("{:.1}", before.mean()),
-                format!("{:.1}", after.mean()),
-                format!("{:.1}", 100.0 * moved.mean()),
-            ]);
+            result.push(
+                Cell::new()
+                    .coord("scheme", Json::str(name))
+                    .coord("fail_pct", Json::num(fail * 100.0))
+                    .metric("max_before", Json::num(before.mean()))
+                    .metric("max_after", Json::num(after.mean()))
+                    .metric("moved_pct", Json::num(100.0 * moved.mean())),
+            );
         }
-        println!("--- {name} done ---");
+        eprintln!("--- {name} done ---");
     }
-    println!("{t}");
+    println!("{}", render_text(&result));
+    cli.write_results(std::slice::from_ref(&result));
     println!(
-        "n = {} nodes, m = {m} items. Every scheme moves ~fail%% of the items",
+        "n = {} nodes, m = {m} items. Every scheme moves ~fail% of the items",
         pow2_label(n)
     );
     println!("(minimal disruption); the schemes differ in post-churn balance.");

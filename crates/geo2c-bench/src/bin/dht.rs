@@ -7,16 +7,17 @@
 //! lookup-hop cost of each configuration.
 //!
 //! ```text
-//! cargo run -p geo2c-bench --release --bin dht [--trials T] [--max-exp K]
+//! cargo run -p geo2c-bench --release --bin dht [--trials T] [--max-exp K] [--json PATH]
 //! ```
 
 use geo2c_bench::{banner, pow2_label, Cli};
 use geo2c_dht::chord::ChordRing;
 use geo2c_dht::placement::{evaluate, PlacementPolicy};
+use geo2c_report::markdown::render_text;
+use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_util::parallel::parallel_map;
 use geo2c_util::rng::StreamSeeder;
 use geo2c_util::stats::RunningStats;
-use geo2c_util::table::TextTable;
 
 struct Config {
     name: &'static str,
@@ -55,16 +56,17 @@ fn main() {
         },
     ];
 
+    let spec = ExperimentSpec::new("dht", "E11: Chord DHT load balance by placement scheme")
+        .paper_ref("§1.1")
+        .trials(cli.trials)
+        .seed(cli.seed)
+        .param("nodes", Json::from_usize(n))
+        .param("items", Json::from_u64(m))
+        .param("virtual_servers", Json::from_usize(v))
+        .param("lookup_samples", Json::from_usize(lookup_samples));
+    let mut result = ExperimentResult::new(spec);
+
     let seeder = StreamSeeder::new(cli.seed).child("dht");
-    let mut t = TextTable::new([
-        "scheme",
-        "max load (mean over trials)",
-        "load sigma",
-        "mean hops",
-        "max hops",
-        "redirect %",
-        "state/node",
-    ]);
     for config in &configs {
         // Each trial: fresh ring + placement + sampled lookups.
         let rows: Vec<(f64, f64, f64, u32, f64)> = parallel_map(cli.trials, cli.threads, |trial| {
@@ -94,18 +96,20 @@ fn main() {
         }
         // Finger-table state per physical node: 64 entries per virtual node.
         let state = config.virtual_servers * 64;
-        t.push_row([
-            config.name.to_string(),
-            format!("{:.1}", max_load.mean()),
-            format!("{:.2}", sigma.mean()),
-            format!("{:.2}", hops.mean()),
-            max_hops.to_string(),
-            format!("{:.1}", 100.0 * redirect.mean()),
-            format!("{state} fingers"),
-        ]);
-        println!("--- {} done ---", config.name);
+        result.push(
+            Cell::new()
+                .coord("scheme", Json::str(config.name))
+                .metric("max_load_mean", Json::num(max_load.mean()))
+                .metric("load_sigma", Json::num(sigma.mean()))
+                .metric("mean_hops", Json::num(hops.mean()))
+                .metric("max_hops", Json::num(max_hops))
+                .metric("redirect_pct", Json::num(100.0 * redirect.mean()))
+                .metric("fingers_per_node", Json::from_usize(state)),
+        );
+        eprintln!("--- {} done ---", config.name);
     }
-    println!("{t}");
+    println!("{}", render_text(&result));
+    cli.write_results(std::slice::from_ref(&result));
     println!(
         "n = {} physical nodes, m = {m} items, v = {v} virtual servers.",
         pow2_label(n)

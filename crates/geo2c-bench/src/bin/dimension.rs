@@ -2,63 +2,39 @@
 //!
 //! The paper proves Theorem 1 for the ring and the 2-D torus and remarks
 //! that the argument (via the sector construction of Lemma 8) extends to
-//! any constant dimension. This binary runs the allocation process on the
-//! `K`-torus for `K = 1, 2, 3, 4` at fixed `n` and reports the max-load
-//! distribution: the `d ≥ 2` columns should be essentially flat in `K`.
+//! any constant dimension. This binary sweeps the number of choices
+//! `d ∈ {1} ∪ {2..8}` on the `K`-torus for `K ∈ {3, 4}` at fixed `n`
+//! (the ROADMAP's "`d > 2` sweeps" item): the rows chart the diminishing
+//! returns of extra choices, and each `d ≥ 2` row should be essentially
+//! flat across `K` because the `log log n / log d` bound is
+//! dimension-free. Pass `--json PATH` to persist the run (committed
+//! expectations: `results/dimension.json`, rendered in `EXPERIMENTS.md`).
 //!
 //! ```text
-//! cargo run --release -p geo2c-bench --bin dimension [--trials T]
+//! cargo run --release -p geo2c-bench --bin dimension [--trials T] [--json PATH]
 //! ```
 
+use geo2c_bench::experiments;
 use geo2c_bench::{banner, pow2_label, Cli};
-use geo2c_core::experiment::{sweep_max_load, SweepConfig};
-use geo2c_core::space::KdTorusSpace;
-use geo2c_core::strategy::Strategy;
-use geo2c_util::rng::Xoshiro256pp;
-use geo2c_util::table::TextTable;
-
-fn cell_text<const K: usize>(n: usize, d: usize, config: &SweepConfig) -> (String, f64) {
-    let label = format!("dim{K}/n{n}/d{d}");
-    let cell = sweep_max_load(
-        move |rng: &mut Xoshiro256pp| KdTorusSpace::<K>::random(n, rng),
-        Strategy::d_choice(d),
-        n,
-        n,
-        &label,
-        config,
-    );
-    (cell.distribution.paper_style(), cell.stats.mean())
-}
+use geo2c_report::markdown::render_text_pivot;
 
 fn main() {
     let cli = Cli::parse(50, (12, 12), 14);
-    banner("E13: max load on the K-torus (m = n), by dimension", &cli);
-    let config = cli.sweep_config();
+    banner(
+        "E13: max load on the K-torus (m = n), d = 1..8, K = 3, 4",
+        &cli,
+    );
     let n = 1usize << cli.max_exp;
 
-    let mut t = TextTable::new(["K", "d=1 mean", "d=2 mean", "d=2 distribution"]);
-    macro_rules! row {
-        ($k:literal) => {{
-            let (_, m1) = cell_text::<$k>(n, 1, &config);
-            let (dist2, m2) = cell_text::<$k>(n, 2, &config);
-            t.push_row([
-                $k.to_string(),
-                format!("{m1:.2}"),
-                format!("{m2:.2}"),
-                dist2,
-            ]);
-            println!("--- K = {} done ---", $k);
-        }};
-    }
-    row!(1);
-    row!(2);
-    row!(3);
-    row!(4);
-    println!("{t}");
+    let result = experiments::dimension(n, &cli.sweep_config());
+    println!("{}", render_text_pivot(&result, "d", "K"));
+    cli.write_results(std::slice::from_ref(&result));
+
     println!(
-        "n = {}. Expect the d=2 column flat across K: the two-choices bound",
+        "n = {}. Expect each d >= 2 row flat across K: the two-choices bound",
         pow2_label(n)
     );
     println!("log log n / log d + O(1) is dimension-free (only the region-size");
-    println!("tail constants change with K).");
+    println!("tail constants change with K), and successive d rows show the");
+    println!("paper's diminishing returns.");
 }

@@ -6,7 +6,7 @@
 //! reports mean max load, the `m/n` floor, and the measured slack.
 //!
 //! ```text
-//! cargo run -p geo2c-bench --release --bin heavy [--max-exp K]
+//! cargo run -p geo2c-bench --release --bin heavy [--max-exp K] [--json PATH]
 //! ```
 
 use geo2c_bench::{banner, pow2_label, Cli};
@@ -14,7 +14,8 @@ use geo2c_core::experiment::heavy_load_sweep;
 use geo2c_core::space::SpaceKind;
 use geo2c_core::strategy::Strategy;
 use geo2c_core::theory::two_choice_band;
-use geo2c_util::table::TextTable;
+use geo2c_report::markdown::render_text;
+use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 
 fn main() {
     let cli = Cli::parse(100, (12, 12), 16);
@@ -23,28 +24,35 @@ fn main() {
     let n = 1usize << cli.max_exp;
     let ms = [n / 4, n, 4 * n, 16 * n];
 
-    let mut t = TextTable::new([
-        "space",
-        "m",
-        "m/n",
-        "mean max",
-        "slack (max - m/n)",
-        "distribution",
-    ]);
+    let spec = ExperimentSpec::new("heavy", "E9: heavily-loaded case (m != n, d = 2)")
+        .paper_ref("§2 remark 3")
+        .trials(cli.trials)
+        .seed(cli.seed)
+        .param("n", Json::from_usize(n))
+        .param("d", Json::from_usize(2))
+        .param(
+            "m",
+            Json::Arr(ms.iter().map(|&m| Json::from_usize(m)).collect()),
+        );
+    let mut result = ExperimentResult::new(spec);
+
     for kind in [SpaceKind::Uniform, SpaceKind::Ring] {
         let rows = heavy_load_sweep(kind, Strategy::two_choice(), n, &ms, &config);
         for row in rows {
-            t.push_row([
-                kind.name().to_string(),
-                row.m.to_string(),
-                format!("{:.2}", row.average_load),
-                format!("{:.2}", row.mean_max),
-                format!("{:.2}", row.mean_max - row.average_load),
-                row.distribution.paper_style(),
-            ]);
+            result.push(
+                Cell::new()
+                    .coord("space", Json::str(kind.name()))
+                    .coord("m", Json::from_usize(row.m))
+                    .metric("m_over_n", Json::num(row.average_load))
+                    .metric("mean_max", Json::num(row.mean_max))
+                    .metric("slack", Json::num(row.mean_max - row.average_load))
+                    .dist(row.distribution),
+            );
         }
+        eprintln!("--- {} done ---", kind.name());
     }
-    println!("{t}");
+    println!("{}", render_text(&result));
+    cli.write_results(std::slice::from_ref(&result));
     println!(
         "n = {}; additive band log log n / log 2 = {:.2}. Expect slack to stay",
         pow2_label(n),

@@ -6,38 +6,39 @@
 //!   (martingale).
 //! * **Lemma 6 (E6)** — sum of the `a` longest arcs versus
 //!   `2(a/n) ln(n/a)`; plus the single longest arc versus `4 ln n / n`.
+//! * **Lemma 3** — negative dependence of the long-arc indicators.
 //! * **Lemma 8 (E4)** — every Voronoi cell of area ≥ `c/n` must have an
 //!   empty sector (violation count must be exactly 0).
 //! * **Lemma 9 (E7)** — tail of the number of Voronoi cells of area
 //!   ≥ `c/n` versus the `12 n e^{−c/6}` threshold, and the sector count
 //!   `Z` versus its expectation `6n(1 − c/6n)^{n−1}`.
 //!
+//! Each lemma is one declared experiment; `--json PATH` persists all of
+//! them in a single `ResultSet`.
+//!
 //! ```text
-//! cargo run -p geo2c-bench --release --bin lemmas [--trials T] [--seed S]
+//! cargo run -p geo2c-bench --release --bin lemmas [--trials T] [--seed S] [--json PATH]
 //! ```
 
 use geo2c_bench::{banner, pow2_label, Cli};
+use geo2c_report::markdown::render_text;
+use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_ring::tail;
 use geo2c_torus::sector;
 use geo2c_util::rng::StreamSeeder;
-use geo2c_util::table::TextTable;
 
 fn main() {
     let cli = Cli::parse(200, (14, 14), 16);
     banner(
-        "Lemma validations (arcs: Lemmas 4-6; Voronoi: Lemmas 8-9)",
+        "Lemma validations (arcs: Lemmas 3-6; Voronoi: Lemmas 8-9)",
         &cli,
     );
     let seeder = StreamSeeder::new(cli.seed);
+    let mut results: Vec<ExperimentResult> = Vec::new();
 
     // ---- Lemmas 4/5: long-arc count tails --------------------------------
     let n_ring = 1usize << cli.max_exp;
     let cs = [2.0, 3.0, 4.0, 6.0, 8.0, 10.0];
-    println!(
-        "Lemma 4/5: #arcs with length >= c/n, ring n = {} ({} trials)",
-        pow2_label(n_ring),
-        cli.trials
-    );
     let rows = tail::long_arc_tail_experiment(
         n_ring,
         &cs,
@@ -45,29 +46,27 @@ fn main() {
         &seeder.child("lemma4"),
         cli.threads,
     );
-    let mut t = TextTable::new([
-        "c",
-        "E[N_c]",
-        "mean N_c",
-        "max N_c",
-        "threshold 2ne^-c",
-        "P(viol) obs",
-        "L4 bound",
-        "L5 bound",
-    ]);
+    let spec = ExperimentSpec::new("lemma4_5", "Lemmas 4/5: long-arc count tail on the ring")
+        .paper_ref("Lemmas 4 and 5")
+        .trials(cli.trials)
+        .seed(cli.seed)
+        .param("n", Json::from_usize(n_ring))
+        .param("threshold", Json::str("N_c >= 2 n e^-c"));
+    let mut result = ExperimentResult::new(spec);
     for r in &rows {
-        t.push_row([
-            format!("{:.0}", r.c),
-            format!("{:.1}", r.expected),
-            format!("{:.1}", r.mean_count),
-            format!("{:.0}", r.max_count),
-            format!("{:.1}", r.threshold),
-            format!("{:.4}", r.violation_rate),
-            format!("{:.2e}", r.lemma4_bound),
-            format!("{:.2e}", r.lemma5_bound),
-        ]);
+        result.push(
+            Cell::new()
+                .coord("c", Json::num(r.c))
+                .metric("expected_count", Json::num(r.expected))
+                .metric("mean_count", Json::num(r.mean_count))
+                .metric("max_count", Json::num(r.max_count))
+                .metric("threshold", Json::num(r.threshold))
+                .metric("violation_rate", Json::num(r.violation_rate))
+                .metric("lemma4_bound", Json::num(r.lemma4_bound))
+                .metric("lemma5_bound", Json::num(r.lemma5_bound)),
+        );
     }
-    println!("{t}");
+    results.push(result);
 
     // ---- Lemma 6: sum of the a longest arcs ------------------------------
     let lnn = (n_ring as f64).ln();
@@ -82,10 +81,6 @@ fn main() {
     sizes.sort_unstable();
     sizes.dedup();
     // The a = 1 row uses the 4 ln n / n single-arc bound; keep it first.
-    let sizes = sizes;
-    println!(
-        "Lemma 6: sum of the a longest arcs vs 2(a/n)ln(n/a)  (a=1 row: longest arc vs 4 ln n/n)"
-    );
     let rows = tail::longest_arcs_experiment(
         n_ring,
         &sizes,
@@ -93,37 +88,32 @@ fn main() {
         &seeder.child("lemma6"),
         cli.threads,
     );
-    let mut t = TextTable::new([
-        "a",
-        "bound",
-        "exact E[sum]",
-        "mean sum",
-        "max sum",
-        "P(viol) obs",
-    ]);
+    let spec = ExperimentSpec::new("lemma6", "Lemma 6: sum of the a longest arcs")
+        .paper_ref("Lemma 6")
+        .trials(cli.trials)
+        .seed(cli.seed)
+        .param("n", Json::from_usize(n_ring))
+        .param("bound", Json::str("2 (a/n) ln(n/a); a = 1 row: 4 ln n / n"));
+    let mut result = ExperimentResult::new(spec);
     for r in &rows {
         // Exact expectation from the Rényi spacings representation — shows
         // how much slack the paper's bound carries (≈ 2x).
         let exact = geo2c_ring::spacings::expected_top_a_sum(n_ring, r.a);
-        t.push_row([
-            r.a.to_string(),
-            format!("{:.5}", r.bound),
-            format!("{:.5}", exact),
-            format!("{:.5}", r.mean_sum),
-            format!("{:.5}", r.max_sum),
-            format!("{:.4}", r.violation_rate),
-        ]);
+        result.push(
+            Cell::new()
+                .coord("a", Json::from_usize(r.a))
+                .metric("bound", Json::num(r.bound))
+                .metric("exact_expected_sum", Json::num(exact))
+                .metric("mean_sum", Json::num(r.mean_sum))
+                .metric("max_sum", Json::num(r.max_sum))
+                .metric("violation_rate", Json::num(r.violation_rate)),
+        );
     }
-    println!("{t}");
+    results.push(result);
 
     // ---- Lemma 3: negative dependence of long-arc indicators -------------
     let n_nd = 1usize << cli.max_exp.min(10);
     let nd_trials = (cli.trials * 10).max(1000);
-    println!(
-        "Lemma 3: negative dependence E[Z_1..Z_k] <= E[Z]^k, ring n = {} ({} trials)",
-        pow2_label(n_nd),
-        nd_trials
-    );
     let rows = geo2c_ring::negdep::negative_dependence_experiment(
         n_nd,
         &[1.0, 2.0, 3.0],
@@ -132,18 +122,28 @@ fn main() {
         &seeder.child("lemma3"),
         cli.threads,
     );
-    let mut t = TextTable::new(["c", "k", "E[Z]^k", "joint obs", "ratio (<=1)", "samples"]);
+    let spec = ExperimentSpec::new(
+        "lemma3",
+        "Lemma 3: negative dependence of long-arc indicators",
+    )
+    .paper_ref("Lemma 3")
+    .trials(nd_trials)
+    .seed(cli.seed)
+    .param("n", Json::from_usize(n_nd))
+    .param("claim", Json::str("E[Z_1..Z_k] <= E[Z]^k"));
+    let mut result = ExperimentResult::new(spec);
     for r in &rows {
-        t.push_row([
-            format!("{:.0}", r.c),
-            r.k.to_string(),
-            format!("{:.5}", r.product_of_marginals),
-            format!("{:.5}", r.joint),
-            format!("{:.3}", r.ratio),
-            r.samples.to_string(),
-        ]);
+        result.push(
+            Cell::new()
+                .coord("c", Json::num(r.c))
+                .coord("k", Json::from_usize(r.k))
+                .metric("marginal_product", Json::num(r.product_of_marginals))
+                .metric("joint_observed", Json::num(r.joint))
+                .metric("ratio", Json::num(r.ratio))
+                .metric("samples", Json::from_u64(r.samples)),
+        );
     }
-    println!("{t}");
+    results.push(result);
 
     // ---- Lemmas 8/9: Voronoi cell-area tails -----------------------------
     // The formal Lemma 9 range is 12 ≤ c ≤ ln n, but the empirical tail is
@@ -152,11 +152,6 @@ fn main() {
     let n_torus = 1usize << cli.max_exp.min(12);
     let torus_trials = cli.trials.min(100);
     let cs9 = [2.0, 3.0, 4.0, 6.0, 12.0, (n_torus as f64).ln()];
-    println!(
-        "Lemma 8/9: #Voronoi cells with area >= c/n, torus n = {} ({} trials)",
-        pow2_label(n_torus),
-        torus_trials
-    );
     let rows = sector::voronoi_tail_experiment(
         n_torus,
         &cs9,
@@ -164,28 +159,45 @@ fn main() {
         &seeder.child("lemma9"),
         cli.threads,
     );
-    let mut t = TextTable::new([
-        "c",
-        "E[Z]",
-        "mean Z",
-        "mean #large",
-        "threshold 12ne^-c/6",
-        "P(viol) obs",
-        "Lemma8 violations",
-    ]);
+    let spec = ExperimentSpec::new(
+        "lemma8_9",
+        "Lemmas 8/9: Voronoi cell-area tail on the torus",
+    )
+    .paper_ref("Lemmas 8 and 9")
+    .trials(torus_trials)
+    .seed(cli.seed)
+    .param("n", Json::from_usize(n_torus))
+    .param(
+        "threshold",
+        Json::str("#cells(area >= c/n) vs 12 n e^{-c/6}"),
+    );
+    let mut result = ExperimentResult::new(spec);
     for r in &rows {
-        t.push_row([
-            format!("{:.1}", r.c),
-            format!("{:.1}", r.expected_z),
-            format!("{:.1}", r.mean_z),
-            format!("{:.1}", r.mean_large_cells),
-            format!("{:.1}", r.threshold),
-            format!("{:.4}", r.violation_rate),
-            r.lemma8_violations.to_string(),
-        ]);
+        result.push(
+            Cell::new()
+                .coord("c", Json::num(r.c))
+                .metric("expected_z", Json::num(r.expected_z))
+                .metric("mean_z", Json::num(r.mean_z))
+                .metric("mean_large_cells", Json::num(r.mean_large_cells))
+                .metric("threshold", Json::num(r.threshold))
+                .metric("violation_rate", Json::num(r.violation_rate))
+                .metric("lemma8_violations", Json::from_u64(r.lemma8_violations)),
+        );
     }
-    println!("{t}");
     let total_l8: u64 = rows.iter().map(|r| r.lemma8_violations).sum();
+    results.push(result);
+
+    for result in &results {
+        let n = result
+            .spec
+            .params
+            .iter()
+            .find(|(k, _)| k == "n")
+            .and_then(|(_, v)| v.as_usize())
+            .unwrap_or(0);
+        println!("{}(n = {})\n", render_text(result), pow2_label(n));
+    }
+    cli.write_results(&results);
     println!(
         "Lemma 8 status: {}",
         if total_l8 == 0 {

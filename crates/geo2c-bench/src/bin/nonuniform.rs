@@ -13,31 +13,82 @@
 //!    more often than their arc lengths suggest. Region-size tie-breaking
 //!    uses the *exact probe mass* of each arc.
 //!
+//! Each axis is one declared experiment; `--json PATH` persists both in
+//! a single `ResultSet`.
+//!
 //! ```text
-//! cargo run --release -p geo2c-bench --bin nonuniform [--trials T]
+//! cargo run --release -p geo2c-bench --bin nonuniform [--trials T] [--json PATH]
 //! ```
 
 use geo2c_bench::{banner, pow2_label, Cli};
-use geo2c_core::experiment::sweep_max_load;
+use geo2c_core::experiment::{sweep_max_load, SweepConfig};
 use geo2c_core::nonuniform::{ClusteredRingModel, MixRingSpace, RingMix};
 use geo2c_core::space::RingSpace;
 use geo2c_core::strategy::{Strategy, TieBreak};
+use geo2c_report::markdown::render_text;
+use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_ring::{Ownership, RingPartition};
-use geo2c_util::hist::Counter;
-use geo2c_util::rng::Xoshiro256pp;
-use geo2c_util::table::TextTable;
 
-/// Wide distributions are summarized as a range to keep rows readable.
-fn dist_text(dist: &Counter) -> String {
-    if dist.iter().count() <= 8 {
-        dist.paper_style()
-    } else {
-        format!(
-            "{}..{} (mode {})",
-            dist.min().unwrap_or(0),
-            dist.max().unwrap_or(0),
-            dist.mode().unwrap_or(0)
-        )
+const QS: [f64; 4] = [0.0, 0.5, 0.9, 0.99];
+
+fn spec(id: &str, title: &str, n: usize, w: f64, config: &SweepConfig) -> ExperimentSpec {
+    ExperimentSpec::new(id, title)
+        .paper_ref("conclusion / footnote 2")
+        .trials(config.trials)
+        .seed(config.seed)
+        .param("n", Json::from_usize(n))
+        .param("m", Json::str("n"))
+        .param("cluster_width", Json::num(w))
+        .param("q", Json::Arr(QS.iter().map(|&q| Json::num(q)).collect()))
+}
+
+/// Runs one axis: `factory(q)` builds the per-`q` space factory.
+fn run_axis<S, F, G>(
+    result: &mut ExperimentResult,
+    label_prefix: &str,
+    n: usize,
+    config: &SweepConfig,
+    make_factory: G,
+) where
+    S: geo2c_core::space::Space,
+    F: Fn(&mut geo2c_util::rng::Xoshiro256pp) -> S + Sync,
+    G: Fn(f64) -> F,
+{
+    for &q in &QS {
+        let factory = make_factory(q);
+        let one = sweep_max_load(
+            &factory,
+            Strategy::one_choice(),
+            n,
+            n,
+            &format!("{label_prefix}/q{q}/d1"),
+            config,
+        );
+        let two = sweep_max_load(
+            &factory,
+            Strategy::two_choice(),
+            n,
+            n,
+            &format!("{label_prefix}/q{q}/d2"),
+            config,
+        );
+        let smaller = sweep_max_load(
+            &factory,
+            Strategy::with_tie_break(2, TieBreak::SmallerRegion),
+            n,
+            n,
+            &format!("{label_prefix}/q{q}/d2s"),
+            config,
+        );
+        result.push(
+            Cell::new()
+                .coord("q", Json::num(q))
+                .metric("mean_d1", Json::num(one.stats.mean()))
+                .metric("mean_d2", Json::num(two.stats.mean()))
+                .metric("mean_d2_smaller", Json::num(smaller.stats.mean()))
+                .dist(two.distribution),
+        );
+        eprintln!("--- {label_prefix}: q = {q} done ---");
     }
 }
 
@@ -52,103 +103,39 @@ fn main() {
     let w = 0.1;
 
     // ---- Axis 1: clustered servers, uniform probes ----------------------
-    println!("clustered SERVERS (cluster width {w}), uniform probes:");
-    let mut t = TextTable::new([
-        "cluster q",
-        "d=1 mean",
-        "d=2 mean",
-        "d=2 smaller-arc mean",
-        "d=2 distribution",
-    ]);
-    for &q in &[0.0, 0.5, 0.9, 0.99] {
-        let factory = move |rng: &mut Xoshiro256pp| {
+    let mut servers = ExperimentResult::new(spec(
+        "nonuniform_servers",
+        "E15a: clustered servers, uniform probes (ring)",
+        n,
+        w,
+        &config,
+    ));
+    run_axis(&mut servers, "nonuniform/server", n, &config, |q| {
+        move |rng: &mut geo2c_util::rng::Xoshiro256pp| {
             RingSpace::with_ownership(
                 ClusteredRingModel::new(q, 0.0, w).build_partition(n, rng),
                 Ownership::Successor,
             )
-        };
-        let one = sweep_max_load(
-            factory,
-            Strategy::one_choice(),
-            n,
-            n,
-            &format!("nonuniform/server/q{q}/d1"),
-            &config,
-        );
-        let two = sweep_max_load(
-            factory,
-            Strategy::two_choice(),
-            n,
-            n,
-            &format!("nonuniform/server/q{q}/d2"),
-            &config,
-        );
-        let smaller = sweep_max_load(
-            factory,
-            Strategy::with_tie_break(2, TieBreak::SmallerRegion),
-            n,
-            n,
-            &format!("nonuniform/server/q{q}/d2s"),
-            &config,
-        );
-        t.push_row([
-            format!("{q:.2}"),
-            format!("{:.2}", one.stats.mean()),
-            format!("{:.2}", two.stats.mean()),
-            format!("{:.2}", smaller.stats.mean()),
-            dist_text(&two.distribution),
-        ]);
-        println!("--- servers q = {q} done ---");
-    }
-    println!("{t}");
+        }
+    });
 
     // ---- Axis 2: uniform servers, clustered probes ----------------------
-    println!("uniform servers, clustered PROBES (cluster width {w}):");
-    let mut t = TextTable::new([
-        "probe q",
-        "d=1 mean",
-        "d=2 mean",
-        "d=2 smaller-mass mean",
-        "d=2 distribution",
-    ]);
-    for &q in &[0.0, 0.5, 0.9, 0.99] {
-        let factory = move |rng: &mut Xoshiro256pp| {
+    let mut probes = ExperimentResult::new(spec(
+        "nonuniform_probes",
+        "E15b: uniform servers, clustered probes (ring)",
+        n,
+        w,
+        &config,
+    ));
+    run_axis(&mut probes, "nonuniform/probe", n, &config, |q| {
+        move |rng: &mut geo2c_util::rng::Xoshiro256pp| {
             MixRingSpace::new(RingPartition::random(n, rng), RingMix::new(q, 0.0, w))
-        };
-        let one = sweep_max_load(
-            factory,
-            Strategy::one_choice(),
-            n,
-            n,
-            &format!("nonuniform/probe/q{q}/d1"),
-            &config,
-        );
-        let two = sweep_max_load(
-            factory,
-            Strategy::two_choice(),
-            n,
-            n,
-            &format!("nonuniform/probe/q{q}/d2"),
-            &config,
-        );
-        let smaller = sweep_max_load(
-            factory,
-            Strategy::with_tie_break(2, TieBreak::SmallerRegion),
-            n,
-            n,
-            &format!("nonuniform/probe/q{q}/d2s"),
-            &config,
-        );
-        t.push_row([
-            format!("{q:.2}"),
-            format!("{:.2}", one.stats.mean()),
-            format!("{:.2}", two.stats.mean()),
-            format!("{:.2}", smaller.stats.mean()),
-            dist_text(&two.distribution),
-        ]);
-        println!("--- probes q = {q} done ---");
-    }
-    println!("{t}");
+        }
+    });
+
+    println!("{}", render_text(&servers));
+    println!("{}", render_text(&probes));
+    cli.write_results(&[servers, probes]);
 
     println!(
         "n = {}. q = 0 is Theorem 1's setting. Clustered servers leave 90% of",

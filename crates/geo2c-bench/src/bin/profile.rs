@@ -9,7 +9,7 @@
 //! question.
 //!
 //! ```text
-//! cargo run --release -p geo2c-bench --bin profile [--trials T] [--max-exp K]
+//! cargo run --release -p geo2c-bench --bin profile [--trials T] [--json PATH]
 //! ```
 
 use geo2c_bench::{banner, pow2_label, Cli};
@@ -17,8 +17,9 @@ use geo2c_core::experiment::mean_load_profile;
 use geo2c_core::space::{RingSpace, TorusSpace, UniformSpace};
 use geo2c_core::strategy::Strategy;
 use geo2c_core::theory::fluid_limit_profile;
+use geo2c_report::markdown::render_text;
+use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_util::rng::Xoshiro256pp;
-use geo2c_util::table::TextTable;
 
 fn main() {
     let cli = Cli::parse(100, (12, 12), 16);
@@ -50,18 +51,27 @@ fn main() {
     let depth = uniform.len().max(ring.len()).max(torus.len()).max(6);
     let fluid = fluid_limit_profile(2, 1.0, depth);
 
-    let mut t = TextTable::new(["i", "fluid n*s_i", "uniform", "ring", "torus"]);
+    let spec = ExperimentSpec::new("profile", "E14: mean load profile vs the fluid limit")
+        .paper_ref("conclusion (open question)")
+        .trials(cli.trials)
+        .seed(cli.seed)
+        .param("n", Json::from_usize(n))
+        .param("d", Json::from_usize(2))
+        .param("m", Json::str("n"));
+    let mut result = ExperimentResult::new(spec);
     let get = |v: &[f64], i: usize| v.get(i).copied().unwrap_or(0.0);
     for (i, &fluid_share) in fluid.iter().enumerate().take(depth) {
-        t.push_row([
-            (i + 1).to_string(),
-            format!("{:.1}", n as f64 * fluid_share),
-            format!("{:.1}", get(&uniform, i)),
-            format!("{:.1}", get(&ring, i)),
-            format!("{:.1}", get(&torus, i)),
-        ]);
+        result.push(
+            Cell::new()
+                .coord("load_at_least", Json::from_usize(i + 1))
+                .metric("fluid_n_si", Json::num(n as f64 * fluid_share))
+                .metric("uniform", Json::num(get(&uniform, i)))
+                .metric("ring", Json::num(get(&ring, i)))
+                .metric("torus", Json::num(get(&torus, i))),
+        );
     }
-    println!("{t}");
+    println!("{}", render_text(&result));
+    cli.write_results(std::slice::from_ref(&result));
     println!("n = {}, d = 2, {} trials.", pow2_label(n), cli.trials);
     println!("The fluid limit nails the uniform column; the geometric columns");
     println!("carry a heavier tail at every level — the gap the paper's");

@@ -6,17 +6,18 @@
 //! reliability" direction the paper's conclusion leaves open.
 //!
 //! ```text
-//! cargo run --release -p geo2c-bench --bin replication [--trials T]
+//! cargo run --release -p geo2c-bench --bin replication [--trials T] [--json PATH]
 //! ```
 
 use geo2c_bench::{banner, pow2_label, Cli};
 use geo2c_dht::chord::ChordRing;
 use geo2c_dht::placement::PlacementPolicy;
 use geo2c_dht::replication::{availability_after_failures, place_replicated};
+use geo2c_report::markdown::render_text;
+use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_util::parallel::parallel_map;
 use geo2c_util::rng::StreamSeeder;
 use geo2c_util::stats::RunningStats;
-use geo2c_util::table::TextTable;
 
 fn main() {
     let cli = Cli::parse(16, (10, 10), 12);
@@ -29,13 +30,15 @@ fn main() {
     let fail = 0.3;
     let seeder = StreamSeeder::new(cli.seed).child("replication");
 
-    let mut t = TextTable::new([
-        "scheme",
-        "r",
-        "max load (mean)",
-        "mean load",
-        "availability %",
-    ]);
+    let spec = ExperimentSpec::new("replication", "E17: replication x placement trade-off")
+        .paper_ref("conclusion (reliability)")
+        .trials(cli.trials)
+        .seed(cli.seed)
+        .param("nodes", Json::from_usize(n))
+        .param("items", Json::from_u64(m))
+        .param("fail_fraction", Json::num(fail));
+    let mut result = ExperimentResult::new(spec);
+
     for (name, policy) in [
         ("consistent", PlacementPolicy::Consistent),
         ("2-choice", PlacementPolicy::DChoice { d: 2 }),
@@ -54,17 +57,19 @@ fn main() {
                 max_load.push(ml);
                 avail.push(av);
             }
-            t.push_row([
-                name.to_string(),
-                r.to_string(),
-                format!("{:.1}", max_load.mean()),
-                format!("{:.1}", r as f64 * m as f64 / n as f64),
-                format!("{:.2}", 100.0 * avail.mean()),
-            ]);
+            result.push(
+                Cell::new()
+                    .coord("scheme", Json::str(name))
+                    .coord("replicas", Json::from_usize(r))
+                    .metric("max_load_mean", Json::num(max_load.mean()))
+                    .metric("mean_load", Json::num(r as f64 * m as f64 / n as f64))
+                    .metric("availability_pct", Json::num(100.0 * avail.mean())),
+            );
         }
-        println!("--- {name} done ---");
+        eprintln!("--- {name} done ---");
     }
-    println!("{t}");
+    println!("{}", render_text(&result));
+    cli.write_results(std::slice::from_ref(&result));
     println!(
         "n = {} nodes, m = {m} items, {:.0}% failures. Availability is set by r",
         pow2_label(n),

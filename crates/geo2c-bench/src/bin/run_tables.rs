@@ -1,0 +1,250 @@
+//! The unified table driver: runs the paper's table suite (Tables 1–3
+//! plus the higher-dimension sweep), persists every run as a
+//! provenance-stamped `geo2c_report::ResultSet` under `results/`, and
+//! renders `EXPERIMENTS.md` — the committed expectations every doc
+//! comment in the workspace refers to. Normally invoked as `./tables.sh`
+//! from the repository root.
+//!
+//! ```text
+//! run_tables [--quick | --full] [--check] [--dir DIR] [--seed S] [--threads T]
+//! ```
+//!
+//! * *(no flags)* — run the **reference** scale (the committed
+//!   `EXPERIMENTS.md` numbers, ≈1 minute single-core), write
+//!   `results/{table1,table2,table3,dimension}.json` and regenerate
+//!   `EXPERIMENTS.md` byte-identically.
+//! * `--quick` — the CI / smoke scale (seconds); writes
+//!   `results/quick/*.json` and leaves `EXPERIMENTS.md` alone.
+//! * `--full` — the paper's own parameters (1000 trials, `n` up to
+//!   `2^24`; hours of CPU); writes `results/full/*.json`.
+//! * `--check` — *compare instead of write*: rerun the selected scale
+//!   and diff it against the committed JSON within statistical
+//!   tolerance (`geo2c_util::stats::{two_proportion_z, welch_z}`;
+//!   z ≤ 4 plus small absolute slack). Exits non-zero on any
+//!   discrepancy, including spec drift. CI runs `--quick --check`.
+
+use geo2c_bench::experiments::{self, Scale, FULL, QUICK, REFERENCE};
+use geo2c_core::experiment::SweepConfig;
+use geo2c_report::{compare_sets, ExperimentResult, Provenance, ResultSet, Tolerance};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    scale: &'static Scale,
+    check: bool,
+    dir: PathBuf,
+    seed: u64,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: &REFERENCE,
+        check: false,
+        dir: PathBuf::from("."),
+        seed: 0,
+        threads: geo2c_util::parallel::num_threads(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |argv: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.scale = &QUICK,
+            "--full" => args.scale = &FULL,
+            "--check" => args.check = true,
+            "--dir" => args.dir = PathBuf::from(take(&argv, &mut i, "--dir")),
+            "--seed" => args.seed = take(&argv, &mut i, "--seed").parse().expect("seed"),
+            "--threads" => {
+                args.threads = take(&argv, &mut i, "--threads").parse().expect("threads");
+            }
+            other => panic!(
+                "unknown flag '{other}'\nusage: run_tables [--quick | --full] [--check] \
+                 [--dir DIR] [--seed S] [--threads T]"
+            ),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// `results/` for the reference scale, `results/<scale>/` otherwise.
+fn results_dir(base: &Path, scale: &Scale) -> PathBuf {
+    let root = base.join("results");
+    if scale.name == REFERENCE.name {
+        root
+    } else {
+        root.join(scale.name)
+    }
+}
+
+fn run_suite(scale: &Scale, seed: u64, threads: usize) -> Vec<ExperimentResult> {
+    let ring = SweepConfig {
+        trials: scale.ring_trials,
+        threads,
+        seed,
+    };
+    let torus = SweepConfig {
+        trials: scale.torus_trials,
+        threads,
+        seed,
+    };
+    let dim = SweepConfig {
+        trials: scale.dim_trials,
+        threads,
+        seed,
+    };
+    let provenance_line = |label: &str, config: &SweepConfig| {
+        let pairs: Vec<String> = config
+            .describe()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        eprintln!("  {label}: {}", pairs.join(" "));
+    };
+    eprintln!(
+        "running the {} scale (ring n = {:?}, torus n = {:?}, dimension n = 2^{})",
+        scale.name,
+        scale.ring_sizes(),
+        scale.torus_sizes(),
+        scale.dim_exp,
+    );
+    provenance_line("ring", &ring);
+    provenance_line("torus", &torus);
+    provenance_line("dimension", &dim);
+    vec![
+        experiments::table1(&scale.ring_sizes(), &ring),
+        experiments::table2(&scale.torus_sizes(), &torus),
+        experiments::table3(&scale.ring_sizes(), &ring, true),
+        experiments::dimension(1usize << scale.dim_exp, &dim),
+    ]
+}
+
+/// Loads every committed expectation file *before* the (potentially long)
+/// suite run, so a missing or corrupt file fails instantly.
+fn load_expected(dir: &Path, seed: u64) -> Result<ResultSet, ExitCode> {
+    let mut expected = ResultSet::new(Provenance::capture(seed));
+    let mut missing = Vec::new();
+    for id in experiments::SUITE_IDS {
+        let path = dir.join(format!("{id}.json"));
+        match ResultSet::load(&path) {
+            Ok(set) => expected.experiments.extend(set.experiments),
+            Err(e) => missing.push(format!("{}: {e}", path.display())),
+        }
+    }
+    if missing.is_empty() {
+        Ok(expected)
+    } else {
+        eprintln!("cannot load committed expectations:");
+        for m in &missing {
+            eprintln!("  {m}");
+        }
+        eprintln!("run `./tables.sh` (or `./tables.sh --quick`) to generate them first");
+        Err(ExitCode::from(2))
+    }
+}
+
+fn check(
+    fresh: &ResultSet,
+    expected: &ResultSet,
+    args: &Args,
+    dir: &Path,
+    scale: &Scale,
+) -> ExitCode {
+    let mut diffs = compare_sets(fresh, expected, &Tolerance::default());
+    // At the reference scale, EXPERIMENTS.md is part of the committed
+    // expectations too: it must be exactly what the committed results
+    // render to, or the headline document has drifted from the data.
+    if scale.name == REFERENCE.name {
+        let md_path = args.dir.join("EXPERIMENTS.md");
+        let committed_md = std::fs::read_to_string(&md_path).unwrap_or_default();
+        if committed_md != experiments::experiments_markdown(expected) {
+            diffs.push(geo2c_report::Discrepancy {
+                experiment: "EXPERIMENTS.md".into(),
+                cell: String::new(),
+                message: format!(
+                    "{} is not the rendering of the committed results/*.json — \
+                     it was hand-edited or not regenerated",
+                    md_path.display()
+                ),
+            });
+        }
+    }
+    if diffs.is_empty() {
+        println!(
+            "check OK: {} experiments consistent with {}",
+            fresh.experiments.len(),
+            dir.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "check FAILED: {} discrepancies against {}",
+            diffs.len(),
+            dir.display()
+        );
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        let flag = if scale.name == REFERENCE.name {
+            String::new()
+        } else {
+            format!(" --{}", scale.name)
+        };
+        eprintln!(
+            "if the change is intentional, regenerate the expectations with \
+             `./tables.sh{flag}` and commit the diff"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn write(set: &ResultSet, args: &Args, dir: &Path) -> ExitCode {
+    for result in &set.experiments {
+        let mut single = ResultSet::new(set.provenance.clone());
+        single.push(result.clone());
+        let path = dir.join(format!("{}.json", result.spec.id));
+        if let Err(e) = single.save(&path) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    if args.scale.name == REFERENCE.name {
+        let md_path = args.dir.join("EXPERIMENTS.md");
+        if let Err(e) = std::fs::write(&md_path, experiments::experiments_markdown(set)) {
+            eprintln!("cannot write {}: {e}", md_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", md_path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let dir = results_dir(&args.dir, args.scale);
+    // Fail fast on missing/corrupt expectations before the long run.
+    let expected = if args.check {
+        match load_expected(&dir, args.seed) {
+            Ok(expected) => Some(expected),
+            Err(code) => return code,
+        }
+    } else {
+        None
+    };
+
+    let results = run_suite(args.scale, args.seed, args.threads);
+    let mut set = ResultSet::new(Provenance::capture(args.seed));
+    set.experiments = results;
+
+    match expected {
+        Some(expected) => check(&set, &expected, &args, &dir, args.scale),
+        None => write(&set, &args, &dir),
+    }
+}

@@ -7,31 +7,42 @@
 //! spaces track the uniform baseline within an additive constant.
 //!
 //! ```text
-//! cargo run -p geo2c-bench --release --bin scaling [--max-exp K]
+//! cargo run -p geo2c-bench --release --bin scaling [--max-exp K] [--json PATH]
 //! ```
 
-use geo2c_bench::{banner, pow2_label, Cli};
+use geo2c_bench::{banner, Cli};
 use geo2c_core::experiment::sweep_kind;
 use geo2c_core::space::SpaceKind;
 use geo2c_core::strategy::Strategy;
 use geo2c_core::theory::{one_choice_typical, two_choice_band};
-use geo2c_util::table::TextTable;
+use geo2c_report::markdown::render_text;
+use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 
 fn main() {
     let cli = Cli::parse(100, (8, 16), 20);
     banner("E8: max-load scaling vs theory", &cli);
     let config = cli.sweep_config();
 
-    let mut t = TextTable::new([
-        "n",
-        "space",
-        "d=1 mean",
-        "d=2 mean",
-        "d=4 mean",
-        "ln n/lnln n",
-        "lnln n/ln 2",
-        "lnln n/ln 4",
-    ]);
+    let spec = ExperimentSpec::new("scaling", "E8: max-load scaling vs theory predictors")
+        .paper_ref("Theorem 1")
+        .trials(cli.trials)
+        .seed(cli.seed)
+        .param("m", Json::str("n"))
+        .param(
+            "n",
+            Json::Arr(
+                cli.sweep_sizes()
+                    .iter()
+                    .map(|&n| Json::from_usize(n))
+                    .collect(),
+            ),
+        )
+        .param(
+            "d",
+            Json::Arr(vec![Json::num(1), Json::num(2), Json::num(4)]),
+        );
+    let mut result = ExperimentResult::new(spec);
+
     for n in cli.sweep_sizes() {
         for kind in [SpaceKind::Uniform, SpaceKind::Ring, SpaceKind::Torus] {
             if kind == SpaceKind::Torus && n > (1 << 16) {
@@ -40,20 +51,22 @@ fn main() {
             let m1 = sweep_kind(kind, Strategy::one_choice(), n, n, &config);
             let m2 = sweep_kind(kind, Strategy::two_choice(), n, n, &config);
             let m4 = sweep_kind(kind, Strategy::d_choice(4), n, n, &config);
-            t.push_row([
-                pow2_label(n),
-                kind.name().to_string(),
-                format!("{:.2}", m1.stats.mean()),
-                format!("{:.2}", m2.stats.mean()),
-                format!("{:.2}", m4.stats.mean()),
-                format!("{:.2}", one_choice_typical(n)),
-                format!("{:.2}", two_choice_band(n, 2)),
-                format!("{:.2}", two_choice_band(n, 4)),
-            ]);
+            result.push(
+                Cell::new()
+                    .coord("n", Json::from_usize(n))
+                    .coord("space", Json::str(kind.name()))
+                    .metric("mean_d1", Json::num(m1.stats.mean()))
+                    .metric("mean_d2", Json::num(m2.stats.mean()))
+                    .metric("mean_d4", Json::num(m4.stats.mean()))
+                    .metric("theory_d1", Json::num(one_choice_typical(n)))
+                    .metric("theory_d2", Json::num(two_choice_band(n, 2)))
+                    .metric("theory_d4", Json::num(two_choice_band(n, 4))),
+            );
         }
-        println!("--- n = {} done ---", pow2_label(n));
+        eprintln!("--- n = {n} done ---");
     }
-    println!("{t}");
+    println!("{}", render_text(&result));
+    cli.write_results(std::slice::from_ref(&result));
     println!("Expect: d=1 grows with n; d>=2 nearly flat; ring/torus within");
     println!("an additive constant of uniform (Theorem 1 / Section 3).");
 }

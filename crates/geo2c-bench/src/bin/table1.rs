@@ -3,18 +3,18 @@
 //!
 //! Paper parameters: `n ∈ {2^8, 2^12, 2^16, 2^20, 2^24}`, 1000 trials,
 //! ties broken randomly. Defaults here are laptop-scale
-//! (`n ≤ 2^16`, 200 trials); pass `--full` for the paper's sweep.
+//! (`n ≤ 2^16`, 200 trials); pass `--full` for the paper's sweep and
+//! `--json PATH` to persist the run as a `geo2c-report` `ResultSet`
+//! (the committed expectations live in `results/table1.json`; see
+//! `EXPERIMENTS.md`).
 //!
 //! ```text
-//! cargo run -p geo2c-bench --release --bin table1 [--full] [--trials T]
+//! cargo run -p geo2c-bench --release --bin table1 [--full] [--trials T] [--json PATH]
 //! ```
 
-use geo2c_bench::{banner, pow2_label, Cli};
-use geo2c_core::experiment::sweep_kind;
-use geo2c_core::space::SpaceKind;
-use geo2c_core::strategy::Strategy;
+use geo2c_bench::{banner, experiments, pow2_label, Cli};
 use geo2c_core::theory::two_choice_band;
-use geo2c_util::table::TextTable;
+use geo2c_report::markdown::render_text_pivot;
 
 fn main() {
     let cli = Cli::parse(200, (8, 16), 24);
@@ -22,28 +22,15 @@ fn main() {
         "Table 1: experimental maximum load with random arcs (m = n)",
         &cli,
     );
-    let config = cli.sweep_config();
 
-    let ds = [1usize, 2, 3, 4];
-    let mut table =
-        TextTable::new(std::iter::once("n".to_string()).chain(ds.iter().map(|d| format!("d={d}"))));
-    for n in cli.sweep_sizes() {
-        let mut row = vec![pow2_label(n)];
-        for &d in &ds {
-            let cell = sweep_kind(SpaceKind::Ring, Strategy::d_choice(d), n, n, &config);
-            row.push(cell.distribution.paper_column().trim_end().to_string());
-        }
-        table.push_row(row);
-        // Stream output row-by-row so long sweeps show progress.
-        println!("--- n = {} done ---", pow2_label(n));
-    }
-    println!("{table}");
+    let result = experiments::table1(&cli.sweep_sizes(), &cli.sweep_config());
+    println!("{}", render_text_pivot(&result, "n", "d"));
+    cli.write_results(std::slice::from_ref(&result));
 
     println!("theory band (log log n / log d, additive O(1) not predicted):");
     for n in cli.sweep_sizes() {
-        let bands: Vec<String> = ds
+        let bands: Vec<String> = [2usize, 3, 4]
             .iter()
-            .skip(1)
             .map(|&d| format!("d={d}: {:.2}", two_choice_band(n, d)))
             .collect();
         println!("  n={}: {}", pow2_label(n), bands.join("  "));

@@ -3,17 +3,16 @@
 //!
 //! Paper parameters: `n ∈ {2^8, 2^12, 2^16, 2^20}`, 1000 trials, random
 //! tie-breaking. Defaults here are laptop-scale (`n ≤ 2^14`, 100 trials);
-//! pass `--full` for the paper's sweep.
+//! pass `--full` for the paper's sweep and `--json PATH` to persist the
+//! run (committed expectations: `results/table2.json`, rendered in
+//! `EXPERIMENTS.md`).
 //!
 //! ```text
-//! cargo run -p geo2c-bench --release --bin table2 [--full] [--trials T]
+//! cargo run -p geo2c-bench --release --bin table2 [--full] [--trials T] [--json PATH]
 //! ```
 
-use geo2c_bench::{banner, pow2_label, Cli};
-use geo2c_core::experiment::sweep_kind;
-use geo2c_core::space::SpaceKind;
-use geo2c_core::strategy::Strategy;
-use geo2c_util::table::TextTable;
+use geo2c_bench::{banner, experiments, Cli};
+use geo2c_report::markdown::render_text_pivot;
 
 fn main() {
     let cli = Cli::parse(100, (8, 14), 20);
@@ -21,19 +20,8 @@ fn main() {
         "Table 2: experimental maximum load with random torus polygons (m = n)",
         &cli,
     );
-    let config = cli.sweep_config();
 
-    let ds = [1usize, 2, 3, 4];
-    let mut table =
-        TextTable::new(std::iter::once("n".to_string()).chain(ds.iter().map(|d| format!("d={d}"))));
-    for n in cli.sweep_sizes() {
-        let mut row = vec![pow2_label(n)];
-        for &d in &ds {
-            let cell = sweep_kind(SpaceKind::Torus, Strategy::d_choice(d), n, n, &config);
-            row.push(cell.distribution.paper_column().trim_end().to_string());
-        }
-        table.push_row(row);
-        println!("--- n = {} done ---", pow2_label(n));
-    }
-    println!("{table}");
+    let result = experiments::table2(&cli.sweep_sizes(), &cli.sweep_config());
+    println!("{}", render_text_pivot(&result, "n", "d"));
+    cli.write_results(std::slice::from_ref(&result));
 }

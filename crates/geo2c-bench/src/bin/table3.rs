@@ -4,17 +4,16 @@
 //! Columns (paper order): *arc-larger*, *arc-random*, *arc-left*,
 //! *arc-smaller*. Pass `--with-voecking` to append Vöcking's
 //! split-interval always-go-left scheme (§2 remark 4), which the paper
-//! says *arc-smaller* slightly beats.
+//! says *arc-smaller* slightly beats, and `--json PATH` to persist the
+//! run (committed expectations: `results/table3.json`, rendered in
+//! `EXPERIMENTS.md`).
 //!
 //! ```text
-//! cargo run -p geo2c-bench --release --bin table3 [--full] [--with-voecking]
+//! cargo run -p geo2c-bench --release --bin table3 [--full] [--with-voecking] [--json PATH]
 //! ```
 
-use geo2c_bench::{banner, pow2_label, Cli};
-use geo2c_core::experiment::sweep_kind;
-use geo2c_core::space::SpaceKind;
-use geo2c_core::strategy::{Strategy, TieBreak};
-use geo2c_util::table::TextTable;
+use geo2c_bench::{banner, experiments, Cli};
+use geo2c_report::markdown::render_text_pivot;
 
 fn main() {
     let cli = Cli::parse(200, (8, 16), 24);
@@ -22,34 +21,12 @@ fn main() {
         "Table 3: maximum load by tie-breaking strategy, random arcs, d = 2 (m = n)",
         &cli,
     );
-    let config = cli.sweep_config();
 
-    let mut strategies = vec![
-        Strategy::with_tie_break(2, TieBreak::LargerRegion),
-        Strategy::with_tie_break(2, TieBreak::Random),
-        Strategy::with_tie_break(2, TieBreak::Leftmost),
-        Strategy::with_tie_break(2, TieBreak::SmallerRegion),
-    ];
-    let mut headers = vec![
-        "arc-larger".to_string(),
-        "arc-random".to_string(),
-        "arc-left".to_string(),
-        "arc-smaller".to_string(),
-    ];
-    if cli.has_flag("--with-voecking") {
-        strategies.push(Strategy::voecking(2));
-        headers.push("voecking".to_string());
-    }
-
-    let mut table = TextTable::new(std::iter::once("n".to_string()).chain(headers));
-    for n in cli.sweep_sizes() {
-        let mut row = vec![pow2_label(n)];
-        for strategy in &strategies {
-            let cell = sweep_kind(SpaceKind::Ring, *strategy, n, n, &config);
-            row.push(cell.distribution.paper_column().trim_end().to_string());
-        }
-        table.push_row(row);
-        println!("--- n = {} done ---", pow2_label(n));
-    }
-    println!("{table}");
+    let result = experiments::table3(
+        &cli.sweep_sizes(),
+        &cli.sweep_config(),
+        cli.has_flag("--with-voecking"),
+    );
+    println!("{}", render_text_pivot(&result, "n", "tie_break"));
+    cli.write_results(std::slice::from_ref(&result));
 }

@@ -1,0 +1,519 @@
+//! Spec-declared experiment constructors shared by the table binaries
+//! and the `run_tables` driver.
+//!
+//! Each function here runs one of the paper's headline experiments and
+//! returns a [`geo2c_report::ExperimentResult`]: the spec (id, trials,
+//! seed, parameters) plus one cell per sweep configuration. The table
+//! binaries (`table1`, `table2`, `table3`, `dimension`) render these to
+//! stdout; `run_tables` persists them under `results/` and renders
+//! `EXPERIMENTS.md` from them. Keeping construction in one place is what
+//! makes the committed expectations and the ad-hoc CLI runs provably the
+//! same computation.
+//!
+//! [`Scale`] pins the three named parameter sets: `quick` (CI / smoke),
+//! `reference` (the committed `EXPERIMENTS.md` numbers; sized so the
+//! whole suite regenerates in about a minute on one core) and `full`
+//! (the paper's own 1000-trial sweep — hours of CPU; run it deliberately).
+
+use geo2c_core::experiment::{sweep_kind, sweep_max_load, MaxLoadCell, SweepConfig};
+use geo2c_core::space::{KdTorusSpace, SpaceKind};
+use geo2c_core::strategy::{Strategy, TieBreak};
+use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
+use geo2c_util::rng::Xoshiro256pp;
+
+/// Spec ids of the experiments `run_tables` drives, in suite order —
+/// also the basenames of the committed files under `results/`.
+pub const SUITE_IDS: [&str; 4] = ["table1", "table2", "table3", "dimension"];
+
+/// A named parameter set for the table suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Name used in output paths (`results/` vs `results/quick/`).
+    pub name: &'static str,
+    /// Ring sweep sizes as `n = 2^k` exponents (Tables 1 and 3).
+    pub ring_exps: &'static [u32],
+    /// Torus sweep sizes as exponents (Table 2).
+    pub torus_exps: &'static [u32],
+    /// Trials per ring cell.
+    pub ring_trials: usize,
+    /// Trials per torus cell.
+    pub torus_trials: usize,
+    /// `n = 2^k` exponent for the dimension sweep.
+    pub dim_exp: u32,
+    /// Trials per dimension-sweep cell.
+    pub dim_trials: usize,
+}
+
+/// CI / smoke-test scale: regenerates in seconds, even unoptimized.
+pub const QUICK: Scale = Scale {
+    name: "quick",
+    ring_exps: &[8, 10],
+    torus_exps: &[8, 10],
+    ring_trials: 40,
+    torus_trials: 25,
+    dim_exp: 7,
+    dim_trials: 8,
+};
+
+/// The committed-expectation scale behind `EXPERIMENTS.md` (~1 minute
+/// of single-core CPU for the whole suite).
+pub const REFERENCE: Scale = Scale {
+    name: "reference",
+    ring_exps: &[8, 12, 16],
+    torus_exps: &[8, 12, 14],
+    ring_trials: 300,
+    torus_trials: 150,
+    dim_exp: 10,
+    dim_trials: 60,
+};
+
+/// The paper's own scale (1000 trials, `n` up to `2^24` / `2^20`).
+/// Budget hours of CPU; nothing in CI runs this.
+pub const FULL: Scale = Scale {
+    name: "full",
+    ring_exps: &[8, 12, 16, 20, 24],
+    torus_exps: &[8, 12, 16, 20],
+    ring_trials: 1000,
+    torus_trials: 1000,
+    dim_exp: 12,
+    dim_trials: 200,
+};
+
+impl Scale {
+    /// Looks a scale up by name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<&'static Scale> {
+        [&QUICK, &REFERENCE, &FULL]
+            .into_iter()
+            .find(|s| s.name == name)
+    }
+
+    /// Ring sweep sizes (`n` values).
+    #[must_use]
+    pub fn ring_sizes(&self) -> Vec<usize> {
+        self.ring_exps.iter().map(|&e| 1usize << e).collect()
+    }
+
+    /// Torus sweep sizes (`n` values).
+    #[must_use]
+    pub fn torus_sizes(&self) -> Vec<usize> {
+        self.torus_exps.iter().map(|&e| 1usize << e).collect()
+    }
+}
+
+fn sizes_json(ns: &[usize]) -> Json {
+    Json::Arr(ns.iter().map(|&n| Json::from_usize(n)).collect())
+}
+
+fn progress(msg: &str) {
+    // Progress goes to stderr so stdout stays clean rendered output.
+    eprintln!("--- {msg} ---");
+}
+
+/// Converts a sweep cell into a report cell with the given coordinates.
+/// The distribution crosses the core→report boundary as the canonical
+/// sorted `(value, count)` pairs ([`MaxLoadCell::distribution_pairs`]),
+/// the same form the JSON files persist.
+fn report_cell(coords: Vec<(String, Json)>, cell: &MaxLoadCell) -> Cell {
+    let mut distribution = geo2c_util::hist::Counter::new();
+    for (value, count) in cell.distribution_pairs() {
+        distribution.add_n(value, count);
+    }
+    Cell {
+        coords,
+        distribution: Some(distribution),
+        metrics: Vec::new(),
+    }
+}
+
+/// The paper's **Table 1**: max-load distribution with random arcs on
+/// the ring, `m = n`, `d ∈ {1, 2, 3, 4}`.
+#[must_use]
+pub fn table1(ns: &[usize], config: &SweepConfig) -> ExperimentResult {
+    let ds = [1usize, 2, 3, 4];
+    let spec = ExperimentSpec::new(
+        "table1",
+        "Table 1: maximum load with random arcs on the ring (m = n)",
+    )
+    .paper_ref("Table 1")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("space", Json::str("ring"))
+    .param("m", Json::str("n"))
+    .param("tie_break", Json::str("random"))
+    .param("n", sizes_json(ns))
+    .param(
+        "d",
+        Json::Arr(ds.iter().map(|&d| Json::from_usize(d)).collect()),
+    );
+    let mut result = ExperimentResult::new(spec);
+    for &n in ns {
+        for &d in &ds {
+            let cell = sweep_kind(SpaceKind::Ring, Strategy::d_choice(d), n, n, config);
+            result.push(report_cell(
+                vec![
+                    ("n".into(), Json::from_usize(n)),
+                    ("d".into(), Json::from_usize(d)),
+                ],
+                &cell,
+            ));
+        }
+        progress(&format!("table1: n = {n} done"));
+    }
+    result
+}
+
+/// The paper's **Table 2**: max-load distribution with random Voronoi
+/// cells on the 2-D torus, `m = n`, `d ∈ {1, 2, 3, 4}`.
+#[must_use]
+pub fn table2(ns: &[usize], config: &SweepConfig) -> ExperimentResult {
+    let ds = [1usize, 2, 3, 4];
+    let spec = ExperimentSpec::new(
+        "table2",
+        "Table 2: maximum load with random Voronoi cells on the torus (m = n)",
+    )
+    .paper_ref("Table 2")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("space", Json::str("torus"))
+    .param("m", Json::str("n"))
+    .param("tie_break", Json::str("random"))
+    .param("n", sizes_json(ns))
+    .param(
+        "d",
+        Json::Arr(ds.iter().map(|&d| Json::from_usize(d)).collect()),
+    );
+    let mut result = ExperimentResult::new(spec);
+    for &n in ns {
+        for &d in &ds {
+            let cell = sweep_kind(SpaceKind::Torus, Strategy::d_choice(d), n, n, config);
+            result.push(report_cell(
+                vec![
+                    ("n".into(), Json::from_usize(n)),
+                    ("d".into(), Json::from_usize(d)),
+                ],
+                &cell,
+            ));
+        }
+        progress(&format!("table2: n = {n} done"));
+    }
+    result
+}
+
+/// The tie-break strategies of **Table 3**, in paper column order, plus
+/// (optionally) Vöcking's split always-go-left scheme.
+#[must_use]
+pub fn table3_strategies(with_voecking: bool) -> Vec<(&'static str, Strategy)> {
+    let mut out = vec![
+        (
+            "arc-larger",
+            Strategy::with_tie_break(2, TieBreak::LargerRegion),
+        ),
+        ("arc-random", Strategy::with_tie_break(2, TieBreak::Random)),
+        ("arc-left", Strategy::with_tie_break(2, TieBreak::Leftmost)),
+        (
+            "arc-smaller",
+            Strategy::with_tie_break(2, TieBreak::SmallerRegion),
+        ),
+    ];
+    if with_voecking {
+        out.push(("voecking", Strategy::voecking(2)));
+    }
+    out
+}
+
+/// The paper's **Table 3**: max load by tie-breaking strategy with
+/// random arcs, `d = 2`, `m = n`.
+#[must_use]
+pub fn table3(ns: &[usize], config: &SweepConfig, with_voecking: bool) -> ExperimentResult {
+    let strategies = table3_strategies(with_voecking);
+    let spec = ExperimentSpec::new(
+        "table3",
+        "Table 3: maximum load by tie-breaking strategy on random arcs (d = 2, m = n)",
+    )
+    .paper_ref("Table 3")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("space", Json::str("ring"))
+    .param("m", Json::str("n"))
+    .param("d", Json::from_usize(2))
+    .param("n", sizes_json(ns))
+    .param(
+        "tie_break",
+        Json::Arr(
+            strategies
+                .iter()
+                .map(|(name, _)| Json::str(*name))
+                .collect(),
+        ),
+    );
+    let mut result = ExperimentResult::new(spec);
+    for &n in ns {
+        for (name, strategy) in &strategies {
+            let cell = sweep_kind(SpaceKind::Ring, *strategy, n, n, config);
+            result.push(report_cell(
+                vec![
+                    ("n".into(), Json::from_usize(n)),
+                    ("tie_break".into(), Json::str(*name)),
+                ],
+                &cell,
+            ));
+        }
+        progress(&format!("table3: n = {n} done"));
+    }
+    result
+}
+
+/// Dimension-sweep cells for one `K` (const generic: the space type is
+/// monomorphized per dimension).
+fn dimension_cells<const K: usize>(
+    n: usize,
+    ds: &[usize],
+    config: &SweepConfig,
+    result: &mut ExperimentResult,
+) {
+    for &d in ds {
+        let label = format!("dim{K}/n{n}/d{d}");
+        let cell = sweep_max_load(
+            move |rng: &mut Xoshiro256pp| KdTorusSpace::<K>::random(n, rng),
+            Strategy::d_choice(d),
+            n,
+            n,
+            &label,
+            config,
+        );
+        result.push(report_cell(
+            vec![
+                ("K".into(), Json::from_usize(K)),
+                ("d".into(), Json::from_usize(d)),
+            ],
+            &cell,
+        ));
+    }
+    progress(&format!("dimension: K = {K} done"));
+}
+
+/// The higher-dimension sweep (§3, footnote 3, seeding the ROADMAP
+/// "`d > 2` sweeps" item): max load on the `K`-torus for `K ∈ {3, 4}`
+/// across `d ∈ {1} ∪ {2..8}`, `m = n`. The `d ≥ 2` distributions should
+/// be essentially flat in `K` (the bound is dimension-free) and show the
+/// diminishing returns of larger `d` that the paper predicts.
+#[must_use]
+pub fn dimension(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let ds: Vec<usize> = (1..=8).collect();
+    let ks = [3usize, 4];
+    let spec = ExperimentSpec::new(
+        "dimension",
+        "Higher dimensions: maximum load on the K-torus as d grows (m = n)",
+    )
+    .paper_ref("§3 footnote 3")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("space", Json::str("K-torus"))
+    .param("m", Json::str("n"))
+    .param("n", Json::from_usize(n))
+    .param(
+        "K",
+        Json::Arr(ks.iter().map(|&k| Json::from_usize(k)).collect()),
+    )
+    .param(
+        "d",
+        Json::Arr(ds.iter().map(|&d| Json::from_usize(d)).collect()),
+    );
+    let mut result = ExperimentResult::new(spec);
+    dimension_cells::<3>(n, &ds, config, &mut result);
+    dimension_cells::<4>(n, &ds, config, &mut result);
+    result
+}
+
+/// Renders `EXPERIMENTS.md` from the reference result set.
+///
+/// The output is a pure function of the results (no timestamps, no git
+/// revisions), so `./tables.sh` regenerates it byte-identically from the
+/// committed seeds as long as the algorithms are unchanged.
+#[must_use]
+pub fn experiments_markdown(set: &geo2c_report::ResultSet) -> String {
+    use geo2c_report::markdown::render_markdown_pivot;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS — committed expectations for the table suite\n\n");
+    out.push_str("<!-- Generated by `./tables.sh`. Do not edit by hand: rerun the script. -->\n\n");
+    let _ = writeln!(
+        out,
+        "Every number below is a deterministic function of the committed root \
+seed (`{}`): all randomness flows through `geo2c_util::rng::StreamSeeder`, \
+which derives an independent stream per `(experiment, cell, trial)`, so any \
+cell reproduces bit-for-bit on any platform and thread count.",
+        set.provenance.seed
+    );
+    out.push('\n');
+    out.push_str(
+        "* **Regenerate:** `./tables.sh` (≈1 minute single-core) rewrites this file \
+byte-identically, and the `ResultSet` JSON under [`results/`](results/) identically \
+except for the provenance `git_rev` stamp (which records the producing checkout).\n\
+* **Check:** `./tables.sh --check` reruns the suite and diffs it against the committed \
+expectations with the two-sample statistics in `geo2c_util::stats` \
+(`two_proportion_z` per distribution bucket, Welch's z for means; a difference fails at \
+z > 4 *and* more than a 2-percentage-point / 0.05-mean absolute shift), and verifies \
+this file is the exact rendering of `results/*.json`. `ci.sh` gates every build on \
+both `./tables.sh --quick --check` (seconds, against \
+[`results/quick/`](results/quick/)) and the reference-scale `./tables.sh --check` \
+(≈1 minute).\n\
+* **Paper scale:** `./tables.sh --full` runs the paper's own parameters \
+(1000 trials, ring `n` up to 2^24, torus up to 2^20 — hours of CPU) and writes \
+`results/full/`.\n\n",
+    );
+    out.push_str(
+        "Each cell shows the distribution of the **maximum load** over the trials, \
+in the paper's `value: percent` format, with the distribution mean beneath.\n\n",
+    );
+
+    let pivots: [(&str, &str, &str); 4] = [
+        ("table1", "n", "d"),
+        ("table2", "n", "d"),
+        ("table3", "n", "tie_break"),
+        ("dimension", "d", "K"),
+    ];
+    for (id, row_key, col_key) in pivots {
+        if let Some(result) = set.experiment(id) {
+            out.push_str(&render_markdown_pivot(result, row_key, col_key));
+            out.push('\n');
+        }
+    }
+
+    out.push_str(
+        "## Reading the JSON\n\n\
+Each `results/*.json` file is a `geo2c_report::ResultSet`: a `provenance` \
+block (tool, version, git revision of the producing checkout, root seed) \
+plus one experiment with its `spec` (id, trials, seed, sweep parameters — \
+compared verbatim by `--check`, so stale expectations are flagged as *spec \
+drift* rather than silently diffed) and its `cells`. A cell's \
+`distribution` is a sorted `[max_load, trial_count]` array; `coords` \
+locates the cell in the sweep.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig::new(5).with_seed(3).with_threads(2)
+    }
+
+    #[test]
+    fn scales_are_consistent_and_named() {
+        for scale in [&QUICK, &REFERENCE, &FULL] {
+            assert_eq!(Scale::by_name(scale.name), Some(scale));
+            assert!(!scale.ring_sizes().is_empty());
+            assert!(!scale.torus_sizes().is_empty());
+            assert!(scale.ring_trials > 0 && scale.torus_trials > 0);
+        }
+        assert_eq!(Scale::by_name("nope"), None);
+        // quick < reference < full in every cost dimension.
+        let ladder = ["quick", "reference", "full"].map(|name| Scale::by_name(name).unwrap());
+        for pair in ladder.windows(2) {
+            assert!(pair[0].ring_trials <= pair[1].ring_trials);
+            assert!(pair[0].ring_exps.last() <= pair[1].ring_exps.last());
+            assert!(pair[0].torus_exps.last() <= pair[1].torus_exps.last());
+        }
+    }
+
+    #[test]
+    fn table1_produces_a_cell_per_configuration() {
+        let result = table1(&[32, 64], &tiny_config());
+        assert_eq!(result.spec.id, "table1");
+        assert_eq!(result.cells.len(), 8); // 2 sizes x 4 d values
+        for cell in &result.cells {
+            let dist = cell.distribution.as_ref().expect("distribution");
+            assert_eq!(dist.total(), 5);
+        }
+        assert_eq!(result.cells[0].label(), "n=32, d=1");
+    }
+
+    #[test]
+    fn table3_orders_strategies_like_the_paper() {
+        let names: Vec<&str> = table3_strategies(true)
+            .iter()
+            .map(|(name, _)| *name)
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "arc-larger",
+                "arc-random",
+                "arc-left",
+                "arc-smaller",
+                "voecking"
+            ]
+        );
+        let result = table3(&[32], &tiny_config(), false);
+        assert_eq!(result.cells.len(), 4);
+    }
+
+    #[test]
+    fn dimension_covers_d_2_through_8_for_k_3_and_4() {
+        let result = dimension(32, &tiny_config());
+        // d ∈ {1..8} for K ∈ {3, 4}.
+        assert_eq!(result.cells.len(), 16);
+        for k in [3u64, 4] {
+            for d in 2u64..=8 {
+                assert!(
+                    result.cells.iter().any(|c| {
+                        c.coords
+                            .iter()
+                            .any(|(key, v)| key == "K" && v.as_u64() == Some(k))
+                            && c.coords
+                                .iter()
+                                .any(|(key, v)| key == "d" && v.as_u64() == Some(d))
+                    }),
+                    "missing cell K={k} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn experiments_markdown_has_all_sections() {
+        use geo2c_report::{Provenance, ResultSet};
+        let config = tiny_config();
+        let mut set = ResultSet::new(Provenance {
+            tool: "t".into(),
+            version: "v".into(),
+            git_rev: "deadbeefcafe0123".into(),
+            seed: config.seed,
+        });
+        set.push(table1(&[32], &config));
+        set.push(table2(&[32], &config));
+        set.push(table3(&[32], &config, true));
+        set.push(dimension(32, &config));
+        let md = experiments_markdown(&set);
+        assert!(md.starts_with("# EXPERIMENTS"));
+        for heading in [
+            "## Table 1",
+            "## Table 2",
+            "## Table 3",
+            "## Higher dimensions",
+        ] {
+            assert!(md.contains(heading), "missing {heading}");
+        }
+        assert!(md.contains("`./tables.sh --check`"));
+        assert!(md.contains("seed (`3`)"));
+        // Byte-identical regeneration: the git revision must not leak in
+        // (it changes every commit; the numbers do not).
+        assert!(!md.contains("deadbeefcafe0123"));
+        // Rendering is a pure function of the set.
+        assert_eq!(md, experiments_markdown(&set));
+    }
+
+    #[test]
+    fn results_are_deterministic_in_the_seed() {
+        let a = table1(&[32], &tiny_config());
+        let b = table1(&[32], &tiny_config());
+        assert_eq!(a, b);
+        let c = table1(&[32], &SweepConfig::new(5).with_seed(4).with_threads(2));
+        assert_ne!(a.spec.seed, c.spec.seed);
+    }
+}

@@ -25,13 +25,42 @@
 //!   lookups) and per-table micro-runs that time one trial of each
 //!   configuration.
 //!
-//! This library hosts the tiny shared CLI parser and table-printing
-//! helpers so the binaries stay dependency-free.
+//! Every binary declares an experiment spec and emits its numbers
+//! through `geo2c-report` ([`experiments`] hosts the shared
+//! constructors); pass `--json PATH` to any of them to persist the run
+//! as a provenance-stamped `ResultSet`. The `run_tables` driver (see
+//! `./tables.sh` at the repository root) runs the whole table suite,
+//! maintains the committed expectations under `results/`, and renders
+//! `EXPERIMENTS.md`.
+//!
+//! This library hosts the shared CLI parser, the experiment
+//! constructors, and small formatting helpers.
+//!
+//! ```
+//! use geo2c_bench::Cli;
+//!
+//! // The shared sweep CLI: n = 2^8..2^16 stepping exponents by 4, as in
+//! // the paper's tables.
+//! let cli = Cli {
+//!     trials: 100,
+//!     seed: 0,
+//!     threads: 1,
+//!     min_exp: 8,
+//!     max_exp: 16,
+//!     json: None,
+//!     extra: vec![],
+//! };
+//! assert_eq!(cli.sweep_sizes(), vec![256, 4096, 65536]);
+//! assert_eq!(geo2c_bench::pow2_label(65536), "2^16");
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod experiments;
+
 use geo2c_core::experiment::SweepConfig;
+use geo2c_report::{ExperimentResult, Provenance, ResultSet};
 
 /// Shared command-line options for the table binaries.
 #[derive(Debug, Clone)]
@@ -46,6 +75,9 @@ pub struct Cli {
     pub min_exp: u32,
     /// Largest `n = 2^k` exponent in the sweep.
     pub max_exp: u32,
+    /// Where to persist the run as a `geo2c-report` JSON `ResultSet`
+    /// (`--json PATH`), if requested.
+    pub json: Option<String>,
     /// Extra flags not consumed by the common parser.
     pub extra: Vec<String>,
 }
@@ -67,6 +99,7 @@ impl Cli {
             threads: geo2c_util::parallel::num_threads(),
             min_exp: default_range.0,
             max_exp: default_range.1,
+            json: None,
             extra: Vec::new(),
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,6 +123,7 @@ impl Cli {
                 "--max-exp" => {
                     cli.max_exp = take(&args, &mut i, "--max-exp").parse().expect("max-exp");
                 }
+                "--json" => cli.json = Some(take(&args, &mut i, "--json")),
                 "--full" => {
                     cli.trials = 1000;
                     cli.max_exp = full_max_exp;
@@ -130,6 +164,26 @@ impl Cli {
     #[must_use]
     pub fn has_flag(&self, flag: &str) -> bool {
         self.extra.iter().any(|f| f == flag)
+    }
+
+    /// Persists `results` to the `--json` path (if one was given) as a
+    /// provenance-stamped [`ResultSet`], and reports where they went.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be written (a bench binary has no
+    /// recovery path — surface the error loudly).
+    pub fn write_results(&self, results: &[ExperimentResult]) {
+        let Some(path) = &self.json else {
+            return;
+        };
+        let mut set = ResultSet::new(Provenance::capture(self.seed));
+        for result in results {
+            set.push(result.clone());
+        }
+        let path = std::path::Path::new(path);
+        set.save(path)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("results written to {}", path.display());
     }
 }
 
@@ -173,6 +227,7 @@ mod tests {
             threads: 1,
             min_exp: 8,
             max_exp: 18,
+            json: None,
             extra: vec![],
         };
         assert_eq!(cli.sweep_sizes(), vec![1 << 8, 1 << 12, 1 << 16, 1 << 18]);
@@ -188,6 +243,7 @@ mod tests {
             threads: 1,
             min_exp: 8,
             max_exp: 8,
+            json: None,
             extra: vec!["--with-voecking".into()],
         };
         assert!(cli.has_flag("--with-voecking"));

@@ -1,0 +1,118 @@
+//! End-to-end smoke test for the `run_tables` driver: a `--quick` run
+//! must produce parseable `ResultSet` JSON for every experiment, and the
+//! `--check` mode must accept what was just written and reject a
+//! tampered expectation.
+
+use geo2c_bench::experiments::SUITE_IDS;
+use geo2c_report::{Json, ResultSet};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(dir: &PathBuf, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_run_tables"));
+    cmd.arg("--quick").arg("--dir").arg(dir).args(extra);
+    cmd.output().expect("run_tables executes")
+}
+
+#[test]
+fn quick_run_produces_parseable_result_sets_and_check_works() {
+    let dir = std::env::temp_dir().join(format!("geo2c-run-tables-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Write mode: every experiment lands as its own ResultSet file.
+    let output = run(&dir, &[]);
+    assert!(output.status.success(), "write run failed: {output:?}");
+    let results_dir = dir.join("results").join("quick");
+    for id in SUITE_IDS {
+        let path = results_dir.join(format!("{id}.json"));
+        let set =
+            ResultSet::load(&path).unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()));
+        let experiment = set.experiment(id).expect("experiment under its own id");
+        assert!(!experiment.cells.is_empty(), "{id} has no cells");
+        assert_eq!(experiment.spec.seed, 0);
+        assert!(experiment.spec.trials > 0);
+        // Table cells carry max-load distributions with one entry per trial.
+        if id != "dimension" {
+            let cell = &experiment.cells[0];
+            let dist = cell.distribution.as_ref().expect("distribution");
+            assert_eq!(dist.total(), experiment.spec.trials as u64);
+        }
+    }
+    // The quick scale never touches EXPERIMENTS.md (reference scale only).
+    assert!(!dir.join("EXPERIMENTS.md").exists());
+
+    // Check mode: a fresh identical run passes against what was written.
+    let output = run(&dir, &["--check"]);
+    assert!(
+        output.status.success(),
+        "self-check failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Tamper with one committed distribution: the check must fail loudly.
+    let victim = results_dir.join("table1.json");
+    let mut set = ResultSet::load(&victim).unwrap();
+    let cell = &mut set.experiments[0].cells[0];
+    let trials = cell.distribution.as_ref().unwrap().total();
+    let mut skewed = geo2c_util::hist::Counter::new();
+    skewed.add_n(40, trials); // an absurd max load in every trial
+    cell.distribution = Some(skewed);
+    set.save(&victim).unwrap();
+
+    let output = run(&dir, &["--check"]);
+    assert!(!output.status.success(), "tampered check must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("check FAILED"), "stderr: {stderr}");
+    assert!(stderr.contains("table1"), "stderr: {stderr}");
+
+    // A missing expectation file is reported as such, not as a diff.
+    std::fs::remove_file(&victim).unwrap();
+    let output = run(&dir, &["--check"]);
+    assert!(!output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("cannot load committed expectations"),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quick_expectations_in_the_repository_match_the_current_scale() {
+    // The committed results/quick/*.json must carry the spec the QUICK
+    // scale would run today — otherwise ci.sh's `--quick --check` is
+    // comparing apples to stale oranges and its failure message will
+    // blame the numbers instead of the spec. (The full comparison runs
+    // in CI; this test just pins the committed spec shape so drift is
+    // caught even when tests run without the CI script.)
+    let repo_quick: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "results", "quick"]
+        .iter()
+        .collect();
+    let scale = geo2c_bench::experiments::QUICK;
+    for id in SUITE_IDS {
+        let path = repo_quick.join(format!("{id}.json"));
+        let set = ResultSet::load(&path)
+            .unwrap_or_else(|e| panic!("{} must exist and parse: {e}", path.display()));
+        let spec = &set.experiment(id).expect("experiment present").spec;
+        let expected_trials = match id {
+            "table2" => scale.torus_trials,
+            "dimension" => scale.dim_trials,
+            _ => scale.ring_trials,
+        };
+        assert_eq!(spec.trials, expected_trials, "{id}: stale trials");
+        if id == "table1" || id == "table3" {
+            let ns: Vec<usize> = scale.ring_sizes();
+            let committed: Vec<usize> = spec
+                .params
+                .iter()
+                .find(|(k, _)| k == "n")
+                .and_then(|(_, v)| v.as_array())
+                .expect("n param")
+                .iter()
+                .filter_map(Json::as_usize)
+                .collect();
+            assert_eq!(committed, ns, "{id}: stale sweep sizes");
+        }
+    }
+}

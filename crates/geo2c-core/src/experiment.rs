@@ -54,6 +54,22 @@ impl SweepConfig {
         self.threads = threads;
         self
     }
+
+    /// Provenance description of this configuration as ordered key/value
+    /// pairs — what a persisted experiment spec must record so a later
+    /// run can reproduce (or refuse to compare against) these numbers.
+    /// The `run_tables` driver logs these pairs for every suite run.
+    ///
+    /// The thread count is deliberately absent: results are
+    /// thread-count-invariant by construction (per-trial streams), so it
+    /// is an execution detail, not provenance.
+    #[must_use]
+    pub fn describe(&self) -> Vec<(String, String)> {
+        vec![
+            ("trials".to_string(), self.trials.to_string()),
+            ("seed".to_string(), self.seed.to_string()),
+        ]
+    }
 }
 
 /// The outcome of one sweep cell: the max-load distribution over trials.
@@ -76,6 +92,15 @@ impl MaxLoadCell {
     #[must_use]
     pub fn paper_style(&self) -> String {
         self.distribution.paper_style()
+    }
+
+    /// The distribution as sorted `(max load, trial count)` pairs — the
+    /// canonical form in which distributions cross into the report path
+    /// (`geo2c-bench::experiments` → `geo2c-report`) and are persisted
+    /// in the committed expectation files under `results/`.
+    #[must_use]
+    pub fn distribution_pairs(&self) -> Vec<(u64, u64)> {
+        self.distribution.iter().collect()
     }
 }
 
@@ -401,5 +426,36 @@ mod tests {
         );
         let text = cell.paper_style();
         assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn distribution_pairs_match_counter() {
+        let cell = sweep_kind(
+            SpaceKind::Uniform,
+            Strategy::two_choice(),
+            64,
+            64,
+            &quick_config(),
+        );
+        let pairs = cell.distribution_pairs();
+        assert_eq!(pairs.iter().map(|&(_, c)| c).sum::<u64>(), 30);
+        for (value, count) in pairs {
+            assert_eq!(cell.distribution.count(value), count);
+        }
+    }
+
+    #[test]
+    fn sweep_config_describe_is_provenance_only() {
+        let config = SweepConfig::new(100).with_seed(9).with_threads(7);
+        let described = config.describe();
+        assert_eq!(
+            described,
+            vec![
+                ("trials".to_string(), "100".to_string()),
+                ("seed".to_string(), "9".to_string()),
+            ]
+        );
+        // Threads are an execution detail, not provenance.
+        assert!(described.iter().all(|(k, _)| k != "threads"));
     }
 }

@@ -30,6 +30,29 @@
 //!   `Θ(log n / log log n)` growth, the layered-induction recursions
 //!   (both the classical and the paper's geometric variant), and the
 //!   fluid-limit load profile for the uniform case.
+//!
+//! One Table-1 cell, end to end — a parallel multi-trial sweep whose
+//! result is a pure function of `(seed, configuration)`:
+//!
+//! ```
+//! use geo2c_core::experiment::{sweep_kind, SweepConfig};
+//! use geo2c_core::space::SpaceKind;
+//! use geo2c_core::strategy::Strategy;
+//!
+//! let config = SweepConfig::new(10).with_seed(1).with_threads(2);
+//! let cell = sweep_kind(SpaceKind::Ring, Strategy::two_choice(), 128, 128, &config);
+//! assert_eq!(cell.distribution.total(), 10); // one max load per trial
+//! assert!(cell.stats.mean() >= 1.0);
+//! // Thread count never changes the numbers, only the wall clock.
+//! let serial = sweep_kind(
+//!     SpaceKind::Ring,
+//!     Strategy::two_choice(),
+//!     128,
+//!     128,
+//!     &config.with_threads(1),
+//! );
+//! assert_eq!(serial.distribution, cell.distribution);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

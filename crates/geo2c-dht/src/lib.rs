@@ -23,6 +23,22 @@
 //!
 //! The ring geometry is the same mathematics as `geo2c-ring` (a `u64` ring
 //! instead of `[0,1)`); the tests cross-check the two.
+//!
+//! ```
+//! use geo2c_dht::chord::ChordRing;
+//! use geo2c_dht::placement::{evaluate, PlacementPolicy};
+//! use geo2c_util::rng::Xoshiro256pp;
+//!
+//! // 64 nodes, 1024 items: two-choice placement keeps the maximum
+//! // load near the m/n = 16 average without any virtual servers.
+//! let mut rng = Xoshiro256pp::from_u64(3);
+//! let ring = ChordRing::new(64, &mut rng);
+//! let report = evaluate(&ring, PlacementPolicy::DChoice { d: 2 }, 1024, 100, &mut rng);
+//! assert_eq!(report.load.histogram.total(), 64); // every server counted
+//! assert!((report.load.mean - 16.0).abs() < 1e-9);
+//! assert!(report.load.max >= 16);
+//! assert!(report.lookup.unwrap().mean_hops >= 1.0);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,0 +1,713 @@
+//! Experiment specifications and persisted results.
+//!
+//! The unit of persistence is a [`ResultSet`]: provenance (who produced
+//! the numbers, from which seed, at which git revision) plus one
+//! [`ExperimentResult`] per experiment. Each result carries the
+//! [`ExperimentSpec`] it was produced from — the spec is stored *inside*
+//! the result file so that a `--check` run can detect drift between the
+//! committed expectations and the current harness configuration before
+//! comparing any numbers.
+//!
+//! Everything serializes through the in-tree [`Json`] value type; there
+//! is no reflection or derive machinery, just explicit `to_json` /
+//! `from_json` pairs with strict field checking (unknown structure is an
+//! error: expectation files are part of the reviewed tree).
+
+use crate::json::{Json, JsonError};
+use geo2c_util::hist::Counter;
+use geo2c_util::stats::RunningStats;
+
+/// Schema tag written into every persisted file.
+pub const FORMAT: &str = "geo2c/resultset-v1";
+
+/// Errors produced when loading or interpreting persisted results.
+#[derive(Debug)]
+pub enum ReportError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file is not valid JSON.
+    Json(JsonError),
+    /// The JSON does not match the result-set schema.
+    Schema(String),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Io(e) => write!(f, "io error: {e}"),
+            ReportError::Json(e) => write!(f, "{e}"),
+            ReportError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<std::io::Error> for ReportError {
+    fn from(e: std::io::Error) -> Self {
+        ReportError::Io(e)
+    }
+}
+
+impl From<JsonError> for ReportError {
+    fn from(e: JsonError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+fn schema_err<T>(msg: impl Into<String>) -> Result<T, ReportError> {
+    Err(ReportError::Schema(msg.into()))
+}
+
+fn req<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, ReportError> {
+    obj.get(key)
+        .ok_or_else(|| ReportError::Schema(format!("{ctx}: missing field '{key}'")))
+}
+
+fn req_str(obj: &Json, key: &str, ctx: &str) -> Result<String, ReportError> {
+    req(obj, key, ctx)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| ReportError::Schema(format!("{ctx}: '{key}' must be a string")))
+}
+
+fn req_u64(obj: &Json, key: &str, ctx: &str) -> Result<u64, ReportError> {
+    req(obj, key, ctx)?.as_u64().ok_or_else(|| {
+        ReportError::Schema(format!("{ctx}: '{key}' must be a non-negative integer"))
+    })
+}
+
+/// Rejects unknown top-level fields: expectation files are part of the
+/// reviewed tree, so a misspelled field is a mistake to surface, not
+/// forward-compatible data to drop (the `format` tag versions the schema).
+fn only_fields(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), ReportError> {
+    if let Some(fields) = v.as_object() {
+        for (key, _) in fields {
+            if !allowed.contains(&key.as_str()) {
+                return schema_err(format!("{ctx}: unknown field '{key}'"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// What was run: identity, scale and parameters of one experiment.
+///
+/// `params` is free-form ordered key→JSON metadata (sweep sizes, strategy
+/// labels, space kind, …); it participates verbatim in spec-drift
+/// detection, so anything that influences the numbers belongs in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Stable machine identifier (`"table1"`, `"dimension"`, …).
+    pub id: String,
+    /// Human title for reports.
+    pub title: String,
+    /// Which artifact of the paper this reproduces (`"Table 1"`, `"§3 footnote 3"`, …).
+    pub paper_ref: String,
+    /// Independent trials per cell.
+    pub trials: usize,
+    /// Root seed (streams are derived per cell and trial).
+    pub seed: u64,
+    /// Everything else that shaped the run.
+    pub params: Vec<(String, Json)>,
+}
+
+impl ExperimentSpec {
+    /// Creates a spec with no parameters.
+    #[must_use]
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            paper_ref: String::new(),
+            trials: 0,
+            seed: 0,
+            params: Vec::new(),
+        }
+    }
+
+    /// Sets the paper reference.
+    #[must_use]
+    pub fn paper_ref(mut self, r: impl Into<String>) -> Self {
+        self.paper_ref = r.into();
+        self
+    }
+
+    /// Sets the trial count.
+    #[must_use]
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the root seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends one parameter.
+    #[must_use]
+    pub fn param(mut self, key: impl Into<String>, value: Json) -> Self {
+        self.params.push((key.into(), value));
+        self
+    }
+
+    /// Serializes to JSON.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::str(&self.id)),
+            ("title".into(), Json::str(&self.title)),
+            ("paper_ref".into(), Json::str(&self.paper_ref)),
+            ("trials".into(), Json::from_usize(self.trials)),
+            ("seed".into(), Json::from_u64(self.seed)),
+            ("params".into(), Json::Obj(self.params.clone())),
+        ])
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    /// Returns [`ReportError::Schema`] if required fields are missing or
+    /// have the wrong type.
+    pub fn from_json(v: &Json) -> Result<Self, ReportError> {
+        let ctx = "spec";
+        only_fields(
+            v,
+            &["id", "title", "paper_ref", "trials", "seed", "params"],
+            ctx,
+        )?;
+        let params = match req(v, "params", ctx)? {
+            Json::Obj(fields) => fields.clone(),
+            _ => return schema_err("spec: 'params' must be an object"),
+        };
+        Ok(Self {
+            id: req_str(v, "id", ctx)?,
+            title: req_str(v, "title", ctx)?,
+            paper_ref: req_str(v, "paper_ref", ctx)?,
+            trials: req_u64(v, "trials", ctx)? as usize,
+            seed: req_u64(v, "seed", ctx)?,
+            params,
+        })
+    }
+}
+
+/// One measured configuration: coordinates in the sweep, an optional
+/// max-load distribution, and scalar metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cell {
+    /// Where in the sweep this cell sits (`n`, `d`, `space`, …), ordered.
+    pub coords: Vec<(String, Json)>,
+    /// Distribution of an integer statistic over trials (the paper's
+    /// table cells are max-load distributions), if this experiment has one.
+    pub distribution: Option<Counter>,
+    /// Scalar metrics (`mean`, `violation_rate`, …), ordered.
+    pub metrics: Vec<(String, Json)>,
+}
+
+impl Cell {
+    /// Creates an empty cell.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a coordinate.
+    #[must_use]
+    pub fn coord(mut self, key: impl Into<String>, value: Json) -> Self {
+        self.coords.push((key.into(), value));
+        self
+    }
+
+    /// Sets the distribution.
+    #[must_use]
+    pub fn dist(mut self, distribution: Counter) -> Self {
+        self.distribution = Some(distribution);
+        self
+    }
+
+    /// Appends a scalar metric.
+    #[must_use]
+    pub fn metric(mut self, key: impl Into<String>, value: Json) -> Self {
+        self.metrics.push((key.into(), value));
+        self
+    }
+
+    /// A short human label for the cell, e.g. `n=4096, d=2`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.coords
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.render()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Summary statistics of the distribution (empty if there is none).
+    #[must_use]
+    pub fn dist_stats(&self) -> RunningStats {
+        let mut stats = RunningStats::new();
+        if let Some(dist) = &self.distribution {
+            for (value, count) in dist.iter() {
+                for _ in 0..count {
+                    stats.push(value as f64);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Serializes to JSON. The distribution is stored as sorted
+    /// `[value, count]` pairs.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let dist = match &self.distribution {
+            Some(d) => Json::Arr(
+                d.iter()
+                    .map(|(v, c)| Json::Arr(vec![Json::from_u64(v), Json::from_u64(c)]))
+                    .collect(),
+            ),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("coords".into(), Json::Obj(self.coords.clone())),
+            ("distribution".into(), dist),
+            ("metrics".into(), Json::Obj(self.metrics.clone())),
+        ])
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    /// Returns [`ReportError::Schema`] on structural mismatch.
+    pub fn from_json(v: &Json) -> Result<Self, ReportError> {
+        only_fields(v, &["coords", "distribution", "metrics"], "cell")?;
+        let coords = match req(v, "coords", "cell")? {
+            Json::Obj(fields) => fields.clone(),
+            _ => return schema_err("cell: 'coords' must be an object"),
+        };
+        let distribution = match req(v, "distribution", "cell")? {
+            Json::Null => None,
+            Json::Arr(pairs) => {
+                let mut counter = Counter::new();
+                for pair in pairs {
+                    let items = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                        ReportError::Schema(
+                            "cell: distribution entries must be [value, count]".into(),
+                        )
+                    })?;
+                    let value = items[0].as_u64();
+                    let count = items[1].as_u64();
+                    match (value, count) {
+                        (Some(value), Some(count)) => counter.add_n(value, count),
+                        _ => return schema_err("cell: distribution entries must be integer pairs"),
+                    }
+                }
+                Some(counter)
+            }
+            _ => return schema_err("cell: 'distribution' must be an array or null"),
+        };
+        let metrics = match req(v, "metrics", "cell")? {
+            Json::Obj(fields) => fields.clone(),
+            _ => return schema_err("cell: 'metrics' must be an object"),
+        };
+        Ok(Self {
+            coords,
+            distribution,
+            metrics,
+        })
+    }
+}
+
+/// A spec plus the cells it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// The configuration that produced the numbers.
+    pub spec: ExperimentSpec,
+    /// One cell per sweep configuration, in sweep order.
+    pub cells: Vec<Cell>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result for `spec`.
+    #[must_use]
+    pub fn new(spec: ExperimentSpec) -> Self {
+        Self {
+            spec,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends a cell.
+    pub fn push(&mut self, cell: Cell) {
+        self.cells.push(cell);
+    }
+
+    /// Serializes to JSON.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("spec".into(), self.spec.to_json()),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(Cell::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    /// Returns [`ReportError::Schema`] on structural mismatch.
+    pub fn from_json(v: &Json) -> Result<Self, ReportError> {
+        only_fields(v, &["spec", "cells"], "experiment")?;
+        let spec = ExperimentSpec::from_json(req(v, "spec", "experiment")?)?;
+        let cells = match req(v, "cells", "experiment")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(Cell::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return schema_err("experiment: 'cells' must be an array"),
+        };
+        Ok(Self { spec, cells })
+    }
+}
+
+/// Who produced a result set, and from what.
+///
+/// The git revision is *informational* (it records where the numbers came
+/// from); it is deliberately excluded from rendered reports and from
+/// tolerance checking, so that regenerating `EXPERIMENTS.md` at a later
+/// commit is byte-identical as long as the numbers are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// Producing tool (`"geo2c-report"` unless overridden).
+    pub tool: String,
+    /// Version of the producing tool.
+    pub version: String,
+    /// `git rev-parse HEAD` at production time, or `"unknown"`.
+    pub git_rev: String,
+    /// The root seed every stream was derived from.
+    pub seed: u64,
+}
+
+impl Provenance {
+    /// Captures provenance for `seed`: package version from the build,
+    /// git revision from the working tree (falling back to `"unknown"`
+    /// outside a repository or without a `git` binary).
+    #[must_use]
+    pub fn capture(seed: u64) -> Self {
+        Self {
+            tool: env!("CARGO_PKG_NAME").to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            git_rev: git_revision().unwrap_or_else(|| "unknown".into()),
+            seed,
+        }
+    }
+
+    /// Serializes to JSON.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("tool".into(), Json::str(&self.tool)),
+            ("version".into(), Json::str(&self.version)),
+            ("git_rev".into(), Json::str(&self.git_rev)),
+            ("seed".into(), Json::from_u64(self.seed)),
+        ])
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    /// Returns [`ReportError::Schema`] on structural mismatch.
+    pub fn from_json(v: &Json) -> Result<Self, ReportError> {
+        let ctx = "provenance";
+        only_fields(v, &["tool", "version", "git_rev", "seed"], ctx)?;
+        Ok(Self {
+            tool: req_str(v, "tool", ctx)?,
+            version: req_str(v, "version", ctx)?,
+            git_rev: req_str(v, "git_rev", ctx)?,
+            seed: req_u64(v, "seed", ctx)?,
+        })
+    }
+}
+
+/// The current git HEAD revision, if discoverable.
+#[must_use]
+pub fn git_revision() -> Option<String> {
+    let output = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(output.stdout).ok()?;
+    let rev = rev.trim();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev.to_string())
+    }
+}
+
+/// Provenance plus a list of experiment results: the persisted unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Production metadata.
+    pub provenance: Provenance,
+    /// The results, in run order.
+    pub experiments: Vec<ExperimentResult>,
+}
+
+impl ResultSet {
+    /// Creates an empty set with the given provenance.
+    #[must_use]
+    pub fn new(provenance: Provenance) -> Self {
+        Self {
+            provenance,
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Appends an experiment result.
+    pub fn push(&mut self, result: ExperimentResult) {
+        self.experiments.push(result);
+    }
+
+    /// Looks up an experiment by spec id.
+    #[must_use]
+    pub fn experiment(&self, id: &str) -> Option<&ExperimentResult> {
+        self.experiments.iter().find(|e| e.spec.id == id)
+    }
+
+    /// Serializes to JSON (including the schema tag).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("format".into(), Json::str(FORMAT)),
+            ("provenance".into(), self.provenance.to_json()),
+            (
+                "experiments".into(),
+                Json::Arr(
+                    self.experiments
+                        .iter()
+                        .map(ExperimentResult::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes from JSON, checking the schema tag.
+    ///
+    /// # Errors
+    /// Returns [`ReportError::Schema`] on a wrong format tag or
+    /// structural mismatch.
+    pub fn from_json(v: &Json) -> Result<Self, ReportError> {
+        only_fields(v, &["format", "provenance", "experiments"], "result set")?;
+        match req(v, "format", "result set")?.as_str() {
+            Some(FORMAT) => {}
+            Some(other) => {
+                return schema_err(format!("unsupported format '{other}', expected '{FORMAT}'"))
+            }
+            None => return schema_err("result set: 'format' must be a string"),
+        }
+        let provenance = Provenance::from_json(req(v, "provenance", "result set")?)?;
+        let experiments = match req(v, "experiments", "result set")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(ExperimentResult::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return schema_err("result set: 'experiments' must be an array"),
+        };
+        Ok(Self {
+            provenance,
+            experiments,
+        })
+    }
+
+    /// Parses a result set from JSON text.
+    ///
+    /// # Errors
+    /// Returns [`ReportError`] on malformed JSON or schema mismatch.
+    pub fn parse(text: &str) -> Result<Self, ReportError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// Renders the pretty JSON document (the on-disk format).
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Writes the set to `path` (creating parent directories).
+    ///
+    /// # Errors
+    /// Returns [`ReportError::Io`] on filesystem errors.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), ReportError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.render())?;
+        Ok(())
+    }
+
+    /// Loads a set from `path`.
+    ///
+    /// # Errors
+    /// Returns [`ReportError`] on filesystem, JSON, or schema errors.
+    pub fn load(path: &std::path::Path) -> Result<Self, ReportError> {
+        Self::parse(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> ResultSet {
+        let mut dist = Counter::new();
+        dist.add_n(4, 881);
+        dist.add_n(5, 118);
+        dist.add_n(6, 1);
+        let spec = ExperimentSpec::new("table1", "Max load with random arcs")
+            .paper_ref("Table 1")
+            .trials(1000)
+            .seed(0)
+            .param("space", Json::str("ring"))
+            .param(
+                "n",
+                Json::Arr(vec![Json::from_usize(256), Json::from_usize(4096)]),
+            )
+            .param("m", Json::str("n"));
+        let mut result = ExperimentResult::new(spec);
+        result.push(
+            Cell::new()
+                .coord("n", Json::from_usize(4096))
+                .coord("d", Json::from_usize(2))
+                .dist(dist)
+                .metric("mean", Json::num(4.12)),
+        );
+        result.push(
+            Cell::new()
+                .coord("n", Json::from_usize(256))
+                .coord("d", Json::from_usize(1))
+                .metric("mean_hops", Json::num(3.5)),
+        );
+        let mut set = ResultSet::new(Provenance {
+            tool: "geo2c-report".into(),
+            version: "0.1.0".into(),
+            git_rev: "deadbeef".into(),
+            seed: 0,
+        });
+        set.push(result);
+        set
+    }
+
+    #[test]
+    fn result_set_roundtrips_through_json_text() {
+        let set = sample_set();
+        let text = set.render();
+        let back = ResultSet::parse(&text).unwrap();
+        assert_eq!(back, set);
+        // And the render is stable (byte-identical re-render).
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn result_set_roundtrips_through_files() {
+        let set = sample_set();
+        let path = std::env::temp_dir().join(format!(
+            "geo2c-report-test-{}/nested/dir/set.json",
+            std::process::id()
+        ));
+        set.save(&path).unwrap();
+        let back = ResultSet::load(&path).unwrap();
+        assert_eq!(back, set);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn experiment_lookup_by_id() {
+        let set = sample_set();
+        assert!(set.experiment("table1").is_some());
+        assert!(set.experiment("nope").is_none());
+    }
+
+    #[test]
+    fn cell_label_and_stats() {
+        let set = sample_set();
+        let cell = &set.experiments[0].cells[0];
+        assert_eq!(cell.label(), "n=4096, d=2");
+        let stats = cell.dist_stats();
+        assert_eq!(stats.count(), 1000);
+        assert!((stats.mean() - 4.12).abs() < 1e-12);
+        // A cell without a distribution has empty stats.
+        assert_eq!(set.experiments[0].cells[1].dist_stats().count(), 0);
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        let mut v = sample_set().to_json();
+        if let Json::Obj(fields) = &mut v {
+            fields[0].1 = Json::str("geo2c/resultset-v999");
+        }
+        let err = ResultSet::from_json(&v).unwrap_err();
+        assert!(err.to_string().contains("unsupported format"));
+    }
+
+    #[test]
+    fn missing_fields_are_schema_errors() {
+        for text in [
+            r#"{"format": "geo2c/resultset-v1"}"#,
+            r#"{"format": "geo2c/resultset-v1", "provenance": {"tool": "t"}, "experiments": []}"#,
+        ] {
+            let err = ResultSet::parse(text).unwrap_err();
+            assert!(matches!(err, ReportError::Schema(_)), "{text}");
+        }
+        assert!(matches!(
+            ResultSet::parse("not json").unwrap_err(),
+            ReportError::Json(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        // A typo'd field in a hand-edited expectation file must error,
+        // not silently vanish ('trails' alongside the real 'trials').
+        let mut spec_json = ExperimentSpec::new("t", "t").to_json();
+        if let Json::Obj(fields) = &mut spec_json {
+            fields.push(("trails".into(), Json::from_usize(500)));
+        }
+        let err = ExperimentSpec::from_json(&spec_json).unwrap_err();
+        assert!(err.to_string().contains("unknown field 'trails'"), "{err}");
+
+        let cell_json =
+            Json::parse(r#"{"coords": {}, "distribution": null, "metrics": {}, "extra": 1}"#)
+                .unwrap();
+        assert!(Cell::from_json(&cell_json)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown field 'extra'"));
+    }
+
+    #[test]
+    fn bad_distribution_entries_are_rejected() {
+        let text = r#"{"coords": {}, "distribution": [[1.5, 2]], "metrics": {}}"#;
+        let err = Cell::from_json(&Json::parse(text).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("integer pairs"));
+    }
+
+    #[test]
+    fn provenance_capture_runs() {
+        let p = Provenance::capture(7);
+        assert_eq!(p.seed, 7);
+        assert!(!p.tool.is_empty());
+        assert!(!p.git_rev.is_empty());
+    }
+}

@@ -19,6 +19,22 @@
 //!
 //! The same structure doubles as the consistent-hashing ring for the
 //! Chord-style DHT application crate (`geo2c-dht`).
+//!
+//! ```
+//! use geo2c_ring::{Ownership, RingPartition, RingPoint};
+//! use geo2c_util::rng::Xoshiro256pp;
+//!
+//! // n random servers induce n arcs that exactly partition the circle
+//! // (the paper's bins)...
+//! let mut rng = Xoshiro256pp::from_u64(7);
+//! let ring = RingPartition::random(64, &mut rng);
+//! let total: f64 = ring.arc_lengths().iter().sum();
+//! assert!((total - 1.0).abs() < 1e-9);
+//! // ...and every probe point is owned by its clockwise successor, as
+//! // in consistent hashing (Theorem 1's charging rule).
+//! let owner = ring.owner(RingPoint::new(0.5), Ownership::Successor);
+//! assert!(ring.arc_length(owner) > 0.0);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

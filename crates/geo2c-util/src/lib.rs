@@ -22,6 +22,26 @@
 //! * [`bounds`] — executable concentration bounds (Chernoff / Lemma 2,
 //!   Chernoff–Hoeffding KL form, Azuma, exact binomial tails) so lemma
 //!   experiments print *bound vs observed* from one source of truth.
+//!
+//! The reproducibility contract in one example — independent streams per
+//! `(experiment, trial)`, identical on every platform and thread count
+//! (the committed `EXPERIMENTS.md` numbers rely on exactly this):
+//!
+//! ```
+//! use geo2c_util::{Counter, StreamSeeder};
+//! use rand::Rng;
+//!
+//! let seeder = StreamSeeder::new(0).child("demo-experiment");
+//! // Trial 3's stream is the same no matter who runs it, or when.
+//! let mut rng = seeder.stream(3);
+//! let dist: Counter = (0..100).map(|_| rng.gen_range(0u64..4)).collect();
+//! assert_eq!(dist.total(), 100);
+//! assert!(dist.paper_style().contains('%'));
+//! assert_eq!(
+//!     seeder.stream(3).gen::<u64>(),
+//!     StreamSeeder::new(0).child("demo-experiment").stream(3).gen::<u64>(),
+//! );
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,6 +1,6 @@
 //! Summary and order statistics for experiment post-processing.
 //!
-//! Two tools live here:
+//! Three tools live here:
 //!
 //! * [`RunningStats`] — single-pass mean/variance/min/max (Welford's
 //!   algorithm), used wherever we aggregate per-trial scalars (max load,
@@ -9,6 +9,66 @@
 //!   over a stored sample. The paper's Lemma 6 is a statement about the sum
 //!   of the `a` longest arcs; its empirical validation (experiment E6)
 //!   needs exact top-`a` sums, not approximations.
+//! * [`two_proportion_z`] / [`welch_z`] — two-sample test statistics used
+//!   by the `run_tables --check` tolerance diff (`geo2c-report`) to decide
+//!   whether a fresh run of a table is statistically consistent with the
+//!   expectations committed in `EXPERIMENTS.md` / `results/`.
+
+/// Two-sample pooled z statistic for a difference in proportions.
+///
+/// Given `k1` successes out of `n1` trials and `k2` out of `n2`, returns
+/// `|p1 − p2| / √(p̄(1−p̄)(1/n1 + 1/n2))` with `p̄` the pooled proportion.
+/// This is the statistic the experiment `--check` mode uses to decide
+/// whether a freshly measured max-load distribution is consistent with
+/// the committed expectation: each table cell percentage is a binomial
+/// proportion over trials, so a large z flags real drift rather than
+/// Monte-Carlo noise.
+///
+/// Degenerate cases: returns `0` when the observed difference is zero
+/// (even with no trials), and `+∞` when the pooled variance is zero but
+/// the proportions differ (e.g. 0/100 vs 5/100 has positive variance;
+/// 0/100 vs 0/100 returns 0; comparing against zero-trial samples with a
+/// nonzero difference returns `+∞`).
+#[must_use]
+pub fn two_proportion_z(k1: u64, n1: u64, k2: u64, n2: u64) -> f64 {
+    let p1 = if n1 == 0 { 0.0 } else { k1 as f64 / n1 as f64 };
+    let p2 = if n2 == 0 { 0.0 } else { k2 as f64 / n2 as f64 };
+    let diff = (p1 - p2).abs();
+    if diff == 0.0 {
+        return 0.0;
+    }
+    if n1 == 0 || n2 == 0 {
+        return f64::INFINITY;
+    }
+    let pooled = (k1 + k2) as f64 / (n1 + n2) as f64;
+    let var = pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64);
+    if var <= 0.0 {
+        return f64::INFINITY;
+    }
+    diff / var.sqrt()
+}
+
+/// Welch's (unpooled) z statistic for a difference in means.
+///
+/// `|m1 − m2| / √(v1/n1 + v2/n2)` with sample variances `v1`, `v2`. Used
+/// by the `--check` mode to compare per-cell mean max loads. Returns `0`
+/// for a zero difference and `+∞` when the standard error is zero but
+/// the means differ (a deterministic quantity changed).
+#[must_use]
+pub fn welch_z(m1: f64, v1: f64, n1: u64, m2: f64, v2: f64, n2: u64) -> f64 {
+    let diff = (m1 - m2).abs();
+    if diff == 0.0 {
+        return 0.0;
+    }
+    if n1 == 0 || n2 == 0 {
+        return f64::INFINITY;
+    }
+    let se2 = v1 / n1 as f64 + v2 / n2 as f64;
+    if se2 <= 0.0 {
+        return f64::INFINITY;
+    }
+    diff / se2.sqrt()
+}
 
 /// Single-pass (Welford) accumulator for mean, variance, min and max.
 ///
@@ -221,6 +281,36 @@ impl OrderStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn two_proportion_z_behaviour() {
+        // Identical samples: no signal.
+        assert_eq!(two_proportion_z(881, 1000, 881, 1000), 0.0);
+        assert_eq!(two_proportion_z(0, 0, 0, 0), 0.0);
+        // A 88.1% vs 86.0% shift over 1000 trials is ~1.4 sigma.
+        let z = two_proportion_z(881, 1000, 860, 1000);
+        assert!(z > 1.0 && z < 2.0, "z = {z}");
+        // A gross shift is many sigma.
+        assert!(two_proportion_z(881, 1000, 500, 1000) > 10.0);
+        // Zero-trial sample with a nonzero difference: infinite signal.
+        assert_eq!(two_proportion_z(5, 10, 0, 0), f64::INFINITY);
+        // Symmetric.
+        assert_eq!(
+            two_proportion_z(881, 1000, 860, 1000),
+            two_proportion_z(860, 1000, 881, 1000)
+        );
+    }
+
+    #[test]
+    fn welch_z_behaviour() {
+        assert_eq!(welch_z(4.1, 0.3, 1000, 4.1, 0.3, 1000), 0.0);
+        let z = welch_z(4.10, 0.3, 1000, 4.15, 0.3, 1000);
+        assert!(z > 1.0 && z < 3.0, "z = {z}");
+        assert!(welch_z(4.1, 0.3, 1000, 6.0, 0.3, 1000) > 10.0);
+        // Deterministic quantity changed: infinite signal.
+        assert_eq!(welch_z(4.0, 0.0, 1000, 4.1, 0.0, 1000), f64::INFINITY);
+        assert_eq!(welch_z(4.0, 0.1, 0, 4.1, 0.1, 10), f64::INFINITY);
+    }
 
     #[test]
     fn running_stats_basic() {

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates (or, with --check, verifies) the committed table
+# expectations: results/*.json and EXPERIMENTS.md. All flags are passed
+# through to the run_tables driver:
+#
+#   ./tables.sh                 # reference scale: rewrite results/ + EXPERIMENTS.md
+#   ./tables.sh --check         # rerun and diff against the committed numbers
+#   ./tables.sh --quick         # CI-scale expectations (results/quick/)
+#   ./tables.sh --quick --check # fast half of the ci.sh gate (ci.sh also runs
+#                               #   the reference-scale --check)
+#   ./tables.sh --full          # the paper's 1000-trial scale (hours; results/full/)
+set -euo pipefail
+cd "$(dirname "$0")"
+exec cargo run --release -q -p geo2c-bench --bin run_tables -- "$@"
