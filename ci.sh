@@ -24,6 +24,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 say "benches compile"
 cargo bench -p geo2c-bench --no-run
 
+say "bench smoke (substrate ablation bench runs end to end; ~3 s)"
+cargo bench -p geo2c-bench --bench substrate
+
+# The committed baseline records absolute ns/iter from one reference
+# machine, so this cross-machine gate is a catastrophe catch (accidental
+# O(n) scans, debug asserts in release), not a micro-regression gate —
+# run `run_benches --check --tolerance 50` locally for that. A host
+# persistently slower than 3x the reference should regenerate and commit
+# results/bench/quick.json.
+say "bench regression gate (quick scale vs results/bench/quick.json, 200% tolerance)"
+cargo run --release -q -p geo2c-bench --bin run_benches -- --quick --check --tolerance 200
+
 say "table expectations (quick scale vs results/quick/, statistical tolerance)"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check
 

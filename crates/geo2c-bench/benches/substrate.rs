@@ -53,6 +53,16 @@ fn bench_ring_owner(c: &mut Criterion) {
                     .sum::<usize>()
             });
         });
+        // The binary-search oracle the bucket accelerant replaced: the
+        // ablation that shows what the fast path buys.
+        group.bench_with_input(BenchmarkId::new("successor_binary", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&q| part.successor_index_binary(q))
+                    .sum::<usize>()
+            });
+        });
     }
     group.finish();
 }

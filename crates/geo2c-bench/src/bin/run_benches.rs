@@ -1,0 +1,274 @@
+//! The persisted-benchmark driver: runs the hot-path micro-bench suite
+//! (`geo2c_bench::perf`), maintains the committed baselines under
+//! `results/bench/`, and gates perf regressions in CI.
+//!
+//! ```text
+//! run_benches [--quick] [--check] [--tolerance PCT] [--seed S]
+//!             [--dir DIR] [--out PATH] [--against PATH]
+//! run_benches --diff AFTER.json BEFORE.json
+//! ```
+//!
+//! * *(no flags)* — run the **full** scale and write
+//!   `results/bench/baseline.json` (the committed "after" evidence and
+//!   the regression-gate reference).
+//! * `--quick` — the CI scale (seconds); file stem `quick.json`.
+//! * `--check` — rerun the selected scale and fail if any benchmark is
+//!   more than `--tolerance` percent (default 50) slower than the
+//!   committed baseline. Improvements never fail; structural drift
+//!   (bench added/removed/renamed) always does.
+//! * `--out PATH` — write somewhere else (used to capture
+//!   `results/bench/before.json` at a pre-optimization commit).
+//! * `--against PATH` — check against an explicit baseline file.
+//! * `--diff A B` — no benches run: load two persisted runs and print
+//!   the per-bench speedup of `A` over `B` (e.g. the committed
+//!   `baseline.json` over `before.json`).
+
+use geo2c_bench::perf::{self, fmt_ns, pair_benches, run_bench_suite, BenchScale, FULL, QUICK};
+use geo2c_report::{ExperimentResult, Provenance, ResultSet};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    scale: &'static BenchScale,
+    check: bool,
+    tolerance_pct: f64,
+    seed: u64,
+    dir: PathBuf,
+    out: Option<PathBuf>,
+    against: Option<PathBuf>,
+    diff: Option<(PathBuf, PathBuf)>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: &FULL,
+        check: false,
+        tolerance_pct: 50.0,
+        seed: 0,
+        dir: PathBuf::from("."),
+        out: None,
+        against: None,
+        diff: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |argv: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.scale = &QUICK,
+            "--check" => args.check = true,
+            "--tolerance" => {
+                args.tolerance_pct = take(&argv, &mut i, "--tolerance")
+                    .parse()
+                    .expect("tolerance percent");
+            }
+            "--seed" => args.seed = take(&argv, &mut i, "--seed").parse().expect("seed"),
+            "--dir" => args.dir = PathBuf::from(take(&argv, &mut i, "--dir")),
+            "--out" => args.out = Some(PathBuf::from(take(&argv, &mut i, "--out"))),
+            "--against" => args.against = Some(PathBuf::from(take(&argv, &mut i, "--against"))),
+            "--diff" => {
+                let a = PathBuf::from(take(&argv, &mut i, "--diff"));
+                let b = PathBuf::from(take(&argv, &mut i, "--diff"));
+                args.diff = Some((a, b));
+            }
+            other => panic!(
+                "unknown flag '{other}'\nusage: run_benches [--quick] [--check] \
+                 [--tolerance PCT] [--seed S] [--dir DIR] [--out PATH] [--against PATH] \
+                 | --diff AFTER BEFORE"
+            ),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn baseline_path(args: &Args) -> PathBuf {
+    args.dir.join("results").join("bench").join(format!(
+        "{}.json",
+        if args.scale.name == QUICK.name {
+            "quick"
+        } else {
+            "baseline"
+        }
+    ))
+}
+
+fn load_bench(path: &Path) -> Result<ExperimentResult, ExitCode> {
+    match ResultSet::load(path) {
+        Ok(set) => match set.experiment("bench") {
+            Some(result) => Ok(result.clone()),
+            None => {
+                eprintln!("{}: no 'bench' experiment in file", path.display());
+                Err(ExitCode::from(2))
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot load {}: {e}", path.display());
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn print_table(result: &ExperimentResult) {
+    println!(
+        "{:<34} {:>12} {:>16} {:>10}",
+        "bench", "ns/iter", "throughput", "iters"
+    );
+    for cell in &result.cells {
+        let ns = perf::metric_f64(cell, "ns_per_iter").unwrap_or(f64::NAN);
+        let rate = perf::metric_f64(cell, "elems_per_s").unwrap_or(f64::NAN);
+        let iters = cell
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "iters")
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or(0);
+        println!(
+            "{:<34} {:>12} {:>14.3e}/s {:>10}",
+            cell.label(),
+            fmt_ns(ns),
+            rate,
+            iters
+        );
+    }
+}
+
+fn diff(after_path: &Path, before_path: &Path) -> ExitCode {
+    let (after, before) = match (load_bench(after_path), load_bench(before_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(c), _) | (_, Err(c)) => return c,
+    };
+    let (pairs, unmatched) = pair_benches(&after, &before);
+    println!(
+        "speedup of {} over {}:",
+        after_path.display(),
+        before_path.display()
+    );
+    println!(
+        "{:<34} {:>12} {:>12} {:>9}",
+        "bench", "before", "after", "speedup"
+    );
+    for p in &pairs {
+        println!(
+            "{:<34} {:>12} {:>12} {:>8.2}x",
+            p.id,
+            fmt_ns(p.right_ns),
+            fmt_ns(p.left_ns),
+            p.speedup()
+        );
+    }
+    for u in &unmatched {
+        println!("  (unpaired) {u}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn check(
+    fresh: &ExperimentResult,
+    committed: &ExperimentResult,
+    baseline_file: &Path,
+    tolerance_pct: f64,
+) -> ExitCode {
+    let (pairs, unmatched) = pair_benches(fresh, committed);
+    let mut failures = Vec::new();
+    for u in &unmatched {
+        failures.push(format!(
+            "structural drift vs {}: {u}",
+            baseline_file.display()
+        ));
+    }
+    println!(
+        "{:<34} {:>12} {:>12} {:>9}",
+        "bench", "baseline", "fresh", "delta"
+    );
+    for p in &pairs {
+        let delta = p.regression_pct();
+        println!(
+            "{:<34} {:>12} {:>12} {:>+8.1}%",
+            p.id,
+            fmt_ns(p.right_ns),
+            fmt_ns(p.left_ns),
+            delta
+        );
+        if delta > tolerance_pct {
+            failures.push(format!(
+                "{}: {} -> {} ({delta:+.1}%, tolerance {tolerance_pct}%)",
+                p.id,
+                fmt_ns(p.right_ns),
+                fmt_ns(p.left_ns)
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench check OK: {} benches within {tolerance_pct}% of {}",
+            pairs.len(),
+            baseline_file.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench check FAILED against {}:", baseline_file.display());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "if the slowdown is intentional, regenerate the baseline with `run_benches{}` \
+             and commit the diff",
+            if baseline_file.ends_with("quick.json") {
+                " --quick"
+            } else {
+                ""
+            }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some((after, before)) = &args.diff {
+        return diff(after, before);
+    }
+
+    // Fail fast on a missing/corrupt baseline before the measurement run.
+    let committed = if args.check {
+        let baseline_file = args.against.clone().unwrap_or_else(|| baseline_path(&args));
+        match load_bench(&baseline_file) {
+            Ok(result) => Some((result, baseline_file)),
+            Err(code) => {
+                eprintln!(
+                    "run `run_benches` (or `run_benches --quick`) to create the baseline first"
+                );
+                return code;
+            }
+        }
+    } else {
+        None
+    };
+
+    eprintln!(
+        "running the {} bench scale (seed {})",
+        args.scale.name, args.seed
+    );
+    let fresh = run_bench_suite(args.scale, args.seed, perf::MEASURE_WINDOW, perf::REPEATS);
+
+    if let Some((committed, baseline_file)) = committed {
+        return check(&fresh, &committed, &baseline_file, args.tolerance_pct);
+    }
+
+    print_table(&fresh);
+    let path = args.out.clone().unwrap_or_else(|| baseline_path(&args));
+    let mut set = ResultSet::new(Provenance::capture(args.seed));
+    set.push(fresh);
+    if let Err(e) = set.save(&path) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

@@ -99,6 +99,11 @@ fn run_suite(scale: &Scale, seed: u64, threads: usize) -> Vec<ExperimentResult> 
         threads,
         seed,
     };
+    let chart = SweepConfig {
+        trials: scale.chart_trials,
+        threads,
+        seed,
+    };
     let provenance_line = |label: &str, config: &SweepConfig| {
         let pairs: Vec<String> = config
             .describe()
@@ -108,37 +113,50 @@ fn run_suite(scale: &Scale, seed: u64, threads: usize) -> Vec<ExperimentResult> 
         eprintln!("  {label}: {}", pairs.join(" "));
     };
     eprintln!(
-        "running the {} scale (ring n = {:?}, torus n = {:?}, dimension n = 2^{})",
+        "running the {} scale (ring n = {:?}, torus n = {:?}, dimension n = 2^{}, \
+         ring chart n = 2^{})",
         scale.name,
         scale.ring_sizes(),
         scale.torus_sizes(),
         scale.dim_exp,
+        scale.chart_exp,
     );
     provenance_line("ring", &ring);
     provenance_line("torus", &torus);
     provenance_line("dimension", &dim);
+    provenance_line("ring_chart", &chart);
     vec![
         experiments::table1(&scale.ring_sizes(), &ring),
         experiments::table2(&scale.torus_sizes(), &torus),
         experiments::table3(&scale.ring_sizes(), &ring, true),
         experiments::dimension(1usize << scale.dim_exp, &dim),
+        experiments::ring_chart(1usize << scale.chart_exp, &chart),
     ]
 }
 
 /// Loads every committed expectation file *before* the (potentially long)
-/// suite run, so a missing or corrupt file fails instantly.
-fn load_expected(dir: &Path, seed: u64) -> Result<ResultSet, ExitCode> {
+/// suite run, so a missing or corrupt file fails instantly. Also returns
+/// the source file of each loaded experiment, so a later `--check`
+/// failure can say *which file's* cell drifted instead of leaving a
+/// multi-file run ambiguous.
+fn load_expected(dir: &Path, seed: u64) -> Result<(ResultSet, Vec<(String, PathBuf)>), ExitCode> {
     let mut expected = ResultSet::new(Provenance::capture(seed));
+    let mut sources = Vec::new();
     let mut missing = Vec::new();
     for id in experiments::SUITE_IDS {
         let path = dir.join(format!("{id}.json"));
         match ResultSet::load(&path) {
-            Ok(set) => expected.experiments.extend(set.experiments),
+            Ok(set) => {
+                for result in &set.experiments {
+                    sources.push((result.spec.id.clone(), path.clone()));
+                }
+                expected.experiments.extend(set.experiments);
+            }
             Err(e) => missing.push(format!("{}: {e}", path.display())),
         }
     }
     if missing.is_empty() {
-        Ok(expected)
+        Ok((expected, sources))
     } else {
         eprintln!("cannot load committed expectations:");
         for m in &missing {
@@ -152,6 +170,7 @@ fn load_expected(dir: &Path, seed: u64) -> Result<ResultSet, ExitCode> {
 fn check(
     fresh: &ResultSet,
     expected: &ResultSet,
+    sources: &[(String, PathBuf)],
     args: &Args,
     dir: &Path,
     scale: &Scale,
@@ -188,8 +207,42 @@ fn check(
             diffs.len(),
             dir.display()
         );
+        let source_of = |experiment: &str| {
+            sources.iter().find(|(id, _)| id == experiment).map_or_else(
+                || "<no committed file>".to_string(),
+                |(_, p)| p.display().to_string(),
+            )
+        };
         for d in &diffs {
             eprintln!("  {d}");
+        }
+        // Per-experiment summary: exactly which cells drifted, and which
+        // committed file holds the expectation they drifted from.
+        eprintln!("drift summary (cell -> expectation file):");
+        let mut seen: Vec<&str> = Vec::new();
+        for d in &diffs {
+            if !seen.contains(&d.experiment.as_str()) {
+                seen.push(&d.experiment);
+            }
+        }
+        for experiment in seen {
+            let cells: Vec<&str> = diffs
+                .iter()
+                .filter(|d| d.experiment == experiment)
+                .map(|d| {
+                    if d.cell.is_empty() {
+                        "<spec>"
+                    } else {
+                        d.cell.as_str()
+                    }
+                })
+                .collect();
+            eprintln!(
+                "  {experiment}: {} drifted ({}) vs {}",
+                cells.len(),
+                cells.join("; "),
+                source_of(experiment)
+            );
         }
         let flag = if scale.name == REFERENCE.name {
             String::new()
@@ -244,7 +297,7 @@ fn main() -> ExitCode {
     set.experiments = results;
 
     match expected {
-        Some(expected) => check(&set, &expected, &args, &dir, args.scale),
+        Some((expected, sources)) => check(&set, &expected, &sources, &args, &dir, args.scale),
         None => write(&set, &args, &dir),
     }
 }

@@ -23,7 +23,7 @@ use geo2c_util::rng::Xoshiro256pp;
 
 /// Spec ids of the experiments `run_tables` drives, in suite order —
 /// also the basenames of the committed files under `results/`.
-pub const SUITE_IDS: [&str; 4] = ["table1", "table2", "table3", "dimension"];
+pub const SUITE_IDS: [&str; 5] = ["table1", "table2", "table3", "dimension", "ring_chart"];
 
 /// A named parameter set for the table suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,10 @@ pub struct Scale {
     pub dim_exp: u32,
     /// Trials per dimension-sweep cell.
     pub dim_trials: usize,
+    /// `n = 2^k` exponent for the ring diminishing-returns chart.
+    pub chart_exp: u32,
+    /// Trials per ring-chart cell.
+    pub chart_trials: usize,
 }
 
 /// CI / smoke-test scale: regenerates in seconds, even unoptimized.
@@ -53,6 +57,8 @@ pub const QUICK: Scale = Scale {
     torus_trials: 25,
     dim_exp: 7,
     dim_trials: 8,
+    chart_exp: 12,
+    chart_trials: 10,
 };
 
 /// The committed-expectation scale behind `EXPERIMENTS.md` (~1 minute
@@ -65,6 +71,11 @@ pub const REFERENCE: Scale = Scale {
     torus_trials: 150,
     dim_exp: 10,
     dim_trials: 60,
+    // The largest n whose d ∈ {2..8} sweep stays inside the single-core
+    // CI budget now that the ring owner path is O(1) (the ROADMAP's
+    // 2^20+ chart is the --full scale below).
+    chart_exp: 18,
+    chart_trials: 40,
 };
 
 /// The paper's own scale (1000 trials, `n` up to `2^24` / `2^20`).
@@ -77,6 +88,8 @@ pub const FULL: Scale = Scale {
     torus_trials: 1000,
     dim_exp: 12,
     dim_trials: 200,
+    chart_exp: 20,
+    chart_trials: 200,
 };
 
 impl Scale {
@@ -326,6 +339,45 @@ pub fn dimension(n: usize, config: &SweepConfig) -> ExperimentResult {
     result
 }
 
+/// The ring diminishing-returns chart (the ROADMAP's "`d > 2` sweeps on
+/// the *ring*" item): max-load distribution on random arcs for
+/// `d ∈ {2..8}`, `m = n`, at one large `n`. The `log log n / log d`
+/// bound predicts sharply diminishing returns past `d = 2`; this is the
+/// data behind that curve. Feasible at large `n` only because of the
+/// `O(1)` bucket-accelerated owner lookup.
+#[must_use]
+pub fn ring_chart(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let ds: Vec<usize> = (2..=8).collect();
+    let spec = ExperimentSpec::new(
+        "ring_chart",
+        "Diminishing returns: maximum load on the ring as d grows (m = n)",
+    )
+    .paper_ref("§2 Theorem 1 (d ≥ 2)")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("space", Json::str("ring"))
+    .param("m", Json::str("n"))
+    .param("tie_break", Json::str("random"))
+    .param("n", Json::from_usize(n))
+    .param(
+        "d",
+        Json::Arr(ds.iter().map(|&d| Json::from_usize(d)).collect()),
+    );
+    let mut result = ExperimentResult::new(spec);
+    for &d in &ds {
+        let cell = sweep_kind(SpaceKind::Ring, Strategy::d_choice(d), n, n, config);
+        result.push(report_cell(
+            vec![
+                ("n".into(), Json::from_usize(n)),
+                ("d".into(), Json::from_usize(d)),
+            ],
+            &cell,
+        ));
+        progress(&format!("ring_chart: d = {d} done"));
+    }
+    result
+}
+
 /// Renders `EXPERIMENTS.md` from the reference result set.
 ///
 /// The output is a pure function of the results (no timestamps, no git
@@ -369,11 +421,12 @@ both `./tables.sh --quick --check` (seconds, against \
 in the paper's `value: percent` format, with the distribution mean beneath.\n\n",
     );
 
-    let pivots: [(&str, &str, &str); 4] = [
+    let pivots: [(&str, &str, &str); 5] = [
         ("table1", "n", "d"),
         ("table2", "n", "d"),
         ("table3", "n", "tie_break"),
         ("dimension", "d", "K"),
+        ("ring_chart", "d", "n"),
     ];
     for (id, row_key, col_key) in pivots {
         if let Some(result) = set.experiment(id) {
@@ -382,6 +435,34 @@ in the paper's `value: percent` format, with the distribution mean beneath.\n\n"
         }
     }
 
+    out.push_str(
+        "## Performance methodology\n\n\
+The numbers above are *distributions*; the speed that makes them cheap to \
+regenerate is tracked separately under [`results/bench/`](results/bench/):\n\n\
+* **Run:** `cargo run --release -p geo2c-bench --bin run_benches` times the \
+hot-path suite (owner lookups on the ring and torus, end-to-end `run_trial` \
+insertions) with the criterion shim's technique — adaptive ~20 ms windows, \
+best of three, ns/iter — and writes `results/bench/baseline.json` (`--quick` \
+for the CI scale, `results/bench/quick.json`). Each file is a normal \
+`geo2c_report::ResultSet` with seed + git-revision provenance.\n\
+* **Gate:** `run_benches --check [--tolerance PCT]` reruns the suite and \
+fails if any benchmark is more than `PCT`% slower than its committed \
+baseline (default 50%; `ci.sh` gates at 200% because baselines store one \
+reference machine's absolute timings, making the cross-machine gate a \
+catastrophe catch rather than a micro-regression gate). Improvements \
+never fail; a bench appearing or disappearing always does.\n\
+* **Prove:** `run_benches --diff AFTER.json BEFORE.json` prints per-bench \
+speedups; `results/bench/before.json` preserves the pre-optimization \
+measurements of PR 3, so the committed tree carries its own before/after \
+evidence.\n\
+* **Ablations:** `cargo bench -p geo2c-bench --bench substrate` compares \
+the shipped owner paths against their oracles (CSR grid vs brute force, \
+bucket-accelerated successor vs binary search) without persisting anything.\n\n\
+Throughput changes must never move the tables: the batched sampler \
+(`Space::sample_owners_into`) draws exactly the stream of the naive loop, \
+so `./tables.sh --check` passing with *unchanged* committed JSON is part of \
+any perf PR's evidence.\n\n",
+    );
     out.push_str(
         "## Reading the JSON\n\n\
 Each `results/*.json` file is a `geo2c_report::ResultSet`: a `provenance` \
@@ -476,6 +557,20 @@ mod tests {
     }
 
     #[test]
+    fn ring_chart_sweeps_d_2_through_8() {
+        let result = ring_chart(64, &tiny_config());
+        assert_eq!(result.spec.id, "ring_chart");
+        assert_eq!(result.cells.len(), 7);
+        for (cell, d) in result.cells.iter().zip(2u64..=8) {
+            assert!(cell
+                .coords
+                .iter()
+                .any(|(k, v)| k == "d" && v.as_u64() == Some(d)));
+            assert_eq!(cell.distribution.as_ref().expect("dist").total(), 5);
+        }
+    }
+
+    #[test]
     fn experiments_markdown_has_all_sections() {
         use geo2c_report::{Provenance, ResultSet};
         let config = tiny_config();
@@ -489,6 +584,7 @@ mod tests {
         set.push(table2(&[32], &config));
         set.push(table3(&[32], &config, true));
         set.push(dimension(32, &config));
+        set.push(ring_chart(32, &config));
         let md = experiments_markdown(&set);
         assert!(md.starts_with("# EXPERIMENTS"));
         for heading in [
@@ -496,6 +592,7 @@ mod tests {
             "## Table 2",
             "## Table 3",
             "## Higher dimensions",
+            "## Diminishing returns",
         ] {
             assert!(md.contains(heading), "missing {heading}");
         }

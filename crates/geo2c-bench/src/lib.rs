@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod perf;
 
 use geo2c_core::experiment::SweepConfig;
 use geo2c_report::{ExperimentResult, Provenance, ResultSet};

@@ -11,7 +11,7 @@
 //! induction variable), ball heights, and load/region-size correlations.
 
 use crate::space::Space;
-use crate::strategy::Strategy;
+use crate::strategy::{ProbeScratch, Strategy};
 use geo2c_util::hist::Counter;
 use rand::Rng;
 
@@ -48,6 +48,15 @@ impl TrialResult {
 /// Inserts `m` balls into `space` using `strategy` and returns the final
 /// loads.
 ///
+/// Each ball's `d` probes are drawn as one block through
+/// [`Space::sample_owners_into`] into scratch reused across the whole
+/// trial, so the insertion loop performs no per-ball allocation and stays
+/// monomorphized over the concrete space. The probe block honours the
+/// batched API's stream contract (probe locations drawn first, in order),
+/// so the trial consumes exactly the RNG stream of the naive
+/// probe-by-probe loop — committed table expectations survive hot-path
+/// refactors byte-identically.
+///
 /// ```
 /// use geo2c_core::{sim, space::UniformSpace, strategy::Strategy};
 /// use geo2c_util::rng::Xoshiro256pp;
@@ -66,8 +75,9 @@ pub fn run_trial<S: Space, R: Rng + ?Sized>(
 ) -> TrialResult {
     let mut loads = vec![0u32; space.num_servers()];
     let mut max_load = 0u32;
+    let mut scratch = ProbeScratch::for_strategy(strategy);
     for _ in 0..m {
-        let dest = strategy.choose(space, &loads, rng);
+        let dest = strategy.choose_with(space, &loads, &mut scratch, rng);
         loads[dest] += 1;
         max_load = max_load.max(loads[dest]);
     }
@@ -77,6 +87,7 @@ pub fn run_trial<S: Space, R: Rng + ?Sized>(
 /// Like [`run_trial`] but also records each ball's *height* (its position
 /// in the destination stack: 1 + prior load). The height distribution is
 /// the quantity the layered-induction proof actually bounds (`μ_i`).
+/// Shares [`run_trial`]'s blocked probe drawing and stream contract.
 #[must_use]
 pub fn run_trial_with_heights<S: Space, R: Rng + ?Sized>(
     space: &S,
@@ -87,8 +98,9 @@ pub fn run_trial_with_heights<S: Space, R: Rng + ?Sized>(
     let mut loads = vec![0u32; space.num_servers()];
     let mut max_load = 0u32;
     let mut heights = Counter::new();
+    let mut scratch = ProbeScratch::for_strategy(strategy);
     for _ in 0..m {
-        let dest = strategy.choose(space, &loads, rng);
+        let dest = strategy.choose_with(space, &loads, &mut scratch, rng);
         loads[dest] += 1;
         heights.add(u64::from(loads[dest]));
         max_load = max_load.max(loads[dest]);

@@ -31,6 +31,25 @@ pub trait Space {
     /// Samples a uniform probe location and returns the owning server.
     fn sample_owner<R: Rng + ?Sized>(&self, rng: &mut R) -> usize;
 
+    /// Samples `out.len()` independent uniform probes and writes their
+    /// owners into `out` — the batched entry point the insertion engine
+    /// drives ([`crate::sim::run_trial`] draws each ball's probe block
+    /// through it, so probe drawing and owner lookups amortize instead of
+    /// alternating per probe).
+    ///
+    /// **Stream contract:** implementations must consume exactly the same
+    /// randomness, in the same order, as `out.len()` successive
+    /// [`Space::sample_owner`] calls (draw the probe locations first, in
+    /// order; owner resolution consumes no randomness). This keeps every
+    /// trial byte-identical whichever entry point the engine uses, which
+    /// is what lets `run_tables --check` hold the committed distributions
+    /// fixed across hot-path refactors.
+    fn sample_owners_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
+        for slot in out {
+            *slot = self.sample_owner(rng);
+        }
+    }
+
     /// Samples a probe restricted to the `j`-th of `d` equal divisions of
     /// the space (for Vöcking's always-go-left variant).
     ///
@@ -46,6 +65,10 @@ pub trait Space {
     /// x-coordinate on the torus, or its index for uniform bins.
     fn position_key(&self, server: usize) -> f64;
 }
+
+/// Probe-block size for the batched `sample_owners_into` overrides: big
+/// enough to amortize, small enough to live on the stack and in L1.
+const PROBE_BLOCK: usize = 32;
 
 // ---------------------------------------------------------------------------
 // Uniform bins (classical baseline)
@@ -160,6 +183,22 @@ impl Space for RingSpace {
         self.partition.owner(RingPoint::random(rng), self.ownership)
     }
 
+    fn sample_owners_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
+        // Same stream as the default loop (coordinates drawn in order,
+        // lookups consume nothing), but the draws and the lookups each
+        // run as a tight homogeneous loop.
+        let mut coords = [0.0f64; PROBE_BLOCK];
+        for chunk in out.chunks_mut(PROBE_BLOCK) {
+            let coords = &mut coords[..chunk.len()];
+            for c in coords.iter_mut() {
+                *c = rng.gen::<f64>();
+            }
+            for (slot, &c) in chunk.iter_mut().zip(coords.iter()) {
+                *slot = self.partition.owner(RingPoint::new(c), self.ownership);
+            }
+        }
+    }
+
     fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
         assert!(d > 0 && j < d, "division {j} of {d}");
         // Uniform point in the interval [j/d, (j+1)/d) of the circle.
@@ -227,6 +266,21 @@ impl Space for TorusSpace {
 
     fn sample_owner<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         self.sites.owner(TorusPoint::random(rng))
+    }
+
+    fn sample_owners_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
+        // Same stream as the default loop: each probe draws (x, y) in
+        // order, owner resolution draws nothing.
+        let mut points = [TorusPoint { x: 0.0, y: 0.0 }; PROBE_BLOCK];
+        for chunk in out.chunks_mut(PROBE_BLOCK) {
+            let points = &mut points[..chunk.len()];
+            for p in points.iter_mut() {
+                *p = TorusPoint::random(rng);
+            }
+            for (slot, &p) in chunk.iter_mut().zip(points.iter()) {
+                *slot = self.sites.owner(p);
+            }
+        }
     }
 
     fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
@@ -397,6 +451,15 @@ impl Space for AnySpace {
             AnySpace::Uniform(s) => s.sample_owner(rng),
             AnySpace::Ring(s) => s.sample_owner(rng),
             AnySpace::Torus(s) => s.sample_owner(rng),
+        }
+    }
+
+    fn sample_owners_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
+        // Dispatch once per block, not once per probe.
+        match self {
+            AnySpace::Uniform(s) => s.sample_owners_into(rng, out),
+            AnySpace::Ring(s) => s.sample_owners_into(rng, out),
+            AnySpace::Torus(s) => s.sample_owners_into(rng, out),
         }
     }
 
@@ -610,6 +673,26 @@ mod tests {
                 let owner = space.sample_owner_in_division(&mut rng, j, 4);
                 assert!(owner < 64);
             }
+        }
+    }
+
+    #[test]
+    fn batched_sampling_matches_sequential_stream() {
+        // sample_owners_into must consume the identical RNG stream as the
+        // same number of sample_owner calls — the invariant that keeps the
+        // committed distributions byte-stable across hot-path refactors.
+        use rand::RngCore as _;
+        let mut rng = Xoshiro256pp::from_u64(30);
+        for kind in [SpaceKind::Uniform, SpaceKind::Ring, SpaceKind::Torus] {
+            let space = kind.build(64, &mut rng);
+            // 77 spans multiple probe blocks plus a ragged tail.
+            let mut a = Xoshiro256pp::from_u64(31);
+            let mut b = a.clone();
+            let mut batched = [0usize; 77];
+            space.sample_owners_into(&mut a, &mut batched);
+            let sequential: Vec<usize> = (0..77).map(|_| space.sample_owner(&mut b)).collect();
+            assert_eq!(batched.to_vec(), sequential, "{kind:?}");
+            assert_eq!(a.next_u64(), b.next_u64(), "{kind:?}: rng states diverged");
         }
     }
 

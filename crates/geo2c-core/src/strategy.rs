@@ -90,6 +90,29 @@ pub struct Strategy {
     rule: ChoiceRule,
 }
 
+/// Probe candidates held on the stack for the common `d ≤ 8`.
+const INLINE_PROBES: usize = 8;
+
+/// Reusable per-trial scratch for a strategy's probe block.
+///
+/// [`crate::sim::run_trial`] allocates one of these per trial and reuses
+/// it for every ball, so the per-ball path stays allocation-free for any
+/// `d` and the probe block stays hot in cache.
+#[derive(Debug, Clone)]
+pub struct ProbeScratch {
+    owners: Vec<usize>,
+}
+
+impl ProbeScratch {
+    /// Scratch sized for `strategy`'s probes-per-ball.
+    #[must_use]
+    pub fn for_strategy(strategy: &Strategy) -> Self {
+        Self {
+            owners: vec![0; strategy.d()],
+        }
+    }
+}
+
 impl Strategy {
     /// Single uniform choice (`d = 1`): the classical hashing baseline.
     #[must_use]
@@ -168,9 +191,16 @@ impl Strategy {
 
     /// Chooses the destination server for one ball, given current `loads`.
     ///
-    /// Samples the candidates, selects the minimum load, and applies the
-    /// tie-break. Duplicate candidates (the same server probed twice) are
-    /// legal and equivalent to a single candidate, as in the paper's model.
+    /// Samples the candidates (as one probe block through
+    /// [`Space::sample_owners_into`]), selects the minimum load, and
+    /// applies the tie-break. Duplicate candidates (the same server probed
+    /// twice) are legal and equivalent to a single candidate, as in the
+    /// paper's model.
+    ///
+    /// Loops placing many balls should prefer [`Strategy::choose_with`]
+    /// with a reused [`ProbeScratch`]; this convenience entry point keeps
+    /// `d ≤ 8` on the stack and allocates per call beyond that. Both
+    /// consume the identical RNG stream.
     ///
     /// # Panics
     /// Panics if `loads.len() != space.num_servers()`.
@@ -180,25 +210,34 @@ impl Strategy {
         loads: &[u32],
         rng: &mut R,
     ) -> usize {
+        if let ChoiceRule::Independent { d, tie } = self.rule {
+            if d <= INLINE_PROBES {
+                debug_assert_eq!(loads.len(), space.num_servers());
+                let mut candidates = [0usize; INLINE_PROBES];
+                return self.place_block(space, loads, &mut candidates[..d], tie, rng);
+            }
+        }
+        self.choose_with(space, loads, &mut ProbeScratch::for_strategy(self), rng)
+    }
+
+    /// [`Strategy::choose`] with caller-owned scratch: the allocation-free
+    /// per-ball path the insertion engine runs.
+    ///
+    /// # Panics
+    /// Panics if `loads.len() != space.num_servers()` or `scratch` was
+    /// built for a different probe count.
+    pub fn choose_with<S: Space, R: Rng + ?Sized>(
+        &self,
+        space: &S,
+        loads: &[u32],
+        scratch: &mut ProbeScratch,
+        rng: &mut R,
+    ) -> usize {
         debug_assert_eq!(loads.len(), space.num_servers());
         match self.rule {
             ChoiceRule::Independent { d, tie } => {
-                // Gather candidates; track the running minimum load.
-                let mut candidates = [0usize; 8];
-                let mut overflow: Vec<usize>;
-                let cand: &mut [usize] = if d <= 8 {
-                    &mut candidates[..d]
-                } else {
-                    overflow = vec![0; d];
-                    &mut overflow
-                };
-                let mut min_load = u32::MAX;
-                for slot in cand.iter_mut() {
-                    let s = space.sample_owner(rng);
-                    *slot = s;
-                    min_load = min_load.min(loads[s]);
-                }
-                self.break_tie(space, loads, cand, min_load, tie, rng)
+                assert_eq!(scratch.owners.len(), d, "scratch sized for wrong d");
+                self.place_block(space, loads, &mut scratch.owners, tie, rng)
             }
             ChoiceRule::SplitAlwaysLeft { d } => {
                 // One probe per division; ties to the lowest division index.
@@ -214,6 +253,24 @@ impl Strategy {
                 best
             }
         }
+    }
+
+    /// Draws one probe block, finds the minimum load, applies the
+    /// tie-break.
+    fn place_block<S: Space, R: Rng + ?Sized>(
+        &self,
+        space: &S,
+        loads: &[u32],
+        cand: &mut [usize],
+        tie: TieBreak,
+        rng: &mut R,
+    ) -> usize {
+        space.sample_owners_into(rng, cand);
+        let mut min_load = u32::MAX;
+        for &s in cand.iter() {
+            min_load = min_load.min(loads[s]);
+        }
+        self.break_tie(space, loads, cand, min_load, tie, rng)
     }
 
     fn break_tie<S: Space, R: Rng + ?Sized>(
@@ -469,5 +526,40 @@ mod tests {
         for _ in 0..50 {
             assert!(strategy.choose(&space, &loads, &mut rng) < 64);
         }
+    }
+
+    #[test]
+    fn choose_and_choose_with_share_the_stream() {
+        // The scratch-reusing engine path and the convenience path must
+        // produce identical placements from identical RNG states.
+        let mut rng = Xoshiro256pp::from_u64(10);
+        let space = RingSpace::random(64, &mut rng);
+        for strategy in [
+            Strategy::one_choice(),
+            Strategy::two_choice(),
+            Strategy::d_choice(12),
+            Strategy::with_tie_break(3, TieBreak::SmallerRegion),
+            Strategy::voecking(2),
+        ] {
+            let mut a = Xoshiro256pp::from_u64(77);
+            let mut b = a.clone();
+            let mut scratch = ProbeScratch::for_strategy(&strategy);
+            let mut loads = vec![0u32; 64];
+            for _ in 0..200 {
+                let x = strategy.choose(&space, &loads, &mut a);
+                let y = strategy.choose_with(&space, &loads, &mut scratch, &mut b);
+                assert_eq!(x, y, "{}", strategy.label());
+                loads[x] += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch sized for wrong d")]
+    fn mismatched_scratch_rejected() {
+        let space = UniformSpace::new(4);
+        let mut rng = Xoshiro256pp::from_u64(11);
+        let mut scratch = ProbeScratch::for_strategy(&Strategy::d_choice(3));
+        let _ = Strategy::two_choice().choose_with(&space, &[0; 4], &mut scratch, &mut rng);
     }
 }

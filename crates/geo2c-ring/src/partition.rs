@@ -2,8 +2,14 @@
 //! induce.
 //!
 //! [`RingPartition`] is the substrate of the paper's Theorem 1: server
-//! positions are sorted once at construction and every point-to-owner query
-//! is a binary search (`O(log n)`). Two ownership conventions are provided:
+//! positions are sorted once at construction, and every point-to-owner
+//! query is answered in `O(1)` expected time by a bucket-index accelerant
+//! over the sorted positions (jump to the probe's bucket, scan forward a
+//! few slots; a bounded linear scan falls back to binary search on
+//! adversarially clustered inputs, so the worst case stays `O(log n)`).
+//! [`RingPartition::successor_index_binary`] keeps the plain
+//! `partition_point` binary search as the oracle the property tests pin
+//! the fast path against. Two ownership conventions are provided:
 //!
 //! * [`Ownership::Successor`] — a point belongs to the first server at or
 //!   after it in the clockwise direction. This is the consistent-hashing /
@@ -38,9 +44,20 @@ pub struct RingPartition {
     /// Server positions, sorted ascending by coordinate. Index in this
     /// vector is the server id used throughout the workspace.
     positions: Vec<RingPoint>,
+    /// Raw coordinates of `positions` (structure-of-arrays copy): the
+    /// successor scan touches only this dense `f64` array.
+    coords: Vec<f64>,
+    /// Bucket accelerant: `bucket_first[b]` is the first index `i` with
+    /// `coords[i] ≥ b / B` for `B = bucket_first.len() − 1 = n` buckets
+    /// (`bucket_first[B] == n`). A successor query jumps here and scans.
+    bucket_first: Vec<u32>,
 }
 
 impl RingPartition {
+    /// Forward-scan budget before [`Self::successor_index`] falls back to
+    /// binary search (only reachable on heavily clustered positions).
+    const SCAN_LIMIT: usize = 16;
+
     /// Places `n ≥ 1` servers independently and uniformly at random.
     ///
     /// # Panics
@@ -50,7 +67,7 @@ impl RingPartition {
         assert!(n > 0, "a ring partition needs at least one server");
         let mut positions: Vec<RingPoint> = (0..n).map(|_| RingPoint::random(rng)).collect();
         positions.sort();
-        Self { positions }
+        Self::index(positions)
     }
 
     /// Builds a partition from explicit positions (sorted internally).
@@ -64,7 +81,28 @@ impl RingPartition {
             "a ring partition needs at least one server"
         );
         positions.sort();
-        Self { positions }
+        Self::index(positions)
+    }
+
+    /// Builds the bucket accelerant over already-sorted positions.
+    fn index(positions: Vec<RingPoint>) -> Self {
+        let n = positions.len();
+        assert!(u32::try_from(n).is_ok(), "too many servers");
+        let coords: Vec<f64> = positions.iter().map(|p| p.coord()).collect();
+        let mut bucket_first = vec![0u32; n + 1];
+        let mut i = 0usize;
+        for (b, slot) in bucket_first.iter_mut().enumerate() {
+            let lo = b as f64 / n as f64;
+            while i < n && coords[i] < lo {
+                i += 1;
+            }
+            *slot = i as u32;
+        }
+        Self {
+            positions,
+            coords,
+            bucket_first,
+        }
     }
 
     /// Number of servers.
@@ -93,8 +131,44 @@ impl RingPartition {
 
     /// Index of the clockwise successor of `p`: the first server at
     /// coordinate ≥ `p`, wrapping to server 0 past the top of the circle.
+    ///
+    /// `O(1)` expected time for random positions: jump to the probe's
+    /// bucket (one bucket per server on average) and scan forward; a
+    /// bounded scan falls back to binary search so clustered layouts stay
+    /// `O(log n)`. Always equal to [`Self::successor_index_binary`]
+    /// (pinned by the property tests in `tests/successor_equivalence.rs`).
     #[must_use]
     pub fn successor_index(&self, p: RingPoint) -> usize {
+        let x = p.coord();
+        let n = self.coords.len();
+        let mut b = ((x * n as f64) as usize).min(n - 1);
+        // floor(x·n) can land a bucket high after FP rounding; the
+        // invariant we rely on is fl(b/n) ≤ x, checked with the exact
+        // expression the index was built from (≤ 1 step in practice).
+        while b > 0 && b as f64 / n as f64 > x {
+            b -= 1;
+        }
+        let mut i = self.bucket_first[b] as usize;
+        let end = (i + Self::SCAN_LIMIT).min(n);
+        while i < end && self.coords[i] < x {
+            i += 1;
+        }
+        if i == end && i < n && self.coords[i] < x {
+            // Dense cluster in this bucket: finish with binary search.
+            i += self.coords[i..].partition_point(|&c| c < x);
+        }
+        if i == n {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// The plain `partition_point` binary search (`O(log n)`): the oracle
+    /// [`Self::successor_index`] is validated against, kept for tests,
+    /// ablation benches, and as a reference implementation.
+    #[must_use]
+    pub fn successor_index_binary(&self, p: RingPoint) -> usize {
         let idx = self.positions.partition_point(|s| s.coord() < p.coord());
         if idx == self.positions.len() {
             0
@@ -329,6 +403,67 @@ mod tests {
     fn max_region_is_a_region() {
         let part = fixed();
         assert!((part.max_region(Ownership::Successor) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_successor_matches_binary_oracle() {
+        let mut rng = Xoshiro256pp::from_u64(11);
+        for n in [1usize, 2, 3, 50, 1000] {
+            let part = RingPartition::random(n, &mut rng);
+            for _ in 0..2000 {
+                let p = RingPoint::random(&mut rng);
+                assert_eq!(
+                    part.successor_index(p),
+                    part.successor_index_binary(p),
+                    "n={n} at {p}"
+                );
+            }
+            // Probe exactly at and adjacent to every server position.
+            for i in 0..n {
+                for delta in [-1e-12, 0.0, 1e-12] {
+                    let p = part.position(i).offset(delta);
+                    assert_eq!(part.successor_index(p), part.successor_index_binary(p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_positions_hit_the_binary_fallback() {
+        // 200 servers packed into one bucket-width: the forward scan
+        // exceeds SCAN_LIMIT and must fall back without losing exactness.
+        let mut rng = Xoshiro256pp::from_u64(12);
+        let mut positions: Vec<RingPoint> = (0..200)
+            .map(|i| RingPoint::new(0.5 + 1e-6 * i as f64))
+            .collect();
+        positions.push(RingPoint::new(0.1));
+        let part = RingPartition::from_positions(positions);
+        for _ in 0..2000 {
+            let p = RingPoint::random(&mut rng);
+            assert_eq!(part.successor_index(p), part.successor_index_binary(p));
+        }
+        for i in 0..part.len() {
+            let p = part.position(i);
+            assert_eq!(part.successor_index(p), part.successor_index_binary(p));
+        }
+    }
+
+    #[test]
+    fn duplicate_positions_resolve_identically() {
+        let part = RingPartition::from_positions(vec![
+            RingPoint::new(0.25),
+            RingPoint::new(0.25),
+            RingPoint::new(0.25),
+            RingPoint::new(0.75),
+        ]);
+        for x in [0.0, 0.25, 0.2500001, 0.5, 0.75, 0.9] {
+            let p = RingPoint::new(x);
+            assert_eq!(
+                part.successor_index(p),
+                part.successor_index_binary(p),
+                "{x}"
+            );
+        }
     }
 
     #[test]

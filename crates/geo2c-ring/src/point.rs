@@ -31,6 +31,11 @@ impl RingPoint {
     #[must_use]
     pub fn new(x: f64) -> Self {
         assert!(x.is_finite(), "ring coordinate must be finite, got {x}");
+        // Already-canonical inputs (every probe the samplers draw) skip
+        // the fmod; the fallback matches rem_euclid bit-for-bit.
+        if (0.0..1.0).contains(&x) {
+            return Self(x);
+        }
         let mut v = x.rem_euclid(1.0);
         // rem_euclid can return exactly 1.0 for tiny negative inputs due to
         // rounding; canonicalize.

@@ -8,22 +8,71 @@
 //!
 //! 1. scan the probe's own cell, then cells at Chebyshev ring 1, 2, …
 //!    (with wraparound), tracking the best site found;
-//! 2. stop as soon as the best distance found is ≤ `(r−1)·w` (with `w` the
-//!    cell width): every unvisited cell at ring ≥ `r` is at least that far
-//!    away in L∞, hence in L2, so it cannot contain a closer site.
+//! 2. stop as soon as the best *squared* distance found is
+//!    ≤ `((r−1)·w)²` (with `w` the cell width): every unvisited cell at
+//!    ring ≥ `r` is at least `(r−1)·w` away in L∞, hence in L2, so it
+//!    cannot contain a closer site. Comparing squared distances keeps
+//!    `sqrt` entirely off the query path.
+//!
+//! The buckets are stored in a flat CSR layout — one `offsets` array of
+//! `g² + 1` cursors into one contiguous `indices` array — so a query
+//! touches at most two small allocations (plus the site slice) instead of
+//! chasing a `Vec` per cell; within a bucket, site indices are in
+//! ascending order, which pins the documented scan-order tie-break.
 //!
 //! Degenerate grids (a ring would wrap onto itself) fall back to scanning
 //! all cells once, preserving exactness. [`nearest_brute`] is the oracle
-//! the tests compare against (ablation experiment E12 benchmarks both).
+//! the tests compare against (ablation experiment E12 benchmarks both,
+//! and `geo2c-torus/tests/owner_equivalence.rs` pins the equivalence with
+//! property tests over adversarial layouts).
 
 use crate::point::TorusPoint;
 
-/// A `g × g` bucket grid over the unit torus holding site indices.
+/// Counting-sort CSR construction shared by [`Grid`] and
+/// [`crate::kd::KdGrid`]: given each site's bucket id, returns
+/// `(offsets, indices)` with the site indices grouped by bucket and
+/// ascending within a bucket.
+///
+/// # Panics
+/// Panics if a bucket id is out of range or the arrays would overflow
+/// `u32`.
+pub(crate) fn csr_buckets(n_buckets: usize, bucket_of_site: &[usize]) -> (Vec<u32>, Vec<u32>) {
+    assert!(
+        u32::try_from(bucket_of_site.len()).is_ok(),
+        "too many sites"
+    );
+    assert!(u32::try_from(n_buckets + 1).is_ok(), "grid too large");
+    let mut offsets = vec![0u32; n_buckets + 1];
+    for &b in bucket_of_site {
+        offsets[b + 1] += 1;
+    }
+    for b in 0..n_buckets {
+        offsets[b + 1] += offsets[b];
+    }
+    let mut cursor = offsets.clone();
+    let mut indices = vec![0u32; bucket_of_site.len()];
+    for (i, &b) in bucket_of_site.iter().enumerate() {
+        indices[cursor[b] as usize] = i as u32;
+        cursor[b] += 1;
+    }
+    (offsets, indices)
+}
+
+/// A `g × g` bucket grid over the unit torus holding site indices in a
+/// flat CSR (offsets + contiguous indices) layout.
 #[derive(Debug, Clone)]
 pub struct Grid {
     g: usize,
     cell_w: f64,
-    buckets: Vec<Vec<u32>>,
+    /// `offsets[b]..offsets[b+1]` delimits bucket `b` in `indices`
+    /// (row-major, `b = cy·g + cx`); length `g² + 1`.
+    offsets: Vec<u32>,
+    /// All site indices, grouped by bucket, ascending within a bucket.
+    indices: Vec<u32>,
+    /// Site positions duplicated in `indices` order, so a bucket scan
+    /// streams contiguous coordinates instead of gathering random
+    /// entries of the caller's site slice.
+    packed: Vec<TorusPoint>,
 }
 
 impl Grid {
@@ -40,25 +89,42 @@ impl Grid {
     /// Builds a grid with an explicit side length (for tests/ablations).
     ///
     /// # Panics
-    /// Panics if `sites` is empty or `g == 0`.
+    /// Panics if `sites` is empty, `g == 0`, or the index arrays would
+    /// overflow `u32`.
     #[must_use]
     pub fn with_cells_per_side(sites: &[TorusPoint], g: usize) -> Self {
         assert!(!sites.is_empty(), "grid needs at least one site");
         assert!(g > 0, "grid side must be positive");
-        assert!(u32::try_from(sites.len()).is_ok(), "too many sites");
-        let mut buckets = vec![Vec::new(); g * g];
         let cell_w = 1.0 / g as f64;
-        for (i, p) in sites.iter().enumerate() {
-            let (cx, cy) = Self::cell_coords_for(p, g);
-            buckets[cy * g + cx].push(i as u32);
+        let bucket_ids: Vec<usize> = sites
+            .iter()
+            .map(|p| {
+                let (cx, cy) = Self::cell_coords_for(p, g);
+                cy * g + cx
+            })
+            .collect();
+        let (offsets, indices) = csr_buckets(g * g, &bucket_ids);
+        let packed = indices.iter().map(|&i| sites[i as usize]).collect();
+        Self {
+            g,
+            cell_w,
+            offsets,
+            indices,
+            packed,
         }
-        Self { g, cell_w, buckets }
     }
 
     /// Cells per side.
     #[must_use]
     pub fn cells_per_side(&self) -> usize {
         self.g
+    }
+
+    /// The site indices of bucket `b` (ascending); test-only introspection
+    /// (the query paths scan the packed coordinates directly).
+    #[cfg(test)]
+    fn bucket(&self, b: usize) -> &[u32] {
+        &self.indices[self.offsets[b] as usize..self.offsets[b + 1] as usize]
     }
 
     fn cell_coords_for(p: &TorusPoint, g: usize) -> (usize, usize) {
@@ -72,46 +138,140 @@ impl Grid {
     /// first (lowest bucket ring, then insertion order) — deterministic for
     /// a fixed site set.
     ///
-    /// `sites` must be the same slice the grid was built from.
+    /// Self-contained: scans the packed coordinate copy, so a query
+    /// streams contiguous memory and needs no access to the original
+    /// site slice. The common case (`g ≥ 4`, answer inside the probe's
+    /// 3×3 cell block — almost always, with ~1 site per cell) runs a
+    /// batched fast path: all nine bucket bounds are loaded before any
+    /// distance work, so the cache misses overlap instead of serializing,
+    /// and two exact early-exit tests (against the probe's own cell
+    /// boundary, then the block boundary) end most queries there.
     #[must_use]
-    pub fn nearest(&self, p: TorusPoint, sites: &[TorusPoint]) -> usize {
+    pub fn nearest(&self, p: TorusPoint) -> usize {
         let g = self.g;
         let (cx, cy) = Self::cell_coords_for(&p, g);
-        let mut best_idx = usize::MAX;
+        if g < 4 {
+            // 3×3 would self-wrap; the ring loop's scan-all branch is
+            // already optimal here.
+            return self.nearest_from_ring(p, cx, cy, 0, usize::MAX, f64::INFINITY);
+        }
+        let w = self.cell_w;
+        // Probe offsets inside its own cell (clamped against FP skew at
+        // the cell seam — a negative offset only makes the exits
+        // conservative, never wrong, because the block-boundary formula
+        // below is the true distance either way).
+        let fx = p.x - cx as f64 * w;
+        let fy = p.y - cy as f64 * w;
+        let xm = if cx == 0 { g - 1 } else { cx - 1 };
+        let xp = if cx + 1 == g { 0 } else { cx + 1 };
+        let ym = if cy == 0 { g - 1 } else { cy - 1 };
+        let yp = if cy + 1 == g { 0 } else { cy + 1 };
+        let (row_m, row_c, row_p) = (ym * g, cy * g, yp * g);
+        // Legacy scan order (ring 0, then ring 1 rows, then flanks) keeps
+        // the tie-break deterministic across layouts.
+        let buckets = [
+            row_c + cx,
+            row_m + xm,
+            row_p + xm,
+            row_m + cx,
+            row_p + cx,
+            row_m + xp,
+            row_p + xp,
+            row_c + xm,
+            row_c + xp,
+        ];
+        let mut lo = [0usize; 9];
+        let mut hi = [0usize; 9];
+        for (k, &b) in buckets.iter().enumerate() {
+            lo[k] = self.offsets[b] as usize;
+            hi[k] = self.offsets[b + 1] as usize;
+        }
+        // The scans track the best *CSR position*; the site id is a
+        // single `indices` load at the very end, keeping that array out
+        // of the inner loop entirely.
+        let mut best_j = usize::MAX;
         let mut best_d2 = f64::INFINITY;
-
-        let scan_bucket = |bx: usize, by: usize, best_idx: &mut usize, best_d2: &mut f64| {
-            for &i in &self.buckets[by * g + bx] {
-                let d2 = p.dist2(sites[i as usize]);
+        let scan = |k: usize, best_j: &mut usize, best_d2: &mut f64| {
+            for (off, site) in self.packed[lo[k]..hi[k]].iter().enumerate() {
+                let d2 = p.dist2(*site);
                 if d2 < *best_d2 {
                     *best_d2 = d2;
-                    *best_idx = i as usize;
+                    *best_j = lo[k] + off;
+                }
+            }
+        };
+        scan(0, &mut best_j, &mut best_d2);
+        // A hit closer than the probe's own cell boundary cannot be beaten
+        // from any other cell: done without touching ring 1. The clamp
+        // keeps this exact when FP seam skew makes an offset negative
+        // (squaring would otherwise turn "impossible" into "tiny radius").
+        let cell_edge = fx.min(w - fx).min(fy).min(w - fy).max(0.0);
+        if best_d2 <= cell_edge * cell_edge {
+            return self.indices[best_j] as usize;
+        }
+        for k in 1..9 {
+            scan(k, &mut best_j, &mut best_d2);
+        }
+        // Every unscanned site lies outside the 3×3 block, i.e. at least
+        // the block-boundary distance away (exact, not the coarser
+        // (r−1)·w bound).
+        let block_edge = (w + fx.min(w - fx)).min(w + fy.min(w - fy));
+        if best_j != usize::MAX && best_d2 <= block_edge * block_edge {
+            return self.indices[best_j] as usize;
+        }
+        // Rare: nothing conclusive within the block — resume the
+        // expanding-ring search at ring 2.
+        self.nearest_from_ring(p, cx, cy, 2, best_j, best_d2)
+    }
+
+    /// The expanding-ring search, starting at Chebyshev ring `start` with
+    /// the best candidate found so far (rings `< start` must already have
+    /// been scanned by the caller). `best_j` is a CSR position, not a
+    /// site id; the returned value is the resolved site id.
+    fn nearest_from_ring(
+        &self,
+        p: TorusPoint,
+        cx: usize,
+        cy: usize,
+        start: usize,
+        mut best_j: usize,
+        mut best_d2: f64,
+    ) -> usize {
+        let g = self.g;
+
+        let scan_bucket = |b: usize, best_j: &mut usize, best_d2: &mut f64| {
+            let lo = self.offsets[b] as usize;
+            let hi = self.offsets[b + 1] as usize;
+            for (k, site) in self.packed[lo..hi].iter().enumerate() {
+                let d2 = p.dist2(*site);
+                if d2 < *best_d2 {
+                    *best_d2 = d2;
+                    *best_j = lo + k;
                 }
             }
         };
 
         let max_ring = g / 2 + 1;
-        for r in 0..=max_ring {
+        for r in start..=max_ring {
             if r > 0 {
                 // Every cell at ring >= r is at least (r-1)*w away (L∞,
                 // hence L2). If we already have something at most that
-                // close, no further ring can improve on it.
+                // close, no further ring can improve on it. Squared on
+                // both sides: no sqrt anywhere on the query path.
                 let unreachable = (r as f64 - 1.0) * self.cell_w;
-                if best_idx != usize::MAX && best_d2.sqrt() <= unreachable {
+                if best_j != usize::MAX && best_d2 <= unreachable * unreachable {
                     break;
                 }
             }
             if 2 * r + 1 >= g {
                 // Ring wraps onto itself: scan everything once and stop.
-                for by in 0..g {
-                    for bx in 0..g {
-                        scan_bucket(bx, by, &mut best_idx, &mut best_d2);
-                    }
+                for b in 0..g * g {
+                    scan_bucket(b, &mut best_j, &mut best_d2);
                 }
                 break;
             }
             if r == 0 {
-                scan_bucket(cx, cy, &mut best_idx, &mut best_d2);
+                scan_bucket(cy * g + cx, &mut best_j, &mut best_d2);
                 continue;
             }
             // Chebyshev ring r around (cx, cy), wrapped. 2r+1 < g, so the
@@ -119,46 +279,55 @@ impl Grid {
             let wrap = |v: isize| -> usize { v.rem_euclid(g as isize) as usize };
             let r = r as isize;
             let (cxi, cyi) = (cx as isize, cy as isize);
+            let (row_lo, row_hi) = (wrap(cyi - r) * g, wrap(cyi + r) * g);
             for dx in -r..=r {
-                scan_bucket(wrap(cxi + dx), wrap(cyi - r), &mut best_idx, &mut best_d2);
-                scan_bucket(wrap(cxi + dx), wrap(cyi + r), &mut best_idx, &mut best_d2);
+                let bx = wrap(cxi + dx);
+                scan_bucket(row_lo + bx, &mut best_j, &mut best_d2);
+                scan_bucket(row_hi + bx, &mut best_j, &mut best_d2);
             }
+            let (col_lo, col_hi) = (wrap(cxi - r), wrap(cxi + r));
             for dy in (-r + 1)..r {
-                scan_bucket(wrap(cxi - r), wrap(cyi + dy), &mut best_idx, &mut best_d2);
-                scan_bucket(wrap(cxi + r), wrap(cyi + dy), &mut best_idx, &mut best_d2);
+                let by = wrap(cyi + dy) * g;
+                scan_bucket(by + col_lo, &mut best_j, &mut best_d2);
+                scan_bucket(by + col_hi, &mut best_j, &mut best_d2);
             }
         }
-        debug_assert!(best_idx != usize::MAX, "grid search found no site");
-        best_idx
+        debug_assert!(best_j != usize::MAX, "grid search found no site");
+        self.indices[best_j] as usize
     }
 
     /// All site indices within distance `radius` of `p` (inclusive),
     /// in arbitrary order. Exact; scans every cell intersecting the ball.
     #[must_use]
-    pub fn within(&self, p: TorusPoint, radius: f64, sites: &[TorusPoint]) -> Vec<usize> {
+    pub fn within(&self, p: TorusPoint, radius: f64) -> Vec<usize> {
         let g = self.g;
         let mut out = Vec::new();
         let reach = (radius / self.cell_w).ceil() as usize + 1;
         let (cx, cy) = Self::cell_coords_for(&p, g);
         let r2 = radius * radius;
-        if 2 * reach + 1 >= g {
-            for (i, s) in sites.iter().enumerate() {
-                if p.dist2(*s) <= r2 {
-                    out.push(i);
+        let scan_bucket = |b: usize, out: &mut Vec<usize>| {
+            let lo = self.offsets[b] as usize;
+            let hi = self.offsets[b + 1] as usize;
+            for (k, site) in self.packed[lo..hi].iter().enumerate() {
+                if p.dist2(*site) <= r2 {
+                    out.push(self.indices[lo + k] as usize);
                 }
             }
+        };
+        if 2 * reach + 1 >= g {
+            for b in 0..g * g {
+                scan_bucket(b, &mut out);
+            }
+            out.sort_unstable();
             return out;
         }
         let wrap = |v: isize| -> usize { v.rem_euclid(g as isize) as usize };
         let (cxi, cyi) = (cx as isize, cy as isize);
         let reach = reach as isize;
         for dy in -reach..=reach {
+            let by = wrap(cyi + dy) * g;
             for dx in -reach..=reach {
-                for &i in &self.buckets[wrap(cyi + dy) * g + wrap(cxi + dx)] {
-                    if p.dist2(sites[i as usize]) <= r2 {
-                        out.push(i as usize);
-                    }
-                }
+                scan_bucket(by + wrap(cxi + dx), &mut out);
             }
         }
         out
@@ -201,8 +370,30 @@ mod tests {
         let grid = Grid::build(&sites);
         let mut rng = Xoshiro256pp::from_u64(1);
         for _ in 0..100 {
-            assert_eq!(grid.nearest(TorusPoint::random(&mut rng), &sites), 0);
+            assert_eq!(grid.nearest(TorusPoint::random(&mut rng)), 0);
         }
+    }
+
+    #[test]
+    fn csr_buckets_partition_the_sites_in_order() {
+        // Every site appears exactly once across the buckets, ascending
+        // within each bucket (the tie-break order contract).
+        let sites = random_sites(137, 5);
+        let grid = Grid::with_cells_per_side(&sites, 7);
+        let mut seen = vec![false; sites.len()];
+        for b in 0..49 {
+            let bucket = grid.bucket(b);
+            for w in bucket.windows(2) {
+                assert!(w[0] < w[1], "bucket {b} not ascending");
+            }
+            for &i in bucket {
+                assert!(!seen[i as usize], "site {i} in two buckets");
+                seen[i as usize] = true;
+                let (cx, cy) = Grid::cell_coords_for(&sites[i as usize], 7);
+                assert_eq!(cy * 7 + cx, b, "site {i} in wrong bucket");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "missing sites");
     }
 
     #[test]
@@ -213,7 +404,7 @@ mod tests {
             let grid = Grid::build(&sites);
             for _ in 0..500 {
                 let p = TorusPoint::random(&mut rng);
-                let fast = grid.nearest(p, &sites);
+                let fast = grid.nearest(p);
                 let slow = nearest_brute(p, &sites);
                 // Compare distances, not indices (exact ties may differ).
                 assert!(
@@ -233,7 +424,7 @@ mod tests {
             TorusPoint::new(0.25, 0.75),
         ];
         let grid = Grid::with_cells_per_side(&sites, 8);
-        assert_eq!(grid.nearest(TorusPoint::new(0.01, 0.01), &sites), 0);
+        assert_eq!(grid.nearest(TorusPoint::new(0.01, 0.01)), 0);
     }
 
     #[test]
@@ -244,7 +435,7 @@ mod tests {
             let mut rng = Xoshiro256pp::from_u64(8);
             for _ in 0..200 {
                 let p = TorusPoint::random(&mut rng);
-                let fast = grid.nearest(p, &sites);
+                let fast = grid.nearest(p);
                 let slow = nearest_brute(p, &sites);
                 assert!((p.dist2(sites[fast]) - p.dist2(sites[slow])).abs() < 1e-15);
             }
@@ -267,7 +458,7 @@ mod tests {
         let grid = Grid::build(&sites);
         for _ in 0..300 {
             let p = TorusPoint::random(&mut rng);
-            let fast = grid.nearest(p, &sites);
+            let fast = grid.nearest(p);
             let slow = nearest_brute(p, &sites);
             assert!((p.dist2(sites[fast]) - p.dist2(sites[slow])).abs() < 1e-15);
         }
@@ -281,7 +472,7 @@ mod tests {
         for _ in 0..100 {
             let p = TorusPoint::random(&mut rng);
             let radius = rng.gen::<f64>() * 0.3;
-            let mut got = grid.within(p, radius, &sites);
+            let mut got = grid.within(p, radius);
             got.sort_unstable();
             let want: Vec<usize> = (0..sites.len())
                 .filter(|&i| p.dist(sites[i]) <= radius)
@@ -294,7 +485,7 @@ mod tests {
     fn within_zero_radius() {
         let sites = vec![TorusPoint::new(0.5, 0.5), TorusPoint::new(0.2, 0.2)];
         let grid = Grid::build(&sites);
-        let hit = grid.within(TorusPoint::new(0.5, 0.5), 0.0, &sites);
+        let hit = grid.within(TorusPoint::new(0.5, 0.5), 0.0);
         assert_eq!(hit, vec![0]);
     }
 

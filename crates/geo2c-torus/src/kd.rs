@@ -77,11 +77,16 @@ impl<const K: usize> KdPoint<K> {
 }
 
 /// An exact bucket-grid nearest-neighbour index over the `K`-torus.
+///
+/// Buckets use the same flat CSR layout as the 2-D [`crate::grid::Grid`]:
+/// `offsets[b]..offsets[b+1]` delimits bucket `b` in one contiguous
+/// `indices` array, ascending within a bucket.
 #[derive(Debug, Clone)]
 pub struct KdGrid<const K: usize> {
     g: usize,
     cell_w: f64,
-    buckets: Vec<Vec<u32>>,
+    offsets: Vec<u32>,
+    indices: Vec<u32>,
 }
 
 impl<const K: usize> KdGrid<K> {
@@ -106,15 +111,20 @@ impl<const K: usize> KdGrid<K> {
         assert!(!sites.is_empty(), "grid needs at least one site");
         assert!(g > 0, "grid side must be positive");
         let cells = g.checked_pow(K as u32).expect("grid size overflow");
-        let mut buckets = vec![Vec::new(); cells];
-        for (i, p) in sites.iter().enumerate() {
-            buckets[Self::bucket_of(p, g)].push(u32::try_from(i).expect("too many sites"));
-        }
+        let bucket_ids: Vec<usize> = sites.iter().map(|p| Self::bucket_of(p, g)).collect();
+        let (offsets, indices) = crate::grid::csr_buckets(cells, &bucket_ids);
         Self {
             g,
             cell_w: 1.0 / g as f64,
-            buckets,
+            offsets,
+            indices,
         }
+    }
+
+    /// The site indices of bucket `b` (ascending).
+    #[inline]
+    fn bucket(&self, b: usize) -> &[u32] {
+        &self.indices[self.offsets[b] as usize..self.offsets[b + 1] as usize]
     }
 
     fn bucket_of(p: &KdPoint<K>, g: usize) -> usize {
@@ -178,7 +188,7 @@ impl<const K: usize> KdGrid<K> {
         let mut best_idx = usize::MAX;
         let mut best_d2 = f64::INFINITY;
         let scan = |bucket: usize, best_idx: &mut usize, best_d2: &mut f64| {
-            for &i in &self.buckets[bucket] {
+            for &i in self.bucket(bucket) {
                 let d2 = p.dist2(&sites[i as usize]);
                 if d2 < *best_d2 {
                     *best_d2 = d2;
@@ -190,13 +200,14 @@ impl<const K: usize> KdGrid<K> {
         let max_shell = g / 2 + 1;
         for r in 0..=max_shell {
             if r > 0 {
+                // Squared on both sides: no sqrt on the query path.
                 let unreachable = (r as f64 - 1.0) * self.cell_w;
-                if best_idx != usize::MAX && best_d2.sqrt() <= unreachable {
+                if best_idx != usize::MAX && best_d2 <= unreachable * unreachable {
                     break;
                 }
             }
             if 2 * r + 1 >= g {
-                for bucket in 0..self.buckets.len() {
+                for bucket in 0..self.offsets.len() - 1 {
                     scan(bucket, &mut best_idx, &mut best_d2);
                 }
                 break;

@@ -17,9 +17,16 @@ pub struct TorusPoint {
 }
 
 /// Wraps a coordinate into `[0, 1)`.
+///
+/// Already-canonical inputs (the overwhelmingly common case) take a
+/// branch, not an `fmod` libcall; the fallback matches `rem_euclid`
+/// bit-for-bit.
 #[inline]
 #[must_use]
 pub fn wrap01(v: f64) -> f64 {
+    if (0.0..1.0).contains(&v) {
+        return v;
+    }
     let mut w = v.rem_euclid(1.0);
     if w >= 1.0 {
         w = 0.0;
@@ -28,10 +35,23 @@ pub fn wrap01(v: f64) -> f64 {
 }
 
 /// Canonicalizes a displacement component into `[-0.5, 0.5)`.
+///
+/// Differences of `[0, 1)` coordinates lie in `(-1, 1)`, where the
+/// canonicalization is one conditional add — this is the innermost
+/// operation of every toroidal distance, so keeping `fmod` off that path
+/// matters. The fallback is bit-identical to `rem_euclid` for the rest.
 #[inline]
 #[must_use]
 pub fn wrap_delta(d: f64) -> f64 {
-    let mut w = d.rem_euclid(1.0);
+    let mut w = if (-1.0..1.0).contains(&d) {
+        if d < 0.0 {
+            d + 1.0
+        } else {
+            d
+        }
+    } else {
+        d.rem_euclid(1.0)
+    };
     if w >= 0.5 {
         w -= 1.0;
     }

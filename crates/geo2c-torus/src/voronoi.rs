@@ -100,7 +100,7 @@ impl TorusSites {
     /// Exact nearest site to `p` (grid-accelerated).
     #[must_use]
     pub fn owner(&self, p: TorusPoint) -> usize {
-        self.grid.nearest(p, &self.points)
+        self.grid.nearest(p)
     }
 
     /// Brute-force nearest site (the oracle used in tests/ablations).
@@ -167,7 +167,7 @@ impl TorusSites {
         // double until the termination certificate holds.
         let mut r = (1.0 / (n as f64).sqrt()).max(1e-3);
         loop {
-            for j in self.grid.within(p, r, &self.points) {
+            for j in self.grid.within(p, r) {
                 if !processed[j] {
                     processed[j] = true;
                     self.clip_against_site(&mut poly, i, j);
@@ -258,7 +258,7 @@ impl TorusSites {
             let witness = site.offset(mx, my);
             let d_site = witness.dist(site);
             let tol = 1e-9_f64.max(d_site * 1e-9);
-            for j in self.grid.within(witness, d_site + tol, &self.points) {
+            for j in self.grid.within(witness, d_site + tol) {
                 if j != i
                     && (witness.dist(self.points[j]) - d_site).abs() <= tol
                     && !out.contains(&j)
