@@ -24,7 +24,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 say "benches compile"
 cargo bench -p geo2c-bench --no-run
 
-say "bench smoke (substrate ablation bench runs end to end; ~3 s)"
+say "bench smoke (substrate ablation bench, incl. the K-d orthant path; ~4 s)"
 cargo bench -p geo2c-bench --bench substrate
 
 # The committed baseline records absolute ns/iter from one reference
@@ -32,14 +32,25 @@ cargo bench -p geo2c-bench --bench substrate
 # O(n) scans, debug asserts in release), not a micro-regression gate —
 # run `run_benches --check --tolerance 50` locally for that. A host
 # persistently slower than 3x the reference should regenerate and commit
-# results/bench/quick.json.
+# results/bench/quick.json. The quick suite includes the kd3/kd4 owner
+# and kd3 trial benches, so the K-d fast path is gated too.
 say "bench regression gate (quick scale vs results/bench/quick.json, 200% tolerance)"
 cargo run --release -q -p geo2c-bench --bin run_benches -- --quick --check --tolerance 200
 
 say "table expectations (quick scale vs results/quick/, statistical tolerance)"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check
 
-say "table expectations (reference scale vs results/ + EXPERIMENTS.md; ~1 min single-core)"
+# A freshly written quick-scale suite must accept itself under --check:
+# this round-trips the current specs (notably the resized paper-scale
+# dimension sweep) through write mode and the tolerance diff, in a temp
+# dir so the committed expectations stay untouched.
+say "spec round-trip (quick scale write then --check in a temp dir)"
+roundtrip_dir="$(mktemp -d)"
+trap 'rm -rf "$roundtrip_dir"' EXIT
+cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --dir "$roundtrip_dir"
+cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check --dir "$roundtrip_dir"
+
+say "table expectations (reference scale vs results/ + EXPERIMENTS.md; ~1.5 min single-core)"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --check
 
 say "all green"

@@ -2,12 +2,15 @@
 //!
 //! * grid-accelerated vs brute-force nearest neighbour on the torus —
 //!   the design choice that makes Table 2 feasible at large `n`;
+//! * the same ablation on the 3-torus (the K-d orthant fast path behind
+//!   the `dimension` sweep), single vs batched vs brute;
 //! * ring owner lookup (binary search) cost;
 //! * exact Voronoi cell construction (grid-accelerated vs all-pairs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use geo2c_ring::{Ownership, RingPartition, RingPoint};
 use geo2c_torus::grid::nearest_brute;
+use geo2c_torus::kd::{kd_nearest_brute, KdPoint, KdSites};
 use geo2c_torus::{TorusPoint, TorusSites};
 use geo2c_util::rng::Xoshiro256pp;
 use rand::Rng;
@@ -29,6 +32,37 @@ fn bench_nearest_neighbour(c: &mut Criterion) {
                 queries
                     .iter()
                     .map(|&q| nearest_brute(q, sites.points()))
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_kd_nearest_neighbour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kd_nn_grid_vs_brute");
+    group.sample_size(10);
+    for exp in [8u32, 12] {
+        let n = 1usize << exp;
+        let mut rng = Xoshiro256pp::from_u64(4);
+        let sites = KdSites::<3>::random(n, &mut rng);
+        let queries: Vec<KdPoint<3>> = (0..1024).map(|_| KdPoint::random(&mut rng)).collect();
+        let mut owners = vec![0usize; queries.len()];
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
+            b.iter(|| queries.iter().map(|q| sites.owner(q)).sum::<usize>());
+        });
+        group.bench_with_input(BenchmarkId::new("grid_batched", n), &n, |b, _| {
+            b.iter(|| {
+                sites.owners_into(&queries, &mut owners);
+                owners.iter().sum::<usize>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| kd_nearest_brute(q, sites.points()))
                     .sum::<usize>()
             });
         });
@@ -87,6 +121,7 @@ fn bench_voronoi_cells(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_nearest_neighbour,
+    bench_kd_nearest_neighbour,
     bench_ring_owner,
     bench_voronoi_cells
 );

@@ -12,8 +12,9 @@
 //!
 //! [`Scale`] pins the three named parameter sets: `quick` (CI / smoke),
 //! `reference` (the committed `EXPERIMENTS.md` numbers; sized so the
-//! whole suite regenerates in about a minute on one core) and `full`
-//! (the paper's own 1000-trial sweep — hours of CPU; run it deliberately).
+//! whole suite regenerates in about a minute and a half on one core) and
+//! `full` (the paper's own 1000-trial sweep — hours of CPU; run it
+//! deliberately).
 
 use geo2c_core::experiment::{sweep_kind, sweep_max_load, MaxLoadCell, SweepConfig};
 use geo2c_core::space::{KdTorusSpace, SpaceKind};
@@ -55,22 +56,28 @@ pub const QUICK: Scale = Scale {
     torus_exps: &[8, 10],
     ring_trials: 40,
     torus_trials: 25,
-    dim_exp: 7,
+    dim_exp: 9,
     dim_trials: 8,
     chart_exp: 12,
     chart_trials: 10,
 };
 
-/// The committed-expectation scale behind `EXPERIMENTS.md` (~1 minute
-/// of single-core CPU for the whole suite).
+/// The committed-expectation scale behind `EXPERIMENTS.md` (~1.5
+/// minutes of single-core CPU for the whole suite).
 pub const REFERENCE: Scale = Scale {
     name: "reference",
     ring_exps: &[8, 12, 16],
     torus_exps: &[8, 12, 14],
     ring_trials: 300,
     torus_trials: 150,
-    dim_exp: 10,
-    dim_trials: 60,
+    // Paper-scale n for the K-torus: 2^13 is the size the K-d owner path
+    // could previously reach only at --full scale (and appears as a
+    // mid column of the paper's Table 1). The K ∈ {3, 4} × d ∈ {1..8}
+    // sweep costs ~0.5 s per trial row on the reference core after the
+    // K-d grid port, so 32 trials keeps the whole suite regenerating in
+    // about a minute and a half single-core.
+    dim_exp: 13,
+    dim_trials: 32,
     // The largest n whose d ∈ {2..8} sweep stays inside the single-core
     // CI budget now that the ring owner path is O(1) (the ROADMAP's
     // 2^20+ chart is the --full scale below).
@@ -86,7 +93,7 @@ pub const FULL: Scale = Scale {
     torus_exps: &[8, 12, 16, 20],
     ring_trials: 1000,
     torus_trials: 1000,
-    dim_exp: 12,
+    dim_exp: 16,
     dim_trials: 200,
     chart_exp: 20,
     chart_trials: 200,
@@ -401,7 +408,7 @@ cell reproduces bit-for-bit on any platform and thread count.",
     );
     out.push('\n');
     out.push_str(
-        "* **Regenerate:** `./tables.sh` (≈1 minute single-core) rewrites this file \
+        "* **Regenerate:** `./tables.sh` (≈1.5 minutes single-core) rewrites this file \
 byte-identically, and the `ResultSet` JSON under [`results/`](results/) identically \
 except for the provenance `git_rev` stamp (which records the producing checkout).\n\
 * **Check:** `./tables.sh --check` reruns the suite and diffs it against the committed \
@@ -411,10 +418,10 @@ z > 4 *and* more than a 2-percentage-point / 0.05-mean absolute shift), and veri
 this file is the exact rendering of `results/*.json`. `ci.sh` gates every build on \
 both `./tables.sh --quick --check` (seconds, against \
 [`results/quick/`](results/quick/)) and the reference-scale `./tables.sh --check` \
-(≈1 minute).\n\
+(≈1.5 minutes).\n\
 * **Paper scale:** `./tables.sh --full` runs the paper's own parameters \
-(1000 trials, ring `n` up to 2^24, torus up to 2^20 — hours of CPU) and writes \
-`results/full/`.\n\n",
+(1000 trials, ring `n` up to 2^24, torus up to 2^20, K-torus up to 2^16 — hours \
+of CPU) and writes `results/full/`.\n\n",
     );
     out.push_str(
         "Each cell shows the distribution of the **maximum load** over the trials, \
@@ -440,8 +447,9 @@ in the paper's `value: percent` format, with the distribution mean beneath.\n\n"
 The numbers above are *distributions*; the speed that makes them cheap to \
 regenerate is tracked separately under [`results/bench/`](results/bench/):\n\n\
 * **Run:** `cargo run --release -p geo2c-bench --bin run_benches` times the \
-hot-path suite (owner lookups on the ring and torus, end-to-end `run_trial` \
-insertions) with the criterion shim's technique — adaptive ~20 ms windows, \
+hot-path suite (owner lookups on the ring, the torus, and the K-torus for \
+K ∈ {3, 4}, plus end-to-end `run_trial` insertions on each geometry) with \
+the criterion shim's technique — adaptive ~20 ms windows, \
 best of three, ns/iter — and writes `results/bench/baseline.json` (`--quick` \
 for the CI scale, `results/bench/quick.json`). Each file is a normal \
 `geo2c_report::ResultSet` with seed + git-revision provenance.\n\
@@ -452,15 +460,21 @@ reference machine's absolute timings, making the cross-machine gate a \
 catastrophe catch rather than a micro-regression gate). Improvements \
 never fail; a bench appearing or disappearing always does.\n\
 * **Prove:** `run_benches --diff AFTER.json BEFORE.json` prints per-bench \
-speedups; `results/bench/before.json` preserves the pre-optimization \
-measurements of PR 3, so the committed tree carries its own before/after \
-evidence.\n\
+speedups; `results/bench/before.json` preserves the measurements taken \
+just before the K-d owner port (3.1× K = 3 and 3.8× K = 4 owner lookups, \
+~2.5× end-to-end K-torus trials on the reference core — what took the \
+`dimension` sweep above to paper-scale n), and \
+`results/bench/before_pr3.json` those before PR 3's ring/torus overhaul, \
+so the committed tree carries its own before/after evidence.\n\
 * **Ablations:** `cargo bench -p geo2c-bench --bench substrate` compares \
 the shipped owner paths against their oracles (CSR grid vs brute force, \
-bucket-accelerated successor vs binary search) without persisting anything.\n\n\
+bucket-accelerated successor vs binary search, K-d orthant fast path vs \
+brute force) without persisting anything.\n\n\
 Throughput changes must never move the tables: the batched sampler \
 (`Space::sample_owners_into`) draws exactly the stream of the naive loop, \
-so `./tables.sh --check` passing with *unchanged* committed JSON is part of \
+and the cross-ball batched insertion engine (tie-break-free strategies \
+only) concatenates per-ball probe draws without reordering them, so \
+`./tables.sh --check` passing with *unchanged* committed JSON is part of \
 any perf PR's evidence.\n\n",
     );
     out.push_str(
@@ -499,7 +513,12 @@ mod tests {
             assert!(pair[0].ring_trials <= pair[1].ring_trials);
             assert!(pair[0].ring_exps.last() <= pair[1].ring_exps.last());
             assert!(pair[0].torus_exps.last() <= pair[1].torus_exps.last());
+            assert!(pair[0].dim_exp <= pair[1].dim_exp);
         }
+        // The K-torus sweep runs at paper-scale n from the reference
+        // scale up (the K-d owner port made this a ~0.5 s/trial sweep).
+        let reference = Scale::by_name("reference").unwrap();
+        assert!(reference.dim_exp >= 13);
     }
 
     #[test]

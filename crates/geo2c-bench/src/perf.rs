@@ -20,10 +20,11 @@
 //! section of the README for the workflow and the regression gate.
 
 use geo2c_core::sim::run_trial;
-use geo2c_core::space::{RingSpace, TorusSpace, UniformSpace};
-use geo2c_core::strategy::Strategy;
+use geo2c_core::space::{KdTorusSpace, RingSpace, TorusSpace, UniformSpace};
+use geo2c_core::strategy::{Strategy, TieBreak};
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_ring::RingPoint;
+use geo2c_torus::kd::{KdPoint, KdSites};
 use geo2c_torus::TorusPoint;
 use geo2c_util::rng::Xoshiro256pp;
 use std::time::{Duration, Instant};
@@ -90,12 +91,35 @@ enum BenchKind {
     RingOwner,
     /// Batch of nearest-site lookups on random torus sites.
     TorusOwner,
+    /// Batch of nearest-site lookups on the `K`-torus (`K` ∈ {3, 4}).
+    KdOwner { k: usize },
     /// One full `run_trial` (m = n insertions) on a fixed ring space.
     TrialRing { d: usize },
     /// One full `run_trial` on a fixed torus space.
     TrialTorus { d: usize },
+    /// One full `run_trial` on a fixed 3-torus space (random tie-break:
+    /// the per-ball probe-block engine path).
+    TrialKd { d: usize },
+    /// One full `run_trial` on a fixed 3-torus space with the arc-left
+    /// tie-break (tie-break-free: the cross-ball batched engine path).
+    TrialKdLeft { d: usize },
     /// One full `run_trial` on uniform bins (the RNG + load-vector floor).
     TrialUniform { d: usize },
+}
+
+/// Owner-lookup workload on the `K`-torus (monomorphized per dimension).
+fn kd_owner_bench<const K: usize>(
+    n: usize,
+    elems: u64,
+    rng: &mut Xoshiro256pp,
+    window: Duration,
+    repeats: usize,
+) -> Timing {
+    let sites = KdSites::<K>::random(n, rng);
+    let queries: Vec<KdPoint<K>> = (0..elems).map(|_| KdPoint::random(rng)).collect();
+    time_with(window, repeats, || {
+        queries.iter().map(|q| sites.owner(q)).sum::<usize>()
+    })
 }
 
 /// One benchmark of the persisted suite.
@@ -158,6 +182,11 @@ impl BenchDef {
                         .sum::<usize>()
                 })
             }
+            BenchKind::KdOwner { k } => match k {
+                3 => kd_owner_bench::<3>(n, self.elems, &mut rng, window, repeats),
+                4 => kd_owner_bench::<4>(n, self.elems, &mut rng, window, repeats),
+                other => panic!("no K = {other} owner bench instantiated"),
+            },
             BenchKind::TrialRing { d } => {
                 let space = RingSpace::random(n, &mut rng);
                 let strategy = Strategy::d_choice(d);
@@ -168,6 +197,20 @@ impl BenchDef {
             BenchKind::TrialTorus { d } => {
                 let space = TorusSpace::random(n, &mut rng);
                 let strategy = Strategy::d_choice(d);
+                time_with(window, repeats, || {
+                    run_trial(&space, &strategy, n, &mut rng).max_load
+                })
+            }
+            BenchKind::TrialKd { d } => {
+                let space = KdTorusSpace::<3>::random(n, &mut rng);
+                let strategy = Strategy::d_choice(d);
+                time_with(window, repeats, || {
+                    run_trial(&space, &strategy, n, &mut rng).max_load
+                })
+            }
+            BenchKind::TrialKdLeft { d } => {
+                let space = KdTorusSpace::<3>::random(n, &mut rng);
+                let strategy = Strategy::with_tie_break(d, TieBreak::Leftmost);
                 time_with(window, repeats, || {
                     run_trial(&space, &strategy, n, &mut rng).max_load
                 })
@@ -194,10 +237,14 @@ pub struct BenchScale {
     pub ring_exp: u32,
     /// Torus owner-lookup size exponent.
     pub torus_exp: u32,
+    /// `K`-torus owner-lookup size exponent (K ∈ {3, 4}).
+    pub kd_exp: u32,
     /// End-to-end ring trial size exponent.
     pub trial_ring_exp: u32,
     /// End-to-end torus trial size exponent.
     pub trial_torus_exp: u32,
+    /// End-to-end 3-torus trial size exponent.
+    pub trial_kd_exp: u32,
     /// Owner lookups per iteration for the substrate benches.
     pub queries: u64,
 }
@@ -207,8 +254,10 @@ pub const QUICK: BenchScale = BenchScale {
     name: "quick",
     ring_exp: 12,
     torus_exp: 10,
+    kd_exp: 10,
     trial_ring_exp: 12,
     trial_torus_exp: 10,
+    trial_kd_exp: 9,
     queries: 4096,
 };
 
@@ -218,8 +267,10 @@ pub const FULL: BenchScale = BenchScale {
     name: "full",
     ring_exp: 20,
     torus_exp: 16,
+    kd_exp: 16,
     trial_ring_exp: 20,
     trial_torus_exp: 16,
+    trial_kd_exp: 13,
     queries: 4096,
 };
 
@@ -249,6 +300,20 @@ impl BenchScale {
                 kind: BenchKind::TorusOwner,
             },
             BenchDef {
+                group: "substrate",
+                name: "kd3_owner",
+                exp: self.kd_exp,
+                elems: self.queries,
+                kind: BenchKind::KdOwner { k: 3 },
+            },
+            BenchDef {
+                group: "substrate",
+                name: "kd4_owner",
+                exp: self.kd_exp,
+                elems: self.queries,
+                kind: BenchKind::KdOwner { k: 4 },
+            },
+            BenchDef {
                 group: "trial",
                 name: "ring_d2",
                 exp: self.trial_ring_exp,
@@ -261,6 +326,20 @@ impl BenchScale {
                 exp: self.trial_torus_exp,
                 elems: 1u64 << self.trial_torus_exp,
                 kind: BenchKind::TrialTorus { d: 2 },
+            },
+            BenchDef {
+                group: "trial",
+                name: "kd3_d2",
+                exp: self.trial_kd_exp,
+                elems: 1u64 << self.trial_kd_exp,
+                kind: BenchKind::TrialKd { d: 2 },
+            },
+            BenchDef {
+                group: "trial",
+                name: "kd3_d2_left",
+                exp: self.trial_kd_exp,
+                elems: 1u64 << self.trial_kd_exp,
+                kind: BenchKind::TrialKdLeft { d: 2 },
             },
             BenchDef {
                 group: "trial",
@@ -408,8 +487,10 @@ mod tests {
         name: "tiny",
         ring_exp: 4,
         torus_exp: 3,
+        kd_exp: 3,
         trial_ring_exp: 4,
         trial_torus_exp: 3,
+        trial_kd_exp: 3,
         queries: 16,
     };
 
@@ -445,6 +526,10 @@ mod tests {
         let ids: Vec<String> = FULL.suite().iter().map(BenchDef::id).collect();
         assert!(ids.contains(&"substrate/ring_owner/2^20".to_string()));
         assert!(ids.contains(&"trial/torus_d2/2^16".to_string()));
+        assert!(ids.contains(&"substrate/kd3_owner/2^16".to_string()));
+        assert!(ids.contains(&"substrate/kd4_owner/2^16".to_string()));
+        assert!(ids.contains(&"trial/kd3_d2/2^13".to_string()));
+        assert!(ids.contains(&"trial/kd3_d2_left/2^13".to_string()));
         assert_eq!(BenchScale::by_name("quick"), Some(&QUICK));
         assert_eq!(BenchScale::by_name("full"), Some(&FULL));
         assert_eq!(BenchScale::by_name("nope"), None);

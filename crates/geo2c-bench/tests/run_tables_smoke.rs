@@ -102,6 +102,18 @@ fn quick_expectations_in_the_repository_match_the_current_scale() {
             _ => scale.ring_trials,
         };
         assert_eq!(spec.trials, expected_trials, "{id}: stale trials");
+        if id == "dimension" {
+            // The dimension sweep was resized to paper-scale n; the
+            // committed quick expectation must carry the spec the QUICK
+            // scale would run today, so `--quick --check` round-trips.
+            let committed_n = spec
+                .params
+                .iter()
+                .find(|(k, _)| k == "n")
+                .and_then(|(_, v)| v.as_usize())
+                .expect("n param");
+            assert_eq!(committed_n, 1usize << scale.dim_exp, "{id}: stale n");
+        }
         if id == "table1" || id == "table3" {
             let ns: Vec<usize> = scale.ring_sizes();
             let committed: Vec<usize> = spec

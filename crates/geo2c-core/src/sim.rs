@@ -45,15 +45,69 @@ impl TrialResult {
     }
 }
 
+/// Balls per cross-ball probe block when the strategy is tie-break-free:
+/// big enough to amortize the batched draw and the owner lookups, small
+/// enough that the owner block stays in L1 for the resolution pass.
+const BALL_BLOCK: usize = 64;
+
+/// The one insertion loop behind [`run_trial`] and
+/// [`run_trial_with_heights`]: places `m` balls, calling
+/// `on_place(dest, new_load)` after each placement.
+///
+/// Tie-break-free strategies (pure least-loaded:
+/// [`Strategy::supports_cross_ball_batching`]) consume randomness only
+/// for the probe locations, so successive balls' probe draws are
+/// adjacent in the RNG stream; the engine exploits that by drawing probe
+/// blocks for [`BALL_BLOCK`] balls at a time through one
+/// [`Space::sample_owners_into`] call into reusable [`ProbeScratch`],
+/// then resolving each ball's `d`-probe window against the evolving
+/// loads with no further randomness. Everything else (random tie-break
+/// with `d ≥ 2`, the split scheme) interleaves randomness between balls
+/// and keeps the per-ball path. Both paths consume exactly the RNG
+/// stream of the naive probe-by-probe loop.
+fn insert_balls<S: Space, R: Rng + ?Sized>(
+    space: &S,
+    strategy: &Strategy,
+    m: usize,
+    rng: &mut R,
+    loads: &mut [u32],
+    mut on_place: impl FnMut(usize, u32),
+) {
+    let mut scratch = ProbeScratch::for_strategy(strategy);
+    if strategy.supports_cross_ball_batching() {
+        let d = strategy.d();
+        let mut placed = 0;
+        while placed < m {
+            let balls = BALL_BLOCK.min(m - placed);
+            let block = scratch.cross_ball_block(balls * d);
+            space.sample_owners_into(rng, block);
+            for ball in block.chunks_exact(d) {
+                let dest = strategy.place_from_owners(space, loads, ball);
+                loads[dest] += 1;
+                on_place(dest, loads[dest]);
+            }
+            placed += balls;
+        }
+    } else {
+        for _ in 0..m {
+            let dest = strategy.choose_with(space, loads, &mut scratch, rng);
+            loads[dest] += 1;
+            on_place(dest, loads[dest]);
+        }
+    }
+}
+
 /// Inserts `m` balls into `space` using `strategy` and returns the final
 /// loads.
 ///
 /// Each ball's `d` probes are drawn as one block through
 /// [`Space::sample_owners_into`] into scratch reused across the whole
-/// trial, so the insertion loop performs no per-ball allocation and stays
-/// monomorphized over the concrete space. The probe block honours the
-/// batched API's stream contract (probe locations drawn first, in order),
-/// so the trial consumes exactly the RNG stream of the naive
+/// trial — and for tie-break-free strategies the engine batches the
+/// probe draws of many *balls* into one call (`insert_balls` above) —
+/// so the insertion loop performs no per-ball allocation and stays
+/// monomorphized over the concrete space. Both shapes honour the batched
+/// API's stream contract (probe locations drawn first, in order), so
+/// the trial consumes exactly the RNG stream of the naive
 /// probe-by-probe loop — committed table expectations survive hot-path
 /// refactors byte-identically.
 ///
@@ -75,19 +129,17 @@ pub fn run_trial<S: Space, R: Rng + ?Sized>(
 ) -> TrialResult {
     let mut loads = vec![0u32; space.num_servers()];
     let mut max_load = 0u32;
-    let mut scratch = ProbeScratch::for_strategy(strategy);
-    for _ in 0..m {
-        let dest = strategy.choose_with(space, &loads, &mut scratch, rng);
-        loads[dest] += 1;
-        max_load = max_load.max(loads[dest]);
-    }
+    insert_balls(space, strategy, m, rng, &mut loads, |_, new_load| {
+        max_load = max_load.max(new_load);
+    });
     TrialResult { loads, max_load }
 }
 
 /// Like [`run_trial`] but also records each ball's *height* (its position
 /// in the destination stack: 1 + prior load). The height distribution is
 /// the quantity the layered-induction proof actually bounds (`μ_i`).
-/// Shares [`run_trial`]'s blocked probe drawing and stream contract.
+/// Shares [`run_trial`]'s blocked probe drawing, cross-ball batching,
+/// and stream contract.
 #[must_use]
 pub fn run_trial_with_heights<S: Space, R: Rng + ?Sized>(
     space: &S,
@@ -98,13 +150,10 @@ pub fn run_trial_with_heights<S: Space, R: Rng + ?Sized>(
     let mut loads = vec![0u32; space.num_servers()];
     let mut max_load = 0u32;
     let mut heights = Counter::new();
-    let mut scratch = ProbeScratch::for_strategy(strategy);
-    for _ in 0..m {
-        let dest = strategy.choose_with(space, &loads, &mut scratch, rng);
-        loads[dest] += 1;
-        heights.add(u64::from(loads[dest]));
-        max_load = max_load.max(loads[dest]);
-    }
+    insert_balls(space, strategy, m, rng, &mut loads, |_, new_load| {
+        heights.add(u64::from(new_load));
+        max_load = max_load.max(new_load);
+    });
     (TrialResult { loads, max_load }, heights)
 }
 
@@ -209,6 +258,70 @@ mod tests {
         assert_eq!(profile.total(), 32);
         let reconstructed: u64 = profile.iter().map(|(load, count)| load * count).sum();
         assert_eq!(reconstructed, 64);
+    }
+
+    #[test]
+    fn cross_ball_batching_preserves_the_stream() {
+        // The batched engine path (tie-break-free strategies) must place
+        // every ball exactly where the naive per-ball loop would, and
+        // leave the RNG in the identical state — the invariant that
+        // keeps committed table distributions byte-stable.
+        use crate::strategy::TieBreak;
+        use rand::RngCore as _;
+        let mut seed_rng = Xoshiro256pp::from_u64(40);
+        let space = RingSpace::random(128, &mut seed_rng);
+        for strategy in [
+            Strategy::one_choice(),
+            Strategy::two_choice(),
+            Strategy::with_tie_break(2, TieBreak::Leftmost),
+            Strategy::with_tie_break(3, TieBreak::SmallerRegion),
+            Strategy::with_tie_break(4, TieBreak::LowestIndex),
+            Strategy::voecking(2),
+        ] {
+            // 333 balls: multiple cross-ball blocks plus a ragged tail.
+            let mut a = Xoshiro256pp::from_u64(41);
+            let mut b = a.clone();
+            let result = run_trial(&space, &strategy, 333, &mut a);
+            let mut loads = vec![0u32; 128];
+            let mut scratch = ProbeScratch::for_strategy(&strategy);
+            let mut max_load = 0u32;
+            for _ in 0..333 {
+                let dest = strategy.choose_with(&space, &loads, &mut scratch, &mut b);
+                loads[dest] += 1;
+                max_load = max_load.max(loads[dest]);
+            }
+            assert_eq!(result.loads, loads, "{}", strategy.label());
+            assert_eq!(result.max_load, max_load, "{}", strategy.label());
+            assert_eq!(
+                a.next_u64(),
+                b.next_u64(),
+                "{}: rng states diverged",
+                strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_and_per_ball_heights_agree() {
+        let space = UniformSpace::new(64);
+        // d=2 lowest-index batches; d=2 random does not — same heights
+        // invariants must hold on both engine paths.
+        for strategy in [
+            Strategy::with_tie_break(2, crate::strategy::TieBreak::LowestIndex),
+            Strategy::two_choice(),
+        ] {
+            let mut rng = Xoshiro256pp::from_u64(42);
+            let (r, heights) = run_trial_with_heights(&space, &strategy, 200, &mut rng);
+            assert_eq!(heights.total(), 200);
+            for h in 1..=r.max_load {
+                assert_eq!(
+                    heights.count(u64::from(h)) as usize,
+                    r.bins_with_load_at_least(h),
+                    "height {h} ({})",
+                    strategy.label()
+                );
+            }
+        }
     }
 
     #[test]

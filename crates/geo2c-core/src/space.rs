@@ -356,6 +356,21 @@ impl<const K: usize> Space for KdTorusSpace<K> {
         self.sites.owner(&geo2c_torus::kd::KdPoint::random(rng))
     }
 
+    fn sample_owners_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
+        // Same stream as the default loop: each probe draws its K
+        // coordinates in order, owner resolution draws nothing. The
+        // lookups then run through the grid's batched fast path, which
+        // amortizes the per-probe cell derivation across the block.
+        let mut points = [geo2c_torus::kd::KdPoint { coords: [0.0; K] }; PROBE_BLOCK];
+        for chunk in out.chunks_mut(PROBE_BLOCK) {
+            let points = &mut points[..chunk.len()];
+            for p in points.iter_mut() {
+                *p = geo2c_torus::kd::KdPoint::random(rng);
+            }
+            self.sites.owners_into(points, chunk);
+        }
+    }
+
     fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
         assert!(d > 0 && j < d, "division {j} of {d}");
         // Slab along the first axis; remaining coordinates uniform.
@@ -694,6 +709,20 @@ mod tests {
             assert_eq!(batched.to_vec(), sequential, "{kind:?}");
             assert_eq!(a.next_u64(), b.next_u64(), "{kind:?}: rng states diverged");
         }
+        // The K-torus override (blocked point draws + batched grid
+        // lookups) must honour the same contract.
+        let space = KdTorusSpace::<3>::random(64, &mut rng);
+        let mut a = Xoshiro256pp::from_u64(32);
+        let mut b = a.clone();
+        let mut batched = [0usize; 77];
+        space.sample_owners_into(&mut a, &mut batched);
+        let sequential: Vec<usize> = (0..77).map(|_| space.sample_owner(&mut b)).collect();
+        assert_eq!(batched.to_vec(), sequential, "KdTorusSpace");
+        assert_eq!(
+            a.next_u64(),
+            b.next_u64(),
+            "KdTorusSpace: rng states diverged"
+        );
     }
 
     #[test]

@@ -97,10 +97,14 @@ const INLINE_PROBES: usize = 8;
 ///
 /// [`crate::sim::run_trial`] allocates one of these per trial and reuses
 /// it for every ball, so the per-ball path stays allocation-free for any
-/// `d` and the probe block stays hot in cache.
+/// `d` and the probe block stays hot in cache. For tie-break-free
+/// strategies the engine additionally draws *cross-ball* probe blocks
+/// (many balls' probes in one batched draw) through
+/// [`ProbeScratch::cross_ball_block`].
 #[derive(Debug, Clone)]
 pub struct ProbeScratch {
     owners: Vec<usize>,
+    block: Vec<usize>,
 }
 
 impl ProbeScratch {
@@ -109,7 +113,19 @@ impl ProbeScratch {
     pub fn for_strategy(strategy: &Strategy) -> Self {
         Self {
             owners: vec![0; strategy.d()],
+            block: Vec::new(),
         }
+    }
+
+    /// The cross-ball owner block, grown (once) to at least `len` slots.
+    /// The engine fills it via [`crate::space::Space::sample_owners_into`]
+    /// and resolves one ball's `d`-probe window at a time with
+    /// [`Strategy::place_from_owners`].
+    pub fn cross_ball_block(&mut self, len: usize) -> &mut [usize] {
+        if self.block.len() < len {
+            self.block.resize(len, 0);
+        }
+        &mut self.block[..len]
     }
 }
 
@@ -171,6 +187,59 @@ impl Strategy {
     #[must_use]
     pub fn is_split(&self) -> bool {
         matches!(self.rule, ChoiceRule::SplitAlwaysLeft { .. })
+    }
+
+    /// True when choosing a destination consumes randomness *only* to
+    /// draw the probe locations themselves — pure least-loaded with an
+    /// RNG-free tie-break (`d = 1` never ties over more than one
+    /// candidate, and every policy except [`TieBreak::Random`] is
+    /// deterministic). For such strategies the probe draws of successive
+    /// balls are adjacent in the RNG stream, so the insertion engine may
+    /// draw probe blocks for many balls at once
+    /// ([`crate::sim::run_trial`]'s cross-ball batching) without
+    /// perturbing the stream.
+    #[must_use]
+    pub fn supports_cross_ball_batching(&self) -> bool {
+        match self.rule {
+            ChoiceRule::Independent { d, tie } => d == 1 || tie != TieBreak::Random,
+            // Split probes draw through per-division sampling, not the
+            // batched owner path.
+            ChoiceRule::SplitAlwaysLeft { .. } => false,
+        }
+    }
+
+    /// Chooses the destination for one ball whose `d` probe owners were
+    /// already drawn (one window of a cross-ball block). RNG-free by
+    /// construction; identical to [`Strategy::choose_with`] on the same
+    /// owners for any strategy where
+    /// [`Strategy::supports_cross_ball_batching`] holds.
+    ///
+    /// # Panics
+    /// Panics if `owners.len() != d`, or if the strategy needs the RNG
+    /// stream to resolve (random tie-break with `d ≥ 2`, or the split
+    /// scheme, whose probes cannot be pre-drawn as one uniform block).
+    #[must_use]
+    pub fn place_from_owners<S: Space>(&self, space: &S, loads: &[u32], owners: &[usize]) -> usize {
+        match self.rule {
+            ChoiceRule::Independent { d, tie } => {
+                assert_eq!(owners.len(), d, "owner block sized for wrong d");
+                if let [only] = owners {
+                    return *only;
+                }
+                assert!(
+                    tie != TieBreak::Random,
+                    "random tie-break needs the RNG stream"
+                );
+                let mut min_load = u32::MAX;
+                for &s in owners {
+                    min_load = min_load.min(loads[s]);
+                }
+                Self::deterministic_tie(space, loads, owners, min_load, tie)
+            }
+            ChoiceRule::SplitAlwaysLeft { .. } => {
+                panic!("split-scheme probes cannot be pre-drawn as one uniform block")
+            }
+        }
     }
 
     /// Short label for table headers, e.g. `"d=2"`, `"d=2 arc-smaller"`,
@@ -282,6 +351,9 @@ impl Strategy {
         tie: TieBreak,
         rng: &mut R,
     ) -> usize {
+        if tie != TieBreak::Random {
+            return Self::deterministic_tie(space, loads, candidates, min_load, tie);
+        }
         // Fast path: a single candidate or a unique minimum.
         let mut tied = candidates.iter().copied().filter(|&s| loads[s] == min_load);
         let first = tied.next().expect("at least one candidate");
@@ -289,51 +361,55 @@ impl Strategy {
             None => return first,
             Some(s) => s,
         };
+        // Reservoir-sample uniformly among all tied candidates.
+        // `first` and `second` are already drawn; continue the scan.
+        let mut chosen = first;
+        for (extra, s) in std::iter::once(second).chain(tied).enumerate() {
+            // `extra + 2` candidates seen so far, counting `first`.
+            if rng.gen_range(0..extra + 2) == 0 {
+                chosen = s;
+            }
+        }
+        chosen
+    }
+
+    /// Tie resolution for the RNG-free policies (everything except
+    /// [`TieBreak::Random`]) — shared by the per-ball path and the
+    /// cross-ball [`Strategy::place_from_owners`] path, so the two can
+    /// never disagree.
+    fn deterministic_tie<S: Space>(
+        space: &S,
+        loads: &[u32],
+        candidates: &[usize],
+        min_load: u32,
+        tie: TieBreak,
+    ) -> usize {
+        let mut tied = candidates.iter().copied().filter(|&s| loads[s] == min_load);
+        let first = tied.next().expect("at least one candidate");
         match tie {
-            TieBreak::Random => {
-                // Reservoir-sample uniformly among all tied candidates.
-                // `first` and `second` are already drawn; continue the scan.
-                let mut chosen = first;
-                for (extra, s) in std::iter::once(second).chain(tied).enumerate() {
-                    // `extra + 2` candidates seen so far, counting `first`.
-                    if rng.gen_range(0..extra + 2) == 0 {
-                        chosen = s;
-                    }
+            TieBreak::Random => unreachable!("random tie-break consumes randomness"),
+            TieBreak::LowestIndex => std::iter::once(first).chain(tied).min().expect("nonempty"),
+            TieBreak::Leftmost => tied.fold(first, |best, s| {
+                if space.position_key(s) < space.position_key(best) {
+                    s
+                } else {
+                    best
                 }
-                chosen
-            }
-            TieBreak::LowestIndex => std::iter::once(first)
-                .chain(std::iter::once(second))
-                .chain(tied)
-                .min()
-                .expect("nonempty"),
-            TieBreak::Leftmost => {
-                let mut best = first;
-                for s in std::iter::once(second).chain(tied) {
-                    if space.position_key(s) < space.position_key(best) {
-                        best = s;
-                    }
+            }),
+            TieBreak::SmallerRegion => tied.fold(first, |best, s| {
+                if space.region_size(s) < space.region_size(best) {
+                    s
+                } else {
+                    best
                 }
-                best
-            }
-            TieBreak::SmallerRegion => {
-                let mut best = first;
-                for s in std::iter::once(second).chain(tied) {
-                    if space.region_size(s) < space.region_size(best) {
-                        best = s;
-                    }
+            }),
+            TieBreak::LargerRegion => tied.fold(first, |best, s| {
+                if space.region_size(s) > space.region_size(best) {
+                    s
+                } else {
+                    best
                 }
-                best
-            }
-            TieBreak::LargerRegion => {
-                let mut best = first;
-                for s in std::iter::once(second).chain(tied) {
-                    if space.region_size(s) > space.region_size(best) {
-                        best = s;
-                    }
-                }
-                best
-            }
+            }),
         }
     }
 }
@@ -552,6 +628,56 @@ mod tests {
                 loads[x] += 1;
             }
         }
+    }
+
+    #[test]
+    fn cross_ball_batching_eligibility() {
+        assert!(Strategy::one_choice().supports_cross_ball_batching());
+        assert!(!Strategy::two_choice().supports_cross_ball_batching());
+        assert!(!Strategy::d_choice(5).supports_cross_ball_batching());
+        for tie in [
+            TieBreak::Leftmost,
+            TieBreak::SmallerRegion,
+            TieBreak::LargerRegion,
+            TieBreak::LowestIndex,
+        ] {
+            assert!(Strategy::with_tie_break(3, tie).supports_cross_ball_batching());
+        }
+        assert!(!Strategy::voecking(2).supports_cross_ball_batching());
+    }
+
+    #[test]
+    fn place_from_owners_matches_choose_with_on_predrawn_probes() {
+        // For batchable strategies, resolving a pre-drawn owner window
+        // must equal choose_with fed from an RNG that yields the same
+        // probes (and consume no randomness itself).
+        let mut rng = Xoshiro256pp::from_u64(12);
+        let space = RingSpace::random(32, &mut rng);
+        for strategy in [
+            Strategy::one_choice(),
+            Strategy::with_tie_break(2, TieBreak::Leftmost),
+            Strategy::with_tie_break(4, TieBreak::SmallerRegion),
+        ] {
+            let mut scratch = ProbeScratch::for_strategy(&strategy);
+            let mut loads = vec![0u32; 32];
+            let mut probe_rng = Xoshiro256pp::from_u64(13);
+            for _ in 0..100 {
+                let mut owners = vec![0usize; strategy.d()];
+                let mut peek = probe_rng.clone();
+                space.sample_owners_into(&mut peek, &mut owners);
+                let batched = strategy.place_from_owners(&space, &loads, &owners);
+                let sequential = strategy.choose_with(&space, &loads, &mut scratch, &mut probe_rng);
+                assert_eq!(batched, sequential, "{}", strategy.label());
+                loads[batched] += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "random tie-break needs the RNG stream")]
+    fn place_from_owners_rejects_random_ties() {
+        let space = UniformSpace::new(4);
+        let _ = Strategy::two_choice().place_from_owners(&space, &[0; 4], &[1, 2]);
     }
 
     #[test]

@@ -12,8 +12,22 @@
 //!   expanding-ring search to expanding Chebyshev *shells* of cells. The
 //!   same termination certificate applies: every cell in shell `r` is at
 //!   least `(r−1)·w` away in L∞ (hence L2), so the search stops as soon
-//!   as the best distance found is below that.
-//! * [`KdSites<K>`] — the server set with ownership queries.
+//!   as the best distance found is below that. It carries the full 2-D
+//!   [`crate::grid::Grid`] treatment and sharpens it: flat CSR buckets
+//!   with the site coordinates *packed* in CSR order (queries never
+//!   touch the original site slice), a batched fast path over the 3^K
+//!   neighbourhood that scans the probe's own cell, then the 2^K
+//!   *near-orthant* (the cells displaced only toward the probe), then
+//!   the rest — with exact early exits after each stage (own-face,
+//!   far-face, block-boundary distances) and an exact per-cell
+//!   branch-and-bound lower bound that skips any bucket the current
+//!   best already excludes — and a monomorphized `[isize; K]` shell
+//!   walker (no `dyn` dispatch, no fixed dimension cap). When a shell
+//!   would wrap onto itself the search falls back to one residual sweep
+//!   that skips every cell already covered by completed shells.
+//! * [`KdSites<K>`] — the server set with ownership queries, including
+//!   the block-resolving [`KdSites::owners_into`] the insertion engine
+//!   batches probes through.
 //!
 //! Exact Voronoi *volumes* in `K > 2` dimensions would need convex
 //! polytope clipping; region sizes here are Monte-Carlo estimates (they
@@ -76,29 +90,54 @@ impl<const K: usize> KdPoint<K> {
     }
 }
 
+/// Stack capacity for the 3^K-neighbourhood bucket bounds of the fast
+/// path (holds every `K ≤ 4`, i.e. 3⁴ = 81 cells). Larger dimensions
+/// fall back to the exact shell walk — a gate, not a cap: results are
+/// identical, only the batching differs.
+const BLOCK_CAP: usize = 96;
+
+/// Probes per internal batch of [`KdGrid::nearest_batch`]: phase 1
+/// derives every probe's cell and loads its bucket bounds, phase 2 runs
+/// the per-probe scans, so the bounds cache misses overlap across probes.
+const PROBE_BATCH: usize = 32;
+
 /// An exact bucket-grid nearest-neighbour index over the `K`-torus.
 ///
 /// Buckets use the same flat CSR layout as the 2-D [`crate::grid::Grid`]:
 /// `offsets[b]..offsets[b+1]` delimits bucket `b` in one contiguous
-/// `indices` array, ascending within a bucket.
+/// `indices` array, ascending within a bucket; `packed` duplicates the
+/// site coordinates in `indices` order so a bucket scan streams
+/// contiguous `[f64; K]` blocks instead of gathering random entries of
+/// the caller's site slice.
 #[derive(Debug, Clone)]
 pub struct KdGrid<const K: usize> {
     g: usize,
     cell_w: f64,
     offsets: Vec<u32>,
     indices: Vec<u32>,
+    packed: Vec<[f64; K]>,
 }
 
 impl<const K: usize> KdGrid<K> {
-    /// Builds a grid with `g = max(1, ⌊n^(1/K)⌋)` cells per side
-    /// (~1 site per cell).
+    /// Sites-per-cell target of [`KdGrid::build`]. A couple of sites per
+    /// cell (rather than ~1) makes each bucket load pay for several
+    /// candidate distances and widens the cells relative to the
+    /// nearest-neighbour distance, so the near-orthant certificate of
+    /// the fast path ends most queries within 2^K bucket loads (the
+    /// empirical optimum across K ∈ {3, 4} at n = 2^16; see the
+    /// committed `results/bench/` numbers).
+    const SITES_PER_CELL: usize = 2;
+
+    /// Builds a grid with `g = max(1, ⌊(n/2)^(1/K)⌋)` cells per side
+    /// (~`SITES_PER_CELL` sites per cell).
     ///
     /// # Panics
     /// Panics if `sites` is empty or `K == 0`.
     #[must_use]
     pub fn build(sites: &[KdPoint<K>]) -> Self {
         assert!(K >= 1, "dimension must be at least 1");
-        let g = (sites.len() as f64).powf(1.0 / K as f64).floor().max(1.0) as usize;
+        let per_cell = (sites.len() as f64 / Self::SITES_PER_CELL as f64).max(1.0);
+        let g = per_cell.powf(1.0 / K as f64).floor().max(1.0) as usize;
         Self::with_cells_per_side(sites, g)
     }
 
@@ -111,45 +150,92 @@ impl<const K: usize> KdGrid<K> {
         assert!(!sites.is_empty(), "grid needs at least one site");
         assert!(g > 0, "grid side must be positive");
         let cells = g.checked_pow(K as u32).expect("grid size overflow");
-        let bucket_ids: Vec<usize> = sites.iter().map(|p| Self::bucket_of(p, g)).collect();
+        let bucket_ids: Vec<usize> = sites
+            .iter()
+            .map(|p| Self::bucket_index_for(&Self::cell_of(p, g), g))
+            .collect();
         let (offsets, indices) = crate::grid::csr_buckets(cells, &bucket_ids);
+        let packed = indices.iter().map(|&i| sites[i as usize].coords).collect();
         Self {
             g,
             cell_w: 1.0 / g as f64,
             offsets,
             indices,
+            packed,
         }
     }
 
-    /// The site indices of bucket `b` (ascending).
-    #[inline]
+    /// The site indices of bucket `b` (ascending); test-only introspection
+    /// (the query paths scan the packed coordinates directly).
+    #[cfg(test)]
     fn bucket(&self, b: usize) -> &[u32] {
         &self.indices[self.offsets[b] as usize..self.offsets[b + 1] as usize]
     }
 
-    fn bucket_of(p: &KdPoint<K>, g: usize) -> usize {
+    /// The grid cell containing `p` — the one center/bucket derivation
+    /// shared by construction and every query path, so the two can never
+    /// drift. The `min` guards against FP edge cases at the top seam.
+    #[inline]
+    fn cell_of(p: &KdPoint<K>, g: usize) -> [usize; K] {
+        let mut cell = [0usize; K];
+        for (slot, &coord) in cell.iter_mut().zip(&p.coords) {
+            *slot = ((coord * g as f64) as usize).min(g - 1);
+        }
+        cell
+    }
+
+    /// Row-major bucket index of a cell (last axis fastest).
+    #[inline]
+    fn bucket_index_for(cell: &[usize; K], g: usize) -> usize {
         let mut idx = 0usize;
-        for k in 0..K {
-            let c = ((p.coords[k] * g as f64) as usize).min(g - 1);
+        for &c in cell {
             idx = idx * g + c;
         }
         idx
     }
 
+    /// `3^K` when the full neighbourhood block fits the fast path's stack
+    /// scratch, `None` otherwise (huge `K`: exact shell walk instead).
+    #[inline]
+    fn block_cells() -> Option<usize> {
+        3usize.checked_pow(K as u32).filter(|&c| c <= BLOCK_CAP)
+    }
+
+    /// Scans CSR positions `lo..hi`, tracking the best *position* (not
+    /// site id) so the `indices` array stays out of the inner loop.
+    #[inline]
+    fn scan_range(
+        &self,
+        p: &KdPoint<K>,
+        lo: usize,
+        hi: usize,
+        best_j: &mut usize,
+        best_d2: &mut f64,
+    ) {
+        for (off, site) in self.packed[lo..hi].iter().enumerate() {
+            let mut d2 = 0.0;
+            for (s, c) in site.iter().zip(&p.coords) {
+                let d = wrap_delta(s - c);
+                d2 += d * d;
+            }
+            if d2 < *best_d2 {
+                *best_d2 = d2;
+                *best_j = lo + off;
+            }
+        }
+    }
+
     /// Enumerates (wrapped) cells at Chebyshev shell `r` around `center`
     /// and calls `visit` with each bucket index. `2r+1 < g` must hold
-    /// (no self-wrapping), which the caller guarantees.
-    fn for_shell(&self, center: &[usize], r: usize, visit: &mut dyn FnMut(usize)) {
+    /// (no self-wrapping), which the caller guarantees. Monomorphized
+    /// over the visitor; the odometer lives in a `[isize; K]` array.
+    fn for_shell<F: FnMut(usize)>(&self, center: &[usize; K], r: usize, mut visit: F) {
         // Odometer over the cube [-r, r]^K keeping only L∞ == r points.
         let g = self.g as isize;
         let r = r as isize;
-        let mut offsets = [0isize; 16];
-        assert!(K <= 16, "dimension too large for shell walker");
-        for o in offsets.iter_mut().take(K) {
-            *o = -r;
-        }
+        let mut offsets = [-r; K];
         loop {
-            if offsets.iter().take(K).any(|&o| o.abs() == r) {
+            if offsets.iter().any(|&o| o.abs() == r) {
                 let mut idx = 0usize;
                 for k in 0..K {
                     let c = (center[k] as isize + offsets[k]).rem_euclid(g) as usize;
@@ -173,51 +259,303 @@ impl<const K: usize> KdGrid<K> {
         }
     }
 
-    /// Exact nearest site to `p`.
-    ///
-    /// `sites` must be the slice the grid was built from.
-    #[must_use]
-    pub fn nearest(&self, p: &KdPoint<K>, sites: &[KdPoint<K>]) -> usize {
+    /// Enumerates every cell whose *wrapped* Chebyshev distance from
+    /// `center` is at least `min_shell` — the residual sweep when a shell
+    /// would wrap onto itself. Shells `< min_shell` are complete by then,
+    /// so this visits exactly the cells no earlier shell scanned.
+    fn for_unvisited<F: FnMut(usize)>(&self, center: &[usize; K], min_shell: usize, mut visit: F) {
         let g = self.g;
-        let mut center = [0usize; 16];
-        for (slot, &coord) in center.iter_mut().zip(&p.coords) {
-            *slot = ((coord * g as f64) as usize).min(g - 1);
+        let mut coords = [0usize; K];
+        loop {
+            let mut cheb = 0usize;
+            for k in 0..K {
+                let d = coords[k].abs_diff(center[k]);
+                cheb = cheb.max(d.min(g - d));
+            }
+            if cheb >= min_shell {
+                visit(Self::bucket_index_for(&coords, g));
+            }
+            // Advance (last axis fastest: ascending bucket order).
+            let mut k = K;
+            loop {
+                if k == 0 {
+                    return;
+                }
+                k -= 1;
+                coords[k] += 1;
+                if coords[k] < g {
+                    break;
+                }
+                coords[k] = 0;
+            }
         }
-        let center = &center[..K];
+    }
 
-        let mut best_idx = usize::MAX;
+    /// Exact nearest site to `p`. Ties break toward the site scanned
+    /// first — deterministic for a fixed site set.
+    ///
+    /// Self-contained: scans the packed coordinate copy, never the site
+    /// slice the grid was built from. The common case (`g ≥ 4`, answer
+    /// inside the probe's 3^K cell block — almost always, with ~1 site
+    /// per cell) runs a batched fast path: the probe's own cell first
+    /// with an exact cell-boundary early exit, then the remaining
+    /// 3^K − 1 buckets with all bounds loaded before any distance work
+    /// and an exact block-boundary exit. Only unresolved queries resume
+    /// the expanding-shell search at shell 2.
+    #[must_use]
+    pub fn nearest(&self, p: &KdPoint<K>) -> usize {
+        let g = self.g;
+        let center = Self::cell_of(p, g);
+        let b = Self::bucket_index_for(&center, g);
+        self.nearest_with_center(
+            p,
+            &center,
+            self.offsets[b] as usize,
+            self.offsets[b + 1] as usize,
+        )
+    }
+
+    /// [`KdGrid::nearest`] with the probe's cell and its bucket bounds
+    /// already derived (the batch path computes them a block at a time).
+    #[inline]
+    fn nearest_with_center(
+        &self,
+        p: &KdPoint<K>,
+        center: &[usize; K],
+        center_lo: usize,
+        center_hi: usize,
+    ) -> usize {
+        let g = self.g;
+        let n_cells = match Self::block_cells() {
+            Some(c) if g >= 4 => c,
+            // 3^K would self-wrap (tiny g) or overflow the stack scratch
+            // (huge K): the shell loop handles both exactly.
+            _ => return self.nearest_from_shell(p, center, 0, usize::MAX, f64::INFINITY),
+        };
+        let w = self.cell_w;
+        let mut best_j = usize::MAX;
         let mut best_d2 = f64::INFINITY;
-        let scan = |bucket: usize, best_idx: &mut usize, best_d2: &mut f64| {
-            for &i in self.bucket(bucket) {
-                let d2 = p.dist2(&sites[i as usize]);
-                if d2 < *best_d2 {
-                    *best_d2 = d2;
-                    *best_idx = i as usize;
+        self.scan_range(p, center_lo, center_hi, &mut best_j, &mut best_d2);
+        // Per-axis geometry: `f` is the probe's offset inside its cell,
+        // `near_edge` the distance to the nearest of its 2K faces,
+        // `far_edge` the distance to the nearest *far* face (the closest
+        // any cell displaced away from the probe can be), and `dir` the
+        // digit (0 = minus, 2 = plus neighbour) of the nearer side.
+        // `near_edge` is clamped at zero so FP seam skew cannot turn
+        // "impossible" into "tiny radius" when squared; the far/block
+        // formulas are true distances either way.
+        let mut near_edge = f64::INFINITY;
+        let mut far_edge = f64::INFINITY;
+        let mut dir = [0usize; K];
+        let mut near2 = [0.0f64; K];
+        let mut far2 = [0.0f64; K];
+        for k in 0..K {
+            let f = p.coords[k] - center[k] as f64 * w;
+            let to_minus = f;
+            let to_plus = w - f;
+            let near = to_minus.min(to_plus);
+            let far = to_minus.max(to_plus);
+            near_edge = near_edge.min(near);
+            far_edge = far_edge.min(far);
+            dir[k] = if to_minus <= to_plus { 0 } else { 2 };
+            let near = near.max(0.0);
+            near2[k] = near * near;
+            far2[k] = far * far;
+        }
+        let block_edge = w + near_edge;
+        let near_edge = near_edge.max(0.0);
+        // A hit closer than the probe's own nearest cell face cannot be
+        // beaten from any other cell: done after a single bucket.
+        if best_d2 <= near_edge * near_edge {
+            return self.indices[best_j] as usize;
+        }
+        // Wrapped neighbour coordinate per axis (digit 0/1/2 = minus /
+        // center / plus), shared by both block passes below.
+        let mut nbr = [[0usize; 3]; K];
+        for (k, n) in nbr.iter_mut().enumerate() {
+            let c = center[k];
+            *n = [
+                if c == 0 { g - 1 } else { c - 1 },
+                c,
+                if c + 1 == g { 0 } else { c + 1 },
+            ];
+        }
+        // Near-orthant pass: the 2^K − 1 cells displaced only *toward*
+        // the probe (per axis: not at all, or to the nearer side). The
+        // true nearest site is almost always inside this orthant, and
+        // every cell outside it is displaced to a far side on some
+        // axis, i.e. at least `far_edge` away — an exact certificate
+        // that usually ends the query after at most 2^K of the block's
+        // 3^K cells. Each cell carries its exact squared lower bound
+        // (the root-sum-square of the displaced-axis margins), so a
+        // bucket is loaded only if its cell could still beat the
+        // current best — branch-and-bound
+        // with zero memory traffic for pruned cells. Bucket bounds of
+        // surviving cells are loaded before any distance work so their
+        // cache misses overlap.
+        let orthant = 1usize << K;
+        let mut lo = [0u32; BLOCK_CAP];
+        let mut hi = [0u32; BLOCK_CAP];
+        let mut bound_of = [0.0f64; BLOCK_CAP];
+        let mut cnt = 0usize;
+        for mask in 1..orthant {
+            let mut bound = 0.0f64;
+            let mut idx = 0usize;
+            for (k, nb) in nbr.iter().enumerate() {
+                if mask & (1 << k) != 0 {
+                    idx = idx * g + nb[dir[k]];
+                    bound += near2[k];
+                } else {
+                    idx = idx * g + nb[1];
                 }
             }
-        };
+            if bound < best_d2 {
+                lo[cnt] = self.offsets[idx];
+                hi[cnt] = self.offsets[idx + 1];
+                bound_of[cnt] = bound;
+                cnt += 1;
+            }
+        }
+        for i in 0..cnt {
+            if bound_of[i] < best_d2 {
+                self.scan_range(p, lo[i] as usize, hi[i] as usize, &mut best_j, &mut best_d2);
+            }
+        }
+        if best_j != usize::MAX && best_d2 <= far_edge * far_edge {
+            return self.indices[best_j] as usize;
+        }
+        // Remainder pass: the other 3^K − 2^K block cells (at least one
+        // axis displaced to the far side), with the same exact per-cell
+        // lower bound — near margin² for near-side axes, far margin²
+        // for far-side axes — pruning every cell the current best
+        // already excludes. After them every unscanned site lies
+        // outside the block, i.e. at least the block-boundary distance
+        // away (exact, not the coarser (r−1)·w shell bound).
+        let mut digits = [0usize; K];
+        for _ in 0..n_cells {
+            let mut idx = 0usize;
+            let mut in_orthant = true;
+            let mut bound = 0.0f64;
+            for k in 0..K {
+                let digit = digits[k];
+                idx = idx * g + nbr[k][digit];
+                if digit != 1 {
+                    if digit == dir[k] {
+                        bound += near2[k];
+                    } else {
+                        in_orthant = false;
+                        bound += far2[k];
+                    }
+                }
+            }
+            if !in_orthant && bound < best_d2 {
+                self.scan_range(
+                    p,
+                    self.offsets[idx] as usize,
+                    self.offsets[idx + 1] as usize,
+                    &mut best_j,
+                    &mut best_d2,
+                );
+            }
+            // Base-3 odometer, last axis fastest.
+            let mut k = K;
+            while k > 0 {
+                k -= 1;
+                digits[k] += 1;
+                if digits[k] < 3 {
+                    break;
+                }
+                digits[k] = 0;
+            }
+        }
+        if best_j != usize::MAX && best_d2 <= block_edge * block_edge {
+            return self.indices[best_j] as usize;
+        }
+        // Rare: nothing conclusive within the block — resume the
+        // expanding-shell search at shell 2.
+        self.nearest_from_shell(p, center, 2, best_j, best_d2)
+    }
 
+    /// The expanding-shell search, starting at Chebyshev shell `start`
+    /// with the best candidate found so far (shells `< start` must
+    /// already have been scanned by the caller). `best_j` is a CSR
+    /// position, not a site id; the returned value is the resolved site
+    /// id.
+    fn nearest_from_shell(
+        &self,
+        p: &KdPoint<K>,
+        center: &[usize; K],
+        start: usize,
+        mut best_j: usize,
+        mut best_d2: f64,
+    ) -> usize {
+        let g = self.g;
         let max_shell = g / 2 + 1;
-        for r in 0..=max_shell {
+        for r in start..=max_shell {
             if r > 0 {
-                // Squared on both sides: no sqrt on the query path.
+                // Every cell at shell >= r is at least (r-1)*w away (L∞,
+                // hence L2). Squared on both sides: no sqrt anywhere on
+                // the query path.
                 let unreachable = (r as f64 - 1.0) * self.cell_w;
-                if best_idx != usize::MAX && best_d2 <= unreachable * unreachable {
+                if best_j != usize::MAX && best_d2 <= unreachable * unreachable {
                     break;
                 }
             }
             if 2 * r + 1 >= g {
-                for bucket in 0..self.offsets.len() - 1 {
-                    scan(bucket, &mut best_idx, &mut best_d2);
-                }
+                // Shell r would wrap onto itself. Shells < r are
+                // complete, so sweep only the cells they never visited
+                // (wrapped Chebyshev distance >= r) exactly once.
+                self.for_unvisited(center, r, |b| {
+                    self.scan_range(
+                        p,
+                        self.offsets[b] as usize,
+                        self.offsets[b + 1] as usize,
+                        &mut best_j,
+                        &mut best_d2,
+                    );
+                });
                 break;
             }
-            self.for_shell(center, r, &mut |bucket| {
-                scan(bucket, &mut best_idx, &mut best_d2);
+            self.for_shell(center, r, |b| {
+                self.scan_range(
+                    p,
+                    self.offsets[b] as usize,
+                    self.offsets[b + 1] as usize,
+                    &mut best_j,
+                    &mut best_d2,
+                );
             });
         }
-        debug_assert!(best_idx != usize::MAX, "kd grid search found no site");
-        best_idx
+        debug_assert!(best_j != usize::MAX, "kd grid search found no site");
+        self.indices[best_j] as usize
+    }
+
+    /// Resolves a block of probes to their nearest sites — the batched
+    /// entry point behind [`KdSites::owners_into`]. Processes probes in
+    /// internal batches of `PROBE_BATCH` probes: phase 1 derives every
+    /// probe's cell and loads its own-bucket bounds (one tight
+    /// homogeneous loop whose cache misses overlap), phase 2 runs the
+    /// per-probe fast path with the center work already amortized.
+    /// Equivalent to `nearest` probe by probe.
+    ///
+    /// # Panics
+    /// Panics if `probes` and `out` differ in length.
+    pub fn nearest_batch(&self, probes: &[KdPoint<K>], out: &mut [usize]) {
+        assert_eq!(probes.len(), out.len(), "probe/output blocks must match");
+        let g = self.g;
+        let mut centers = [[0usize; K]; PROBE_BATCH];
+        let mut ranges = [(0usize, 0usize); PROBE_BATCH];
+        for (probes, out) in probes.chunks(PROBE_BATCH).zip(out.chunks_mut(PROBE_BATCH)) {
+            for (i, p) in probes.iter().enumerate() {
+                let center = Self::cell_of(p, g);
+                let b = Self::bucket_index_for(&center, g);
+                centers[i] = center;
+                ranges[i] = (self.offsets[b] as usize, self.offsets[b + 1] as usize);
+            }
+            for (i, (p, slot)) in probes.iter().zip(out.iter_mut()).enumerate() {
+                *slot = self.nearest_with_center(p, &centers[i], ranges[i].0, ranges[i].1);
+            }
+        }
     }
 }
 
@@ -298,7 +636,24 @@ impl<const K: usize> KdSites<K> {
     /// Exact nearest site to `p`.
     #[must_use]
     pub fn owner(&self, p: &KdPoint<K>) -> usize {
-        self.grid.nearest(p, &self.points)
+        self.grid.nearest(p)
+    }
+
+    /// Exact nearest site for a whole block of probes at once
+    /// (equivalent to [`KdSites::owner`] probe by probe; the batch
+    /// amortizes the per-probe cell derivation — see
+    /// [`KdGrid::nearest_batch`]).
+    ///
+    /// # Panics
+    /// Panics if `probes` and `out` differ in length.
+    pub fn owners_into(&self, probes: &[KdPoint<K>], out: &mut [usize]) {
+        self.grid.nearest_batch(probes, out);
+    }
+
+    /// Brute-force owner: the `O(n)` oracle used to validate the grid.
+    #[must_use]
+    pub fn owner_brute(&self, p: &KdPoint<K>) -> usize {
+        kd_nearest_brute(p, &self.points)
     }
 
     /// Monte-Carlo estimate of every site's Voronoi cell volume from
@@ -354,7 +709,7 @@ mod tests {
                     let grid = KdGrid::build(&sites);
                     for _ in 0..300 {
                         let p = KdPoint::<$k>::random(&mut rng);
-                        let fast = grid.nearest(&p, &sites);
+                        let fast = grid.nearest(&p);
                         let slow = kd_nearest_brute(&p, &sites);
                         assert!(
                             (p.dist2(&sites[fast]) - p.dist2(&sites[slow])).abs() < 1e-15,
@@ -473,9 +828,98 @@ mod tests {
         let grid = KdGrid::build(&sites);
         for _ in 0..200 {
             let p = KdPoint::<3>::random(&mut rng);
-            let fast = grid.nearest(&p, &sites);
+            let fast = grid.nearest(&p);
             let slow = kd_nearest_brute(&p, &sites);
             assert!((p.dist2(&sites[fast]) - p.dist2(&sites[slow])).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn csr_buckets_partition_sites_with_packed_coords() {
+        // Every site appears exactly once, ascending within its bucket,
+        // and the packed copy mirrors `indices` order exactly.
+        let sites = random_sites::<3>(120, 11);
+        let grid = KdGrid::with_cells_per_side(&sites, 5);
+        let mut seen = vec![false; sites.len()];
+        for b in 0..125 {
+            let bucket = grid.bucket(b);
+            for w in bucket.windows(2) {
+                assert!(w[0] < w[1], "bucket {b} not ascending");
+            }
+            for &i in bucket {
+                assert!(!seen[i as usize], "site {i} in two buckets");
+                seen[i as usize] = true;
+                let cell = KdGrid::cell_of(&sites[i as usize], 5);
+                assert_eq!(KdGrid::bucket_index_for(&cell, 5), b, "site {i} misfiled");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "missing sites");
+        for (j, &i) in grid.indices.iter().enumerate() {
+            assert_eq!(grid.packed[j], sites[i as usize].coords, "packed order");
+        }
+    }
+
+    #[test]
+    fn nearest_batch_matches_single_queries() {
+        let mut rng = Xoshiro256pp::from_u64(12);
+        for &n in &[1usize, 7, 300] {
+            let sites = random_sites::<3>(n, 500 + n as u64);
+            let grid = KdGrid::build(&sites);
+            // 77 spans multiple internal probe batches plus a ragged tail.
+            let probes: Vec<KdPoint<3>> = (0..77).map(|_| KdPoint::random(&mut rng)).collect();
+            let mut batched = vec![0usize; probes.len()];
+            grid.nearest_batch(&probes, &mut batched);
+            let singles: Vec<usize> = probes.iter().map(|p| grid.nearest(p)).collect();
+            assert_eq!(batched, singles, "n={n}");
+        }
+    }
+
+    #[test]
+    fn residual_sweep_skips_completed_shells_but_stays_exact() {
+        // Clustered sites + distant probes force deep shells that wrap
+        // (the residual sweep); a degenerate g=2 grid hits it at r=1.
+        let mut rng = Xoshiro256pp::from_u64(13);
+        let sites: Vec<KdPoint<4>> = (0..30)
+            .map(|_| {
+                let mut c = [0.0; 4];
+                for x in &mut c {
+                    *x = 0.25 + 1e-3 * rng.gen::<f64>();
+                }
+                KdPoint::new(c)
+            })
+            .collect();
+        for g in [1usize, 2, 3, 5] {
+            let grid = KdGrid::with_cells_per_side(&sites, g);
+            for _ in 0..100 {
+                let p = KdPoint::<4>::random(&mut rng);
+                let fast = grid.nearest(&p);
+                let slow = kd_nearest_brute(&p, &sites);
+                assert!(
+                    (p.dist2(&sites[fast]) - p.dist2(&sites[slow])).abs() < 1e-15,
+                    "g={g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unvisited_sweep_covers_exactly_the_cells_outside_completed_shells() {
+        // For every cell the sweep visits, the wrapped Chebyshev distance
+        // must be >= min_shell, and together with shells 0..min_shell it
+        // must cover every cell exactly once.
+        let sites = random_sites::<2>(40, 14);
+        let grid = KdGrid::<2>::with_cells_per_side(&sites, 6);
+        let center = [2usize, 5];
+        for min_shell in 0..=3usize {
+            let mut counts = vec![0usize; 36];
+            for r in 0..min_shell {
+                grid.for_shell(&center, r, |b| counts[b] += 1);
+            }
+            grid.for_unvisited(&center, min_shell, |b| counts[b] += 1);
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "min_shell={min_shell}: {counts:?}"
+            );
         }
     }
 }

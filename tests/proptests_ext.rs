@@ -34,7 +34,7 @@ proptest! {
         let grid = KdGrid::build(&sites);
         for w in probes.windows(3) {
             let p = KdPoint::new([w[0], w[1], w[2]]);
-            let fast = grid.nearest(&p, &sites);
+            let fast = grid.nearest(&p);
             let slow = kd_nearest_brute(&p, &sites);
             prop_assert!(
                 (p.dist2(&sites[fast]) - p.dist2(&sites[slow])).abs() < 1e-15
