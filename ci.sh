@@ -33,9 +33,24 @@ cargo bench -p geo2c-bench --bench substrate
 # run `run_benches --check --tolerance 50` locally for that. A host
 # persistently slower than 3x the reference should regenerate and commit
 # results/bench/quick.json. The quick suite includes the kd3/kd4 owner
-# and kd3 trial benches, so the K-d fast path is gated too.
+# benches and the end-to-end random-tie-break trials (trial/*_random —
+# the cross-ball lane engine's headline path) plus the arc-left
+# ablation, so both engine paths are gated.
 say "bench regression gate (quick scale vs results/bench/quick.json, 200% tolerance)"
 cargo run --release -q -p geo2c-bench --bin run_benches -- --quick --check --tolerance 200
+
+# The PR-5 lane engine's headline claim, pinned as data: the committed
+# baseline must show >= 1.5x on the random-tie trial benches over the
+# committed pre-lane archive. Pure file comparison — nothing is re-run —
+# so this cannot flake; it fails only if someone regenerates baseline.json
+# on a change that gives the speedup back.
+say "committed speedup evidence (baseline.json >= 1.5x before_pr5.json on trial/*_random)"
+cargo run --release -q -p geo2c-bench --bin run_benches -- \
+  --diff results/bench/baseline.json results/bench/before_pr5.json \
+  --min-speedup 1.5 --only ring_d2_random,torus_d2_random,kd3_d2_random
+
+say "EXPERIMENTS.md renders byte-identically from the committed results/*.json"
+cargo run --release -q -p geo2c-bench --bin run_tables -- --render
 
 say "table expectations (quick scale vs results/quick/, statistical tolerance)"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check

@@ -4,9 +4,15 @@
 //!
 //! ```text
 //! run_benches [--quick] [--check] [--tolerance PCT] [--seed S]
-//!             [--dir DIR] [--out PATH] [--against PATH]
-//! run_benches --diff AFTER.json BEFORE.json
+//!             [--dir DIR] [--out PATH] [--against PATH] [--archive [LABEL]]
+//!             [--repeats N] [--window-ms MS]
+//! run_benches --diff AFTER.json BEFORE.json [--min-speedup R --only SUBSTR[,SUBSTR]]
 //! ```
+//!
+//! `--repeats` / `--window-ms` override the measurement methodology
+//! (default 3 × ~20 ms best-of windows) — raise repeats on a noisy
+//! host. Both are recorded in the persisted spec (`trials` and the
+//! `window_ms` param), so runs carry their methodology with them.
 //!
 //! * *(no flags)* — run the **full** scale and write
 //!   `results/bench/baseline.json` (the committed "after" evidence and
@@ -16,12 +22,21 @@
 //!   more than `--tolerance` percent (default 50) slower than the
 //!   committed baseline. Improvements never fail; structural drift
 //!   (bench added/removed/renamed) always does.
-//! * `--out PATH` — write somewhere else (used to capture
-//!   `results/bench/before.json` at a pre-optimization commit).
+//! * `--out PATH` — write somewhere else.
 //! * `--against PATH` — check against an explicit baseline file.
+//! * `--archive [LABEL]` — capture pre-optimization evidence: run the
+//!   selected scale and write `results/bench/before_<LABEL>.json`.
+//!   Without a label the next `prN` is chosen automatically (one past
+//!   the highest committed `before_prN.json`), so each PR's "before"
+//!   lands in its own file and the trajectory of archives stays
+//!   comparable instead of a rolling `before.json` being overwritten.
 //! * `--diff A B` — no benches run: load two persisted runs and print
 //!   the per-bench speedup of `A` over `B` (e.g. the committed
-//!   `baseline.json` over `before.json`).
+//!   `baseline.json` over `before_pr5.json`). With `--min-speedup R`
+//!   the diff *gates*: every pair whose id contains `--only SUBSTR`
+//!   (default: all pairs) must show a speedup of at least `R`, or the
+//!   exit status is non-zero — this is how ci.sh pins a perf PR's
+//!   headline claim to the committed evidence.
 
 use geo2c_bench::perf::{self, fmt_ns, pair_benches, run_bench_suite, BenchScale, FULL, QUICK};
 use geo2c_report::{ExperimentResult, Provenance, ResultSet};
@@ -37,6 +52,11 @@ struct Args {
     out: Option<PathBuf>,
     against: Option<PathBuf>,
     diff: Option<(PathBuf, PathBuf)>,
+    archive: Option<Option<String>>,
+    min_speedup: Option<f64>,
+    only: Option<String>,
+    repeats: usize,
+    window_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +69,11 @@ fn parse_args() -> Args {
         out: None,
         against: None,
         diff: None,
+        archive: None,
+        min_speedup: None,
+        only: None,
+        repeats: perf::REPEATS,
+        window_ms: perf::MEASURE_WINDOW.as_millis() as u64,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,19 +101,64 @@ fn parse_args() -> Args {
                 let b = PathBuf::from(take(&argv, &mut i, "--diff"));
                 args.diff = Some((a, b));
             }
+            "--archive" => {
+                // The label is optional: consume the next token only if it
+                // is not a flag.
+                match argv.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        args.archive = Some(Some(next.clone()));
+                        i += 1;
+                    }
+                    _ => args.archive = Some(None),
+                }
+            }
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    take(&argv, &mut i, "--min-speedup")
+                        .parse()
+                        .expect("speedup ratio"),
+                );
+            }
+            "--only" => args.only = Some(take(&argv, &mut i, "--only")),
+            "--repeats" => {
+                args.repeats = take(&argv, &mut i, "--repeats")
+                    .parse()
+                    .expect("repeat count");
+            }
+            "--window-ms" => {
+                args.window_ms = take(&argv, &mut i, "--window-ms")
+                    .parse()
+                    .expect("window millis");
+            }
             other => panic!(
                 "unknown flag '{other}'\nusage: run_benches [--quick] [--check] \
                  [--tolerance PCT] [--seed S] [--dir DIR] [--out PATH] [--against PATH] \
-                 | --diff AFTER BEFORE"
+                 [--archive [LABEL]] [--repeats N] [--window-ms MS] \
+                 | --diff AFTER BEFORE [--min-speedup R --only SUBSTR[,SUBSTR]]"
             ),
         }
         i += 1;
     }
+    // Contradictory destinations/modes are rejected rather than silently
+    // resolved: --check writes nothing (an --archive capture would be
+    // skipped), and --archive has its own output-naming scheme.
+    assert!(
+        !(args.archive.is_some() && args.check),
+        "--archive runs write an archive; --check writes nothing — pick one"
+    );
+    assert!(
+        !(args.archive.is_some() && args.out.is_some()),
+        "--archive names its own output (before_<LABEL>.json); drop --out"
+    );
     args
 }
 
+fn bench_dir(args: &Args) -> PathBuf {
+    args.dir.join("results").join("bench")
+}
+
 fn baseline_path(args: &Args) -> PathBuf {
-    args.dir.join("results").join("bench").join(format!(
+    bench_dir(args).join(format!(
         "{}.json",
         if args.scale.name == QUICK.name {
             "quick"
@@ -96,6 +166,36 @@ fn baseline_path(args: &Args) -> PathBuf {
             "baseline"
         }
     ))
+}
+
+/// The per-PR archive file for `--archive`: `before_<LABEL>.json`, or —
+/// with no label — `before_prN.json` for the smallest `N` one past every
+/// committed `before_pr*.json` (so successive PRs never overwrite each
+/// other's "before" evidence).
+fn archive_path(args: &Args, label: Option<&str>) -> PathBuf {
+    let dir = bench_dir(args);
+    let label = match label {
+        Some(l) => l.to_string(),
+        None => {
+            let mut next = 1u32;
+            if let Ok(entries) = std::fs::read_dir(&dir) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if let Some(num) = name
+                        .strip_prefix("before_pr")
+                        .and_then(|rest| rest.strip_suffix(".json"))
+                    {
+                        if let Ok(n) = num.parse::<u32>() {
+                            next = next.max(n + 1);
+                        }
+                    }
+                }
+            }
+            format!("pr{next}")
+        }
+    };
+    dir.join(format!("before_{label}.json"))
 }
 
 fn load_bench(path: &Path) -> Result<ExperimentResult, ExitCode> {
@@ -138,7 +238,12 @@ fn print_table(result: &ExperimentResult) {
     }
 }
 
-fn diff(after_path: &Path, before_path: &Path) -> ExitCode {
+fn diff(
+    after_path: &Path,
+    before_path: &Path,
+    min_speedup: Option<f64>,
+    only: Option<&str>,
+) -> ExitCode {
     let (after, before) = match (load_bench(after_path), load_bench(before_path)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(c), _) | (_, Err(c)) => return c,
@@ -153,17 +258,71 @@ fn diff(after_path: &Path, before_path: &Path) -> ExitCode {
         "{:<34} {:>12} {:>12} {:>9}",
         "bench", "before", "after", "speedup"
     );
+    // `--only` takes a comma-separated list of id substrings.
+    let matches_only = |id: &str| match only {
+        None => true,
+        Some(patterns) => patterns
+            .split(',')
+            .any(|pat| !pat.is_empty() && id.contains(pat)),
+    };
+    let mut failures = Vec::new();
     for p in &pairs {
+        let gated = matches_only(&p.id);
         println!(
-            "{:<34} {:>12} {:>12} {:>8.2}x",
+            "{:<34} {:>12} {:>12} {:>8.2}x{}",
             p.id,
             fmt_ns(p.right_ns),
             fmt_ns(p.left_ns),
-            p.speedup()
+            p.speedup(),
+            if gated && min_speedup.is_some() {
+                "  [gated]"
+            } else {
+                ""
+            }
         );
+        if let Some(min) = min_speedup {
+            if gated && p.speedup() < min {
+                failures.push(format!("{}: {:.2}x < required {min}x", p.id, p.speedup()));
+            }
+        }
     }
     for u in &unmatched {
         println!("  (unpaired) {u}");
+    }
+    if let Some(min) = min_speedup {
+        let gated = pairs.iter().filter(|p| matches_only(&p.id)).count();
+        // Every --only pattern must cover at least one pair: a gated
+        // bench silently falling out of either file (rename, partial
+        // regeneration) must fail the gate, not shrink it.
+        if let Some(patterns) = only {
+            for pat in patterns.split(',').filter(|pat| !pat.is_empty()) {
+                if !pairs.iter().any(|p| p.id.contains(pat)) {
+                    failures.push(format!(
+                        "--only pattern {pat:?} matches no paired bench — \
+                         gated coverage shrank"
+                    ));
+                }
+            }
+        }
+        if gated == 0 {
+            eprintln!(
+                "speedup gate FAILED: no bench matches --only {:?}",
+                only.unwrap_or("")
+            );
+            return ExitCode::FAILURE;
+        }
+        if failures.is_empty() {
+            println!(
+                "speedup gate OK: {gated} gated benches all at least {min}x faster than {}",
+                before_path.display()
+            );
+        } else {
+            eprintln!("speedup gate FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -232,7 +391,7 @@ fn check(
 fn main() -> ExitCode {
     let args = parse_args();
     if let Some((after, before)) = &args.diff {
-        return diff(after, before);
+        return diff(after, before, args.min_speedup, args.only.as_deref());
     }
 
     // Fail fast on a missing/corrupt baseline before the measurement run.
@@ -252,17 +411,25 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "running the {} bench scale (seed {})",
-        args.scale.name, args.seed
+        "running the {} bench scale (seed {}, {} repeats of {} ms windows)",
+        args.scale.name, args.seed, args.repeats, args.window_ms
     );
-    let fresh = run_bench_suite(args.scale, args.seed, perf::MEASURE_WINDOW, perf::REPEATS);
+    let fresh = run_bench_suite(
+        args.scale,
+        args.seed,
+        std::time::Duration::from_millis(args.window_ms),
+        args.repeats,
+    );
 
     if let Some((committed, baseline_file)) = committed {
         return check(&fresh, &committed, &baseline_file, args.tolerance_pct);
     }
 
     print_table(&fresh);
-    let path = args.out.clone().unwrap_or_else(|| baseline_path(&args));
+    let path = match &args.archive {
+        Some(label) => archive_path(&args, label.as_deref()),
+        None => args.out.clone().unwrap_or_else(|| baseline_path(&args)),
+    };
     let mut set = ResultSet::new(Provenance::capture(args.seed));
     set.push(fresh);
     if let Err(e) = set.save(&path) {

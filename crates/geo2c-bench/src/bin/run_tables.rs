@@ -6,7 +6,8 @@
 //! from the repository root.
 //!
 //! ```text
-//! run_tables [--quick | --full] [--check] [--dir DIR] [--seed S] [--threads T]
+//! run_tables [--quick | --full] [--check [--against DIR]] [--render]
+//!            [--dir DIR] [--seed S] [--threads T]
 //! ```
 //!
 //! * *(no flags)* — run the **reference** scale (the committed
@@ -22,6 +23,16 @@
 //!   tolerance (`geo2c_util::stats::{two_proportion_z, welch_z}`;
 //!   z ≤ 4 plus small absolute slack). Exits non-zero on any
 //!   discrepancy, including spec drift. CI runs `--quick --check`.
+//! * `--check --against DIR` — diff against the expectation files in
+//!   `DIR` instead (e.g. the archived `results/v1/` pre-lane-contract
+//!   numbers: the statistical-equivalence evidence for the one-time
+//!   stream migration). Experiments missing from `DIR` are skipped
+//!   with a note instead of failing, and the `EXPERIMENTS.md`
+//!   rendering check is skipped (it belongs to the committed set).
+//! * `--render` — no suite run: verify `EXPERIMENTS.md` is byte-
+//!   identical to the rendering of the committed `results/*.json`
+//!   (the cheap half of the reference-scale check; CI runs it on
+//!   every build).
 
 use geo2c_bench::experiments::{self, Scale, FULL, QUICK, REFERENCE};
 use geo2c_core::experiment::SweepConfig;
@@ -32,6 +43,8 @@ use std::process::ExitCode;
 struct Args {
     scale: &'static Scale,
     check: bool,
+    render: bool,
+    against: Option<PathBuf>,
     dir: PathBuf,
     seed: u64,
     threads: usize,
@@ -41,6 +54,8 @@ fn parse_args() -> Args {
     let mut args = Args {
         scale: &REFERENCE,
         check: false,
+        render: false,
+        against: None,
         dir: PathBuf::from("."),
         seed: 0,
         threads: geo2c_util::parallel::num_threads(),
@@ -58,14 +73,16 @@ fn parse_args() -> Args {
             "--quick" => args.scale = &QUICK,
             "--full" => args.scale = &FULL,
             "--check" => args.check = true,
+            "--render" => args.render = true,
+            "--against" => args.against = Some(PathBuf::from(take(&argv, &mut i, "--against"))),
             "--dir" => args.dir = PathBuf::from(take(&argv, &mut i, "--dir")),
             "--seed" => args.seed = take(&argv, &mut i, "--seed").parse().expect("seed"),
             "--threads" => {
                 args.threads = take(&argv, &mut i, "--threads").parse().expect("threads");
             }
             other => panic!(
-                "unknown flag '{other}'\nusage: run_tables [--quick | --full] [--check] \
-                 [--dir DIR] [--seed S] [--threads T]"
+                "unknown flag '{other}'\nusage: run_tables [--quick | --full] \
+                 [--check [--against DIR]] [--render] [--dir DIR] [--seed S] [--threads T]"
             ),
         }
         i += 1;
@@ -104,6 +121,11 @@ fn run_suite(scale: &Scale, seed: u64, threads: usize) -> Vec<ExperimentResult> 
         threads,
         seed,
     };
+    let tab = SweepConfig {
+        trials: scale.tab_trials,
+        threads,
+        seed,
+    };
     let provenance_line = |label: &str, config: &SweepConfig| {
         let pairs: Vec<String> = config
             .describe()
@@ -125,12 +147,14 @@ fn run_suite(scale: &Scale, seed: u64, threads: usize) -> Vec<ExperimentResult> 
     provenance_line("torus", &torus);
     provenance_line("dimension", &dim);
     provenance_line("ring_chart", &chart);
+    provenance_line("tabulation", &tab);
     vec![
         experiments::table1(&scale.ring_sizes(), &ring),
         experiments::table2(&scale.torus_sizes(), &torus),
         experiments::table3(&scale.ring_sizes(), &ring, true),
         experiments::dimension(1usize << scale.dim_exp, &dim),
         experiments::ring_chart(1usize << scale.chart_exp, &chart),
+        experiments::tabulation(1usize << scale.tab_exp, &tab),
     ]
 }
 
@@ -139,7 +163,11 @@ fn run_suite(scale: &Scale, seed: u64, threads: usize) -> Vec<ExperimentResult> 
 /// the source file of each loaded experiment, so a later `--check`
 /// failure can say *which file's* cell drifted instead of leaving a
 /// multi-file run ambiguous.
-fn load_expected(dir: &Path, seed: u64) -> Result<(ResultSet, Vec<(String, PathBuf)>), ExitCode> {
+fn load_expected(
+    dir: &Path,
+    seed: u64,
+    lenient: bool,
+) -> Result<(ResultSet, Vec<(String, PathBuf)>), ExitCode> {
     let mut expected = ResultSet::new(Provenance::capture(seed));
     let mut sources = Vec::new();
     let mut missing = Vec::new();
@@ -155,7 +183,13 @@ fn load_expected(dir: &Path, seed: u64) -> Result<(ResultSet, Vec<(String, PathB
             Err(e) => missing.push(format!("{}: {e}", path.display())),
         }
     }
-    if missing.is_empty() {
+    // `--against` archives may legitimately predate newer experiments
+    // (e.g. results/v1/ has no `tabulation`): skip those with a note as
+    // long as something is comparable.
+    if missing.is_empty() || (lenient && !expected.experiments.is_empty()) {
+        for m in &missing {
+            eprintln!("note: skipping (not in the archive): {m}");
+        }
         Ok((expected, sources))
     } else {
         eprintln!("cannot load committed expectations:");
@@ -175,11 +209,25 @@ fn check(
     dir: &Path,
     scale: &Scale,
 ) -> ExitCode {
-    let mut diffs = compare_sets(fresh, expected, &Tolerance::default());
+    // Against an explicit archive, compare only the experiments the
+    // archive holds (it may predate newer suite members).
+    let mut fresh_view = ResultSet::new(fresh.provenance.clone());
+    for result in &fresh.experiments {
+        if expected.experiment(&result.spec.id).is_some() {
+            fresh_view.experiments.push(result.clone());
+        } else if args.against.is_some() {
+            eprintln!("note: {} not in the archive; skipped", result.spec.id);
+        } else {
+            fresh_view.experiments.push(result.clone());
+        }
+    }
+    let mut diffs = compare_sets(&fresh_view, expected, &Tolerance::default());
     // At the reference scale, EXPERIMENTS.md is part of the committed
     // expectations too: it must be exactly what the committed results
     // render to, or the headline document has drifted from the data.
-    if scale.name == REFERENCE.name {
+    // (Not when diffing against an archive: the document belongs to the
+    // committed set, not to the archive.)
+    if scale.name == REFERENCE.name && args.against.is_none() {
         let md_path = args.dir.join("EXPERIMENTS.md");
         let committed_md = std::fs::read_to_string(&md_path).unwrap_or_default();
         if committed_md != experiments::experiments_markdown(expected) {
@@ -197,7 +245,7 @@ fn check(
     if diffs.is_empty() {
         println!(
             "check OK: {} experiments consistent with {}",
-            fresh.experiments.len(),
+            fresh_view.experiments.len(),
             dir.display()
         );
         ExitCode::SUCCESS
@@ -281,10 +329,40 @@ fn write(set: &ResultSet, args: &Args, dir: &Path) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let dir = results_dir(&args.dir, args.scale);
+    if args.render {
+        // No suite run: EXPERIMENTS.md must be the exact rendering of
+        // the committed reference results.
+        let dir = results_dir(&args.dir, &REFERENCE);
+        let (expected, _) = match load_expected(&dir, args.seed, false) {
+            Ok(loaded) => loaded,
+            Err(code) => return code,
+        };
+        let md_path = args.dir.join("EXPERIMENTS.md");
+        let committed = std::fs::read_to_string(&md_path).unwrap_or_default();
+        return if committed == experiments::experiments_markdown(&expected) {
+            println!(
+                "render OK: {} is byte-identical to the rendering of {}",
+                md_path.display(),
+                dir.display()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "render FAILED: {} is not the rendering of {} — \
+                 it was hand-edited or not regenerated (run `./tables.sh`)",
+                md_path.display(),
+                dir.display()
+            );
+            ExitCode::FAILURE
+        };
+    }
+    let dir = match &args.against {
+        Some(archive) => archive.clone(),
+        None => results_dir(&args.dir, args.scale),
+    };
     // Fail fast on missing/corrupt expectations before the long run.
     let expected = if args.check {
-        match load_expected(&dir, args.seed) {
+        match load_expected(&dir, args.seed, args.against.is_some()) {
             Ok(expected) => Some(expected),
             Err(code) => return code,
         }

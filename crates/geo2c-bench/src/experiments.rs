@@ -17,14 +17,24 @@
 //! deliberately).
 
 use geo2c_core::experiment::{sweep_kind, sweep_max_load, MaxLoadCell, SweepConfig};
-use geo2c_core::space::{KdTorusSpace, SpaceKind};
+use geo2c_core::sim::{run_trial, run_trial_with_lanes};
+use geo2c_core::space::{KdTorusSpace, RingSpace, SpaceKind};
 use geo2c_core::strategy::{Strategy, TieBreak};
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
-use geo2c_util::rng::Xoshiro256pp;
+use geo2c_util::parallel::parallel_map;
+use geo2c_util::rng::{StreamSeeder, TabulationHash, TabulationLanes, Xoshiro256pp};
+use rand::Rng as _;
 
 /// Spec ids of the experiments `run_tables` drives, in suite order —
 /// also the basenames of the committed files under `results/`.
-pub const SUITE_IDS: [&str; 5] = ["table1", "table2", "table3", "dimension", "ring_chart"];
+pub const SUITE_IDS: [&str; 6] = [
+    "table1",
+    "table2",
+    "table3",
+    "dimension",
+    "ring_chart",
+    "tabulation",
+];
 
 /// A named parameter set for the table suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +57,10 @@ pub struct Scale {
     pub chart_exp: u32,
     /// Trials per ring-chart cell.
     pub chart_trials: usize,
+    /// `n = 2^k` exponent for the tabulation-hash comparison.
+    pub tab_exp: u32,
+    /// Trials per tabulation-comparison cell.
+    pub tab_trials: usize,
 }
 
 /// CI / smoke-test scale: regenerates in seconds, even unoptimized.
@@ -60,6 +74,8 @@ pub const QUICK: Scale = Scale {
     dim_trials: 8,
     chart_exp: 12,
     chart_trials: 10,
+    tab_exp: 9,
+    tab_trials: 25,
 };
 
 /// The committed-expectation scale behind `EXPERIMENTS.md` (~1.5
@@ -83,6 +99,12 @@ pub const REFERENCE: Scale = Scale {
     // 2^20+ chart is the --full scale below).
     chart_exp: 18,
     chart_trials: 40,
+    // The Dahlgaard et al. weak-hashing comparison stays at quick scale
+    // even in the committed expectations: the question is whether the
+    // max-load distribution survives 3-independent hashing at all, and
+    // 2^10 servers × 200 trials answers it for pennies of CPU.
+    tab_exp: 10,
+    tab_trials: 200,
 };
 
 /// The paper's own scale (1000 trials, `n` up to `2^24` / `2^20`).
@@ -97,6 +119,8 @@ pub const FULL: Scale = Scale {
     dim_trials: 200,
     chart_exp: 20,
     chart_trials: 200,
+    tab_exp: 12,
+    tab_trials: 1000,
 };
 
 impl Scale {
@@ -385,6 +409,79 @@ pub fn ring_chart(n: usize, config: &SweepConfig) -> ExperimentResult {
     result
 }
 
+/// The two probe sources the `tabulation` experiment compares, in cell
+/// order: the engine-default SplitMix64 lanes and the simple-tabulation
+/// lanes (Dahlgaard et al., SODA 2016).
+pub const TABULATION_SAMPLERS: [&str; 2] = ["splitmix-lane", "tabulation-lane"];
+
+/// The simple-tabulation comparison (ROADMAP "weak hashing" item): the
+/// max-load distribution on random ring arcs, `m = n`, `d ∈ {1, 2}`,
+/// with per-ball lanes driven either by SplitMix64 (contract v2 default)
+/// or by a per-trial simple tabulation hash in counter mode. Dahlgaard,
+/// Knudsen, Rotenberg & Thorup prove two-choices max load survives
+/// simple tabulation's mere 3-independence; the two columns should be
+/// statistically indistinguishable, while both `d = 1` columns show the
+/// usual `Θ(log n / log log n)` spread.
+#[must_use]
+pub fn tabulation(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let ds = [1usize, 2];
+    let spec = ExperimentSpec::new(
+        "tabulation",
+        "Weak hashing: max load with simple-tabulation vs SplitMix64 probe lanes (ring, m = n)",
+    )
+    .paper_ref("Dahlgaard et al. SODA 2016 (PAPERS.md)")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("space", Json::str("ring"))
+    .param("m", Json::str("n"))
+    .param("tie_break", Json::str("random"))
+    .param("n", Json::from_usize(n))
+    .param(
+        "sampler",
+        Json::Arr(TABULATION_SAMPLERS.iter().map(|&s| Json::str(s)).collect()),
+    )
+    .param(
+        "d",
+        Json::Arr(ds.iter().map(|&d| Json::from_usize(d)).collect()),
+    );
+    let mut result = ExperimentResult::new(spec);
+    for sampler in TABULATION_SAMPLERS {
+        let tabulate = sampler == "tabulation-lane";
+        for &d in &ds {
+            let strategy = Strategy::d_choice(d);
+            let label = format!("tabulation/{sampler}/n{n}/d{d}");
+            let seeder = StreamSeeder::new(config.seed).child(&label);
+            let max_loads: Vec<u32> = parallel_map(config.trials, config.threads, |t| {
+                let mut rng = seeder.stream(t as u64);
+                let space = RingSpace::random(n, &mut rng);
+                if tabulate {
+                    // Fresh tables per trial (the theorems quantify over
+                    // the hash draw too), then the same laned engine.
+                    let hash = TabulationHash::from_seed(rng.gen());
+                    let lanes = TabulationLanes::new(&hash, rng.gen());
+                    run_trial_with_lanes(&space, &strategy, n, &lanes).max_load
+                } else {
+                    run_trial(&space, &strategy, n, &mut rng).max_load
+                }
+            });
+            let mut distribution = geo2c_util::hist::Counter::new();
+            for &ml in &max_loads {
+                distribution.add(u64::from(ml));
+            }
+            result.push(Cell {
+                coords: vec![
+                    ("sampler".into(), Json::str(sampler)),
+                    ("d".into(), Json::from_usize(d)),
+                ],
+                distribution: Some(distribution),
+                metrics: Vec::new(),
+            });
+        }
+        progress(&format!("tabulation: {sampler} done"));
+    }
+    result
+}
+
 /// Renders `EXPERIMENTS.md` from the reference result set.
 ///
 /// The output is a pure function of the results (no timestamps, no git
@@ -428,12 +525,13 @@ of CPU) and writes `results/full/`.\n\n",
 in the paper's `value: percent` format, with the distribution mean beneath.\n\n",
     );
 
-    let pivots: [(&str, &str, &str); 5] = [
+    let pivots: [(&str, &str, &str); 6] = [
         ("table1", "n", "d"),
         ("table2", "n", "d"),
         ("table3", "n", "tie_break"),
         ("dimension", "d", "K"),
         ("ring_chart", "d", "n"),
+        ("tabulation", "d", "sampler"),
     ];
     for (id, row_key, col_key) in pivots {
         if let Some(result) = set.experiment(id) {
@@ -443,15 +541,40 @@ in the paper's `value: percent` format, with the distribution mean beneath.\n\n"
     }
 
     out.push_str(
-        "## Performance methodology\n\n\
+        "## RNG stream contract v2 (per-ball lanes)\n\n\
+Every trial's randomness is *laned*: the trial draws a single `u64` root \
+from its `StreamSeeder` stream, and ball `b` then draws its `d` probe \
+coordinates from the counter-keyed generator \
+`SplitMix64::mixed(root, b, PROBE_TAG)` and resolves load ties on \
+`SplitMix64::mixed(root, b, TIE_TAG)` (`geo2c_util::rng::BallLanes`; \
+reference vectors pin the keying). Because no two balls — and no ball's \
+probe and tie draws — share a stream, the insertion engine batches probe \
+blocks of 64 balls per `Space::sample_owners_lanes` call for **every** \
+independent-probe strategy, the paper-default random tie-break included \
+(under contract v1 a shared stream forced random-tie runs onto a \
+ball-at-a-time path). The batched engine is *exactly* equal to the \
+un-batched lane-sequential process — `geo2c-core/tests/lane_equivalence.rs` \
+proves byte equality across all spaces × d × tie policies — so only the \
+contract migration itself could move the numbers.\n\n\
+That migration happened **once**, in the PR introducing this section: the \
+v1-stream expectations are archived under [`results/v1/`](results/v1/), \
+and `./tables.sh --check --against results/v1` diffs the current numbers \
+against them with the two-sample statistics below — the committed \
+evidence that the distribution *law* is unchanged and only the stream \
+changed. (Dahlgaard et al., SODA 2016, give the theory backdrop: \
+two-choices max load is robust to far weaker randomness than either \
+stream, which the `tabulation` table above tests directly.)\n\n\
+## Performance methodology\n\n\
 The numbers above are *distributions*; the speed that makes them cheap to \
 regenerate is tracked separately under [`results/bench/`](results/bench/):\n\n\
 * **Run:** `cargo run --release -p geo2c-bench --bin run_benches` times the \
 hot-path suite (owner lookups on the ring, the torus, and the K-torus for \
-K ∈ {3, 4}, plus end-to-end `run_trial` insertions on each geometry) with \
-the criterion shim's technique — adaptive ~20 ms windows, \
-best of three, ns/iter — and writes `results/bench/baseline.json` (`--quick` \
-for the CI scale, `results/bench/quick.json`). Each file is a normal \
+K ∈ {3, 4}, plus end-to-end random-tie-break `run_trial` insertions on \
+each geometry — `trial/*_random` — and the arc-left ablation \
+`trial/kd3_d2_left`) with the criterion shim's technique — adaptive \
+~20 ms windows, best of N (`--repeats N`, default 3), ns/iter — and \
+writes `results/bench/baseline.json` (`--quick` for the CI scale, \
+`results/bench/quick.json`). Each file is a normal \
 `geo2c_report::ResultSet` with seed + git-revision provenance.\n\
 * **Gate:** `run_benches --check [--tolerance PCT]` reruns the suite and \
 fails if any benchmark is more than `PCT`% slower than its committed \
@@ -460,22 +583,26 @@ reference machine's absolute timings, making the cross-machine gate a \
 catastrophe catch rather than a micro-regression gate). Improvements \
 never fail; a bench appearing or disappearing always does.\n\
 * **Prove:** `run_benches --diff AFTER.json BEFORE.json` prints per-bench \
-speedups; `results/bench/before.json` preserves the measurements taken \
-just before the K-d owner port (3.1× K = 3 and 3.8× K = 4 owner lookups, \
-~2.5× end-to-end K-torus trials on the reference core — what took the \
-`dimension` sweep above to paper-scale n), and \
-`results/bench/before_pr3.json` those before PR 3's ring/torus overhaul, \
-so the committed tree carries its own before/after evidence.\n\
+speedups, and `--min-speedup R --only SUBSTR,SUBSTR` turns the diff into \
+a gate. Pre-optimization measurements are archived per PR by \
+`run_benches --archive [LABEL]` as `results/bench/before_<LABEL>.json` \
+(auto-numbered `before_prN.json` without a label): `before_pr5.json` \
+holds the captures just before the contract-v2 lane engine \
+(1.9×/1.8×/1.9× end-to-end random-tie trials on ring 2^20 / torus 2^16 / \
+3-torus 2^13 against the committed `baseline.json`, both sides measured \
+back-to-back on the reference core), `before_pr4.json` those before the \
+K-d owner port, and `before_pr3.json` those before PR 3's ring/torus \
+overhaul — the committed tree carries its own before/after trajectory.\n\
 * **Ablations:** `cargo bench -p geo2c-bench --bench substrate` compares \
 the shipped owner paths against their oracles (CSR grid vs brute force, \
 bucket-accelerated successor vs binary search, K-d orthant fast path vs \
 brute force) without persisting anything.\n\n\
-Throughput changes must never move the tables: the batched sampler \
-(`Space::sample_owners_into`) draws exactly the stream of the naive loop, \
-and the cross-ball batched insertion engine (tie-break-free strategies \
-only) concatenates per-ball probe draws without reordering them, so \
-`./tables.sh --check` passing with *unchanged* committed JSON is part of \
-any perf PR's evidence.\n\n",
+Hot-path refactors must not move the tables: under stream contract v2 \
+the batched engine is byte-equal to the lane-sequential reference (the \
+`lane_equivalence` suite), so `./tables.sh --check` passing with \
+*unchanged* committed JSON remains part of any perf PR's evidence — the \
+one exception was the v1→v2 contract migration itself, documented in the \
+section above.\n\n",
     );
     out.push_str(
         "## Reading the JSON\n\n\
@@ -590,6 +717,51 @@ mod tests {
     }
 
     #[test]
+    fn tabulation_compares_both_samplers_cell_per_d() {
+        let result = tabulation(64, &tiny_config());
+        assert_eq!(result.spec.id, "tabulation");
+        // 2 samplers × d ∈ {1, 2}.
+        assert_eq!(result.cells.len(), 4);
+        for sampler in TABULATION_SAMPLERS {
+            for d in [1u64, 2] {
+                let cell = result
+                    .cells
+                    .iter()
+                    .find(|c| {
+                        c.coords
+                            .iter()
+                            .any(|(k, v)| k == "sampler" && v.as_str() == Some(sampler))
+                            && c.coords
+                                .iter()
+                                .any(|(k, v)| k == "d" && v.as_u64() == Some(d))
+                    })
+                    .unwrap_or_else(|| panic!("missing cell {sampler} d={d}"));
+                assert_eq!(cell.distribution.as_ref().expect("distribution").total(), 5);
+            }
+        }
+        // The two samplers are genuinely different processes (almost
+        // surely different empirical distributions at some cell).
+        let dist = |sampler: &str, d: u64| {
+            result
+                .cells
+                .iter()
+                .find(|c| {
+                    c.coords
+                        .iter()
+                        .any(|(k, v)| k == "sampler" && v.as_str() == Some(sampler))
+                        && c.coords
+                            .iter()
+                            .any(|(k, v)| k == "d" && v.as_u64() == Some(d))
+                })
+                .and_then(|c| c.distribution.clone())
+        };
+        assert!(
+            (1..=2).any(|d| dist("splitmix-lane", d) != dist("tabulation-lane", d)),
+            "samplers produced identical empirical distributions — stream reuse?"
+        );
+    }
+
+    #[test]
     fn experiments_markdown_has_all_sections() {
         use geo2c_report::{Provenance, ResultSet};
         let config = tiny_config();
@@ -604,6 +776,7 @@ mod tests {
         set.push(table3(&[32], &config, true));
         set.push(dimension(32, &config));
         set.push(ring_chart(32, &config));
+        set.push(tabulation(32, &config));
         let md = experiments_markdown(&set);
         assert!(md.starts_with("# EXPERIMENTS"));
         for heading in [
@@ -612,6 +785,9 @@ mod tests {
             "## Table 3",
             "## Higher dimensions",
             "## Diminishing returns",
+            "## Weak hashing",
+            "## RNG stream contract v2",
+            "## Performance methodology",
         ] {
             assert!(md.contains(heading), "missing {heading}");
         }

@@ -315,21 +315,21 @@ impl BenchScale {
             },
             BenchDef {
                 group: "trial",
-                name: "ring_d2",
+                name: "ring_d2_random",
                 exp: self.trial_ring_exp,
                 elems: 1u64 << self.trial_ring_exp,
                 kind: BenchKind::TrialRing { d: 2 },
             },
             BenchDef {
                 group: "trial",
-                name: "torus_d2",
+                name: "torus_d2_random",
                 exp: self.trial_torus_exp,
                 elems: 1u64 << self.trial_torus_exp,
                 kind: BenchKind::TrialTorus { d: 2 },
             },
             BenchDef {
                 group: "trial",
-                name: "kd3_d2",
+                name: "kd3_d2_random",
                 exp: self.trial_kd_exp,
                 elems: 1u64 << self.trial_kd_exp,
                 kind: BenchKind::TrialKd { d: 2 },
@@ -343,7 +343,7 @@ impl BenchScale {
             },
             BenchDef {
                 group: "trial",
-                name: "uniform_d2",
+                name: "uniform_d2_random",
                 exp: self.trial_ring_exp,
                 elems: 1u64 << self.trial_ring_exp,
                 kind: BenchKind::TrialUniform { d: 2 },
@@ -525,10 +525,11 @@ mod tests {
     fn bench_ids_are_stable_and_scoped() {
         let ids: Vec<String> = FULL.suite().iter().map(BenchDef::id).collect();
         assert!(ids.contains(&"substrate/ring_owner/2^20".to_string()));
-        assert!(ids.contains(&"trial/torus_d2/2^16".to_string()));
+        assert!(ids.contains(&"trial/ring_d2_random/2^20".to_string()));
+        assert!(ids.contains(&"trial/torus_d2_random/2^16".to_string()));
         assert!(ids.contains(&"substrate/kd3_owner/2^16".to_string()));
         assert!(ids.contains(&"substrate/kd4_owner/2^16".to_string()));
-        assert!(ids.contains(&"trial/kd3_d2/2^13".to_string()));
+        assert!(ids.contains(&"trial/kd3_d2_random/2^13".to_string()));
         assert!(ids.contains(&"trial/kd3_d2_left/2^13".to_string()));
         assert_eq!(BenchScale::by_name("quick"), Some(&QUICK));
         assert_eq!(BenchScale::by_name("full"), Some(&FULL));

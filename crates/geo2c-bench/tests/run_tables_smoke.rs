@@ -99,6 +99,7 @@ fn quick_expectations_in_the_repository_match_the_current_scale() {
             "table2" => scale.torus_trials,
             "dimension" => scale.dim_trials,
             "ring_chart" => scale.chart_trials,
+            "tabulation" => scale.tab_trials,
             _ => scale.ring_trials,
         };
         assert_eq!(spec.trials, expected_trials, "{id}: stale trials");

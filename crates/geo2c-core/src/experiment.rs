@@ -104,6 +104,40 @@ impl MaxLoadCell {
     }
 }
 
+/// Runs `trials` independent trials — "`space_factory` from the trial's
+/// private stream, then insert `m` balls with `strategy`" — on `threads`
+/// workers through the vendored-crossbeam [`parallel_map`], returning
+/// every trial's full [`crate::sim::TrialResult`] in trial order.
+///
+/// Byte-identical to the sequential loop for any thread count: each
+/// trial's randomness comes only from `seeder.stream(trial)`, and under
+/// RNG stream contract v2 the balls within a trial draw from per-ball
+/// lanes keyed off that stream, so scheduling can influence nothing
+/// (pinned by the `parallel_trials_byte_identical_to_sequential` test).
+/// On a single-core host this is a correctness/throughput-neutral
+/// routing — the win is on multicore, where trials are embarrassingly
+/// parallel; [`sweep_max_load`] keeps only the max loads and is the
+/// memory-frugal variant for big sweeps.
+#[must_use]
+pub fn run_many_trials<S, F>(
+    space_factory: F,
+    strategy: &Strategy,
+    m: usize,
+    seeder: &StreamSeeder,
+    trials: usize,
+    threads: usize,
+) -> Vec<crate::sim::TrialResult>
+where
+    S: Space,
+    F: Fn(&mut Xoshiro256pp) -> S + Sync,
+{
+    parallel_map(trials, threads, |t| {
+        let mut rng = seeder.stream(t as u64);
+        let space = space_factory(&mut rng);
+        run_trial(&space, strategy, m, &mut rng)
+    })
+}
+
 /// Runs `config.trials` independent trials of "`space_factory` then insert
 /// `m` balls with `strategy`" and collects the max-load distribution.
 ///
@@ -301,6 +335,31 @@ mod tests {
         assert_eq!(cell.m, 128);
         assert_eq!(cell.strategy, "d=2");
         assert!(cell.stats.mean() >= 1.0);
+    }
+
+    #[test]
+    fn parallel_trials_byte_identical_to_sequential() {
+        // run_many_trials through parallel_map must reproduce the
+        // sequential trial loop exactly — full load vectors, not just
+        // summaries — for any thread count. (This box is single-core:
+        // the assertion is equality, not speedup; on multicore the same
+        // determinism argument makes the parallel routing free.)
+        use crate::space::RingSpace;
+        use geo2c_util::rng::StreamSeeder;
+        let seeder = StreamSeeder::new(99).child("parallel-trials");
+        let factory = |rng: &mut Xoshiro256pp| RingSpace::random(96, rng);
+        let strategy = Strategy::two_choice();
+        let sequential: Vec<crate::sim::TrialResult> = (0..12)
+            .map(|t| {
+                let mut rng = seeder.stream(t);
+                let space = factory(&mut rng);
+                crate::sim::run_trial(&space, &strategy, 96, &mut rng)
+            })
+            .collect();
+        for threads in [1usize, 2, 5] {
+            let parallel = run_many_trials(factory, &strategy, 96, &seeder, 12, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

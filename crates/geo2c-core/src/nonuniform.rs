@@ -16,8 +16,9 @@
 //!   tie-breaks remain well-defined: a "region's size" is its probability
 //!   of being probed, not its geometric length.
 
-use crate::space::Space;
+use crate::space::{Space, LANE_BLOCK};
 use geo2c_ring::{Ownership, RingPartition, RingPoint};
+use geo2c_util::rng::LaneSource;
 use rand::Rng;
 
 /// Generator for clustered server placements on the ring: with
@@ -193,6 +194,43 @@ impl Space for MixRingSpace {
     fn sample_owner<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         self.partition
             .owner(self.mix.sample(rng), Ownership::Successor)
+    }
+
+    fn sample_owners_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
+        // Same stream as the default loop (mixture points drawn in
+        // order, lookups consume nothing), with the owner lookups going
+        // through the ring's staged batch.
+        let mut points = [RingPoint::new(0.0); LANE_BLOCK];
+        for chunk in out.chunks_mut(LANE_BLOCK) {
+            let points = &mut points[..chunk.len()];
+            for p in points.iter_mut() {
+                *p = self.mix.sample(rng);
+            }
+            self.partition
+                .owners_into(points, Ownership::Successor, chunk);
+        }
+    }
+
+    fn sample_owners_lanes<L: LaneSource>(&self, lanes: &L, d: usize, out: &mut [usize]) {
+        // Lane contract: ball i draws its d mixture points, in order,
+        // from lanes.probe(i) (a mixture probe consumes a variable
+        // number of draws — private lanes make that harmless); batched
+        // owner lookups per chunk.
+        if d == 0 || d > LANE_BLOCK {
+            crate::space::lane_owners_generic(self, lanes, d, out);
+            return;
+        }
+        crate::space::lane_owners_chunked(
+            lanes,
+            d,
+            out,
+            RingPoint::new(0.0),
+            |probe| self.mix.sample(probe),
+            |points, chunk| {
+                self.partition
+                    .owners_into(points, Ownership::Successor, chunk)
+            },
+        );
     }
 
     fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {

@@ -13,6 +13,7 @@
 use crate::space::Space;
 use crate::strategy::{ProbeScratch, Strategy};
 use geo2c_util::hist::Counter;
+use geo2c_util::rng::{BallLanes, LaneSource};
 use rand::Rng;
 
 /// The outcome of one simulation trial.
@@ -45,50 +46,41 @@ impl TrialResult {
     }
 }
 
-/// Balls per cross-ball probe block when the strategy is tie-break-free:
-/// big enough to amortize the batched draw and the owner lookups, small
-/// enough that the owner block stays in L1 for the resolution pass.
+/// Balls per cross-ball probe block: big enough to amortize the batched
+/// draw and the owner lookups, small enough that the owner block stays
+/// in L1 for the resolution pass.
 const BALL_BLOCK: usize = 64;
 
 /// The one insertion loop behind [`run_trial`] and
 /// [`run_trial_with_heights`]: places `m` balls, calling
 /// `on_place(dest, new_load)` after each placement.
 ///
-/// Tie-break-free strategies (pure least-loaded:
-/// [`Strategy::supports_cross_ball_batching`]) consume randomness only
-/// for the probe locations, so successive balls' probe draws are
-/// adjacent in the RNG stream; the engine exploits that by drawing probe
-/// blocks for [`BALL_BLOCK`] balls at a time through one
-/// [`Space::sample_owners_into`] call into reusable [`ProbeScratch`],
-/// then resolving each ball's `d`-probe window against the evolving
-/// loads with no further randomness. Everything else (random tie-break
-/// with `d ≥ 2`, the split scheme) interleaves randomness between balls
-/// and keeps the per-ball path. Both paths consume exactly the RNG
-/// stream of the naive probe-by-probe loop.
+/// **RNG stream contract v2.** For every independent-probe strategy
+/// ([`Strategy::supports_cross_ball_batching`] — the paper-default
+/// random tie-break included), the trial draws exactly *one* `u64` from
+/// the shared stream: the root of the trial's [`BallLanes`]. Ball `b`
+/// then draws its `d` probe locations from its private probe lane and
+/// resolves load ties from its private tie lane, so probe generation is
+/// independent of tie resolution and of every other ball — which is
+/// what lets the engine batch [`BALL_BLOCK`] balls' probe draws into
+/// one [`Space::sample_owners_lanes`] call and then resolve the block
+/// against the evolving loads ball by ball. Only Vöcking's split scheme
+/// (division-conditioned probes) keeps the per-ball path on the shared
+/// stream.
 fn insert_balls<S: Space, R: Rng + ?Sized>(
     space: &S,
     strategy: &Strategy,
     m: usize,
     rng: &mut R,
     loads: &mut [u32],
-    mut on_place: impl FnMut(usize, u32),
+    on_place: impl FnMut(usize, u32),
 ) {
-    let mut scratch = ProbeScratch::for_strategy(strategy);
     if strategy.supports_cross_ball_batching() {
-        let d = strategy.d();
-        let mut placed = 0;
-        while placed < m {
-            let balls = BALL_BLOCK.min(m - placed);
-            let block = scratch.cross_ball_block(balls * d);
-            space.sample_owners_into(rng, block);
-            for ball in block.chunks_exact(d) {
-                let dest = strategy.place_from_owners(space, loads, ball);
-                loads[dest] += 1;
-                on_place(dest, loads[dest]);
-            }
-            placed += balls;
-        }
+        let lanes = BallLanes::new(rng.next_u64());
+        insert_balls_lanes(space, strategy, m, &lanes, loads, on_place);
     } else {
+        let mut scratch = ProbeScratch::for_strategy(strategy);
+        let mut on_place = on_place;
         for _ in 0..m {
             let dest = strategy.choose_with(space, loads, &mut scratch, rng);
             loads[dest] += 1;
@@ -97,19 +89,111 @@ fn insert_balls<S: Space, R: Rng + ?Sized>(
     }
 }
 
+/// The cross-ball batched insertion loop on an explicit [`LaneSource`]
+/// (contract v2): probe blocks for [`BALL_BLOCK`] balls per
+/// [`Space::sample_owners_lanes`] call, then per-ball resolution through
+/// [`Strategy::place_from_owners`] on each ball's tie lane.
+///
+/// Between the batched draw and the resolution pass the engine makes one
+/// summing sweep over the block's load entries: the sweep's loads are
+/// mutually independent, so the out-of-order core overlaps their cache
+/// misses and the (sequentially dependent) resolution pass then runs
+/// against warm lines — a safe-code prefetch that matters at `n` where
+/// the load vector far exceeds L2.
+///
+/// # Panics
+/// Panics if `strategy` does not support cross-ball batching (the split
+/// scheme's probes are division-conditioned and have no lane form).
+fn insert_balls_lanes<S: Space, L: LaneSource>(
+    space: &S,
+    strategy: &Strategy,
+    m: usize,
+    lanes: &L,
+    loads: &mut [u32],
+    mut on_place: impl FnMut(usize, u32),
+) {
+    assert!(
+        strategy.supports_cross_ball_batching(),
+        "split-scheme strategies have no lane form"
+    );
+    let d = strategy.d();
+    let mut scratch = ProbeScratch::for_strategy(strategy);
+    let mut placed = 0;
+    while placed < m {
+        let balls = BALL_BLOCK.min(m - placed);
+        let block_lanes = lanes.block(placed as u64);
+        let block = scratch.cross_ball_block(balls * d);
+        space.sample_owners_lanes(&block_lanes, d, block);
+        let mut warm = 0u32;
+        for &owner in block.iter() {
+            warm = warm.wrapping_add(loads[owner]);
+        }
+        std::hint::black_box(warm);
+        for (ball, window) in block.chunks_exact(d).enumerate() {
+            let mut tie = block_lanes.tie(ball as u64);
+            let dest = strategy.place_from_owners(space, loads, window, &mut tie);
+            loads[dest] += 1;
+            on_place(dest, loads[dest]);
+        }
+        placed += balls;
+    }
+}
+
+/// [`run_trial`] on an explicit [`LaneSource`] instead of the default
+/// SplitMix64 lanes: the entry point for alternative probe sources such
+/// as [`geo2c_util::rng::TabulationLanes`] (the Dahlgaard et al. weak-
+/// hashing ablation). The caller keys the lanes; two calls with the same
+/// source are identical.
+///
+/// # Panics
+/// Panics if `strategy` does not support cross-ball batching.
+///
+/// ```
+/// use geo2c_core::{sim, space::UniformSpace, strategy::Strategy};
+/// use geo2c_util::rng::{BallLanes, TabulationHash, TabulationLanes};
+///
+/// let space = UniformSpace::new(64);
+/// let hash = TabulationHash::from_seed(1);
+/// let r = sim::run_trial_with_lanes(
+///     &space,
+///     &Strategy::two_choice(),
+///     64,
+///     &TabulationLanes::new(&hash, 2),
+/// );
+/// assert_eq!(r.total_balls(), 64);
+/// // SplitMix64 lanes with the same root are the engine default.
+/// let _ = sim::run_trial_with_lanes(&space, &Strategy::two_choice(), 64, &BallLanes::new(2));
+/// ```
+#[must_use]
+pub fn run_trial_with_lanes<S: Space, L: LaneSource>(
+    space: &S,
+    strategy: &Strategy,
+    m: usize,
+    lanes: &L,
+) -> TrialResult {
+    let mut loads = vec![0u32; space.num_servers()];
+    let mut max_load = 0u32;
+    insert_balls_lanes(space, strategy, m, lanes, &mut loads, |_, new_load| {
+        max_load = max_load.max(new_load);
+    });
+    TrialResult { loads, max_load }
+}
+
 /// Inserts `m` balls into `space` using `strategy` and returns the final
 /// loads.
 ///
-/// Each ball's `d` probes are drawn as one block through
-/// [`Space::sample_owners_into`] into scratch reused across the whole
-/// trial — and for tie-break-free strategies the engine batches the
-/// probe draws of many *balls* into one call (`insert_balls` above) —
-/// so the insertion loop performs no per-ball allocation and stays
-/// monomorphized over the concrete space. Both shapes honour the batched
-/// API's stream contract (probe locations drawn first, in order), so
-/// the trial consumes exactly the RNG stream of the naive
-/// probe-by-probe loop — committed table expectations survive hot-path
-/// refactors byte-identically.
+/// Under RNG stream contract v2 the trial draws one `u64` from `rng` as
+/// the root of its per-ball [`BallLanes`], and every independent-probe
+/// strategy — the paper-default random tie-break included — then runs
+/// the cross-ball batched engine: probe blocks for 64 balls per
+/// [`Space::sample_owners_lanes`] call into scratch reused across the
+/// whole trial, per-ball tie resolution on private tie lanes, no
+/// per-ball allocation, monomorphized over the concrete space. The
+/// batched path is *exactly* equivalent (not statistically — the
+/// `lane_equivalence` suite pins byte equality) to placing balls one at
+/// a time from their lanes, so committed table expectations survive
+/// hot-path refactors as long as the lane keying
+/// ([`geo2c_util::rng::SplitMix64::mixed`]) is untouched.
 ///
 /// ```
 /// use geo2c_core::{sim, space::UniformSpace, strategy::Strategy};
@@ -261,32 +345,39 @@ mod tests {
     }
 
     #[test]
-    fn cross_ball_batching_preserves_the_stream() {
-        // The batched engine path (tie-break-free strategies) must place
-        // every ball exactly where the naive per-ball loop would, and
-        // leave the RNG in the identical state — the invariant that
-        // keeps committed table distributions byte-stable.
+    fn batched_engine_matches_lane_sequential_reference() {
+        // Contract v2: the cross-ball batched engine must place every
+        // ball exactly where the un-batched lane-sequential process
+        // would — ball b draws d owners from its probe lane, resolves
+        // on its tie lane — and must consume exactly one u64 (the lane
+        // root) from the trial stream. This byte-level invariant is what
+        // keeps committed table distributions stable.
         use crate::strategy::TieBreak;
+        use geo2c_util::rng::BallLanes;
         use rand::RngCore as _;
         let mut seed_rng = Xoshiro256pp::from_u64(40);
         let space = RingSpace::random(128, &mut seed_rng);
         for strategy in [
             Strategy::one_choice(),
             Strategy::two_choice(),
+            Strategy::d_choice(3),
             Strategy::with_tie_break(2, TieBreak::Leftmost),
             Strategy::with_tie_break(3, TieBreak::SmallerRegion),
             Strategy::with_tie_break(4, TieBreak::LowestIndex),
-            Strategy::voecking(2),
         ] {
             // 333 balls: multiple cross-ball blocks plus a ragged tail.
             let mut a = Xoshiro256pp::from_u64(41);
             let mut b = a.clone();
             let result = run_trial(&space, &strategy, 333, &mut a);
+            let lanes = BallLanes::new(b.next_u64());
+            let d = strategy.d();
             let mut loads = vec![0u32; 128];
-            let mut scratch = ProbeScratch::for_strategy(&strategy);
             let mut max_load = 0u32;
-            for _ in 0..333 {
-                let dest = strategy.choose_with(&space, &loads, &mut scratch, &mut b);
+            for ball in 0..333u64 {
+                let mut probe = lanes.probe(ball);
+                let owners: Vec<usize> = (0..d).map(|_| space.sample_owner(&mut probe)).collect();
+                let mut tie = lanes.tie(ball);
+                let dest = strategy.place_from_owners(&space, &loads, &owners, &mut tie);
                 loads[dest] += 1;
                 max_load = max_load.max(loads[dest]);
             }
@@ -295,20 +386,61 @@ mod tests {
             assert_eq!(
                 a.next_u64(),
                 b.next_u64(),
-                "{}: rng states diverged",
+                "{}: trial must draw exactly the lane root",
                 strategy.label()
             );
         }
     }
 
     #[test]
+    fn split_scheme_keeps_the_per_ball_stream() {
+        // Vöcking's split probes are division-conditioned: no lane form,
+        // so the engine must consume exactly the stream of the naive
+        // choose_with loop (contract v1 for this strategy).
+        use rand::RngCore as _;
+        let mut seed_rng = Xoshiro256pp::from_u64(44);
+        let space = RingSpace::random(64, &mut seed_rng);
+        let strategy = Strategy::voecking(2);
+        let mut a = Xoshiro256pp::from_u64(45);
+        let mut b = a.clone();
+        let result = run_trial(&space, &strategy, 200, &mut a);
+        let mut loads = vec![0u32; 64];
+        let mut scratch = ProbeScratch::for_strategy(&strategy);
+        for _ in 0..200 {
+            let dest = strategy.choose_with(&space, &loads, &mut scratch, &mut b);
+            loads[dest] += 1;
+        }
+        assert_eq!(result.loads, loads);
+        assert_eq!(a.next_u64(), b.next_u64(), "rng states diverged");
+    }
+
+    #[test]
+    fn run_trial_with_lanes_is_pure_in_the_source() {
+        use geo2c_util::rng::{BallLanes, TabulationHash, TabulationLanes};
+        let mut rng = Xoshiro256pp::from_u64(46);
+        let space = RingSpace::random(64, &mut rng);
+        let strategy = Strategy::two_choice();
+        let a = run_trial_with_lanes(&space, &strategy, 200, &BallLanes::new(9));
+        let b = run_trial_with_lanes(&space, &strategy, 200, &BallLanes::new(9));
+        assert_eq!(a, b);
+        assert_eq!(a.total_balls(), 200);
+        // A different lane family with the same root is a different
+        // (but equally valid) process.
+        let hash = TabulationHash::from_seed(1);
+        let c = run_trial_with_lanes(&space, &strategy, 200, &TabulationLanes::new(&hash, 9));
+        assert_eq!(c.total_balls(), 200);
+        assert_ne!(a.loads, c.loads);
+    }
+
+    #[test]
     fn batched_and_per_ball_heights_agree() {
         let space = UniformSpace::new(64);
-        // d=2 lowest-index batches; d=2 random does not — same heights
-        // invariants must hold on both engine paths.
+        // Batched lanes (lowest-index, random) and the per-ball split
+        // path — the heights invariants must hold on every engine path.
         for strategy in [
             Strategy::with_tie_break(2, crate::strategy::TieBreak::LowestIndex),
             Strategy::two_choice(),
+            Strategy::voecking(2),
         ] {
             let mut rng = Xoshiro256pp::from_u64(42);
             let (r, heights) = run_trial_with_heights(&space, &strategy, 200, &mut rng);

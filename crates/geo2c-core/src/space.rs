@@ -19,6 +19,7 @@
 
 use geo2c_ring::{Ownership, RingPartition, RingPoint};
 use geo2c_torus::{TorusPoint, TorusSites};
+use geo2c_util::rng::LaneSource;
 use rand::Rng;
 use std::sync::OnceLock;
 
@@ -50,6 +51,30 @@ pub trait Space {
         }
     }
 
+    /// Samples the probe owners for `out.len() / d` balls under RNG
+    /// stream contract v2: ball `i` of the block draws its `d` probe
+    /// locations, in order, from `lanes.probe(i)` and nothing else. This
+    /// is the batched entry point the insertion engine drives for every
+    /// non-split strategy ([`crate::sim::run_trial`] hands it
+    /// 64-ball blocks), so per-space overrides can run the coordinate
+    /// draws and the owner lookups as tight homogeneous loops across the
+    /// whole block.
+    ///
+    /// **Lane contract:** implementations must consume, per ball,
+    /// exactly the randomness of `d` successive [`Space::sample_owner`]
+    /// calls on that ball's probe lane (owner resolution consumes no
+    /// randomness, and no lane but the ball's own probe lane is
+    /// touched). The `lane_equivalence` suite pins every space to this
+    /// contract; it is what keeps the committed distributions stable
+    /// across hot-path refactors now that the engine batches across
+    /// balls for the paper-default random tie-break too.
+    ///
+    /// # Panics
+    /// Implementations may panic if `out.len()` is not a multiple of `d`.
+    fn sample_owners_lanes<L: LaneSource>(&self, lanes: &L, d: usize, out: &mut [usize]) {
+        lane_owners_generic(self, lanes, d, out);
+    }
+
     /// Samples a probe restricted to the `j`-th of `d` equal divisions of
     /// the space (for Vöcking's always-go-left variant).
     ///
@@ -69,6 +94,67 @@ pub trait Space {
 /// Probe-block size for the batched `sample_owners_into` overrides: big
 /// enough to amortize, small enough to live on the stack and in L1.
 const PROBE_BLOCK: usize = 32;
+
+/// Probe-slot budget for the cross-ball `sample_owners_lanes` overrides'
+/// stack buffers: a full 64-ball × `d = 2` engine block in one pass, and
+/// whole-ball chunks (`LANE_BLOCK / d` balls at a time) for larger `d`.
+pub(crate) const LANE_BLOCK: usize = 128;
+
+/// The chunking skeleton shared by every batched `sample_owners_lanes`
+/// override: fills a stack buffer with each ball's `d` probe points —
+/// drawn, in order, from that ball's lane via `draw` — in whole-ball
+/// chunks of at most [`LANE_BLOCK`] slots, then hands each filled chunk
+/// to the space's batched `lookup`. Keeping the ball/lane bookkeeping in
+/// one place means the lane contract can only be got wrong once.
+///
+/// Callers must have handled `d == 0` / `d > LANE_BLOCK` (the
+/// [`lane_owners_generic`] fallback) already.
+pub(crate) fn lane_owners_chunked<P: Copy, L: LaneSource>(
+    lanes: &L,
+    d: usize,
+    out: &mut [usize],
+    zero: P,
+    mut draw: impl FnMut(&mut L::Lane) -> P,
+    mut lookup: impl FnMut(&[P], &mut [usize]),
+) {
+    debug_assert!((1..=LANE_BLOCK).contains(&d));
+    assert_eq!(out.len() % d, 0, "owner block not a whole number of balls");
+    let mut points = [zero; LANE_BLOCK];
+    let balls_per_chunk = LANE_BLOCK / d;
+    let mut ball = 0u64;
+    for chunk in out.chunks_mut(balls_per_chunk * d) {
+        let points = &mut points[..chunk.len()];
+        for (b, ball_points) in points.chunks_mut(d).enumerate() {
+            let mut probe = lanes.probe(ball + b as u64);
+            for p in ball_points.iter_mut() {
+                *p = draw(&mut probe);
+            }
+        }
+        lookup(points, chunk);
+        ball += (chunk.len() / d) as u64;
+    }
+}
+
+/// The generic lane-sampling loop (also the [`Space::sample_owners_lanes`]
+/// default): per ball, `d` successive [`Space::sample_owner`] draws from
+/// that ball's probe lane. Overrides fall back to this for `d` too large
+/// for their stack buffers; the per-space fast paths are bound to it by
+/// the `lane_equivalence` suite.
+pub(crate) fn lane_owners_generic<S: Space + ?Sized, L: LaneSource>(
+    space: &S,
+    lanes: &L,
+    d: usize,
+    out: &mut [usize],
+) {
+    assert!(d > 0, "need at least one probe per ball");
+    assert_eq!(out.len() % d, 0, "owner block not a whole number of balls");
+    for (ball, window) in out.chunks_mut(d).enumerate() {
+        let mut probe = lanes.probe(ball as u64);
+        for slot in window {
+            *slot = space.sample_owner(&mut probe);
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Uniform bins (classical baseline)
@@ -185,18 +271,36 @@ impl Space for RingSpace {
 
     fn sample_owners_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
         // Same stream as the default loop (coordinates drawn in order,
-        // lookups consume nothing), but the draws and the lookups each
-        // run as a tight homogeneous loop.
-        let mut coords = [0.0f64; PROBE_BLOCK];
+        // lookups consume nothing); the lookups go through the staged
+        // batch so their cache misses overlap.
+        let mut points = [RingPoint::new(0.0); PROBE_BLOCK];
         for chunk in out.chunks_mut(PROBE_BLOCK) {
-            let coords = &mut coords[..chunk.len()];
-            for c in coords.iter_mut() {
-                *c = rng.gen::<f64>();
+            let points = &mut points[..chunk.len()];
+            for p in points.iter_mut() {
+                *p = RingPoint::new(rng.gen::<f64>());
             }
-            for (slot, &c) in chunk.iter_mut().zip(coords.iter()) {
-                *slot = self.partition.owner(RingPoint::new(c), self.ownership);
-            }
+            self.partition.owners_into(points, self.ownership, chunk);
         }
+    }
+
+    fn sample_owners_lanes<L: LaneSource>(&self, lanes: &L, d: usize, out: &mut [usize]) {
+        // Lane contract: ball i draws its d coordinates, in order, from
+        // lanes.probe(i); then the owner lookups run as one tight loop
+        // over the whole chunk, which lets the out-of-order core overlap
+        // the bucket-index cache misses of many independent successor
+        // searches.
+        if d == 0 || d > LANE_BLOCK {
+            lane_owners_generic(self, lanes, d, out);
+            return;
+        }
+        lane_owners_chunked(
+            lanes,
+            d,
+            out,
+            RingPoint::new(0.0),
+            |probe| RingPoint::new(probe.gen::<f64>()),
+            |points, chunk| self.partition.owners_into(points, self.ownership, chunk),
+        );
     }
 
     fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
@@ -281,6 +385,28 @@ impl Space for TorusSpace {
                 *slot = self.sites.owner(p);
             }
         }
+    }
+
+    fn sample_owners_lanes<L: LaneSource>(&self, lanes: &L, d: usize, out: &mut [usize]) {
+        // Lane contract: ball i draws (x, y) per probe, in order, from
+        // lanes.probe(i); nearest-site lookups then run as one tight
+        // homogeneous loop per chunk.
+        if d == 0 || d > LANE_BLOCK {
+            lane_owners_generic(self, lanes, d, out);
+            return;
+        }
+        lane_owners_chunked(
+            lanes,
+            d,
+            out,
+            TorusPoint { x: 0.0, y: 0.0 },
+            TorusPoint::random,
+            |points, chunk| {
+                for (slot, &p) in chunk.iter_mut().zip(points.iter()) {
+                    *slot = self.sites.owner(p);
+                }
+            },
+        );
     }
 
     fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
@@ -369,6 +495,24 @@ impl<const K: usize> Space for KdTorusSpace<K> {
             }
             self.sites.owners_into(points, chunk);
         }
+    }
+
+    fn sample_owners_lanes<L: LaneSource>(&self, lanes: &L, d: usize, out: &mut [usize]) {
+        // Lane contract: ball i draws its K coordinates per probe, in
+        // order, from lanes.probe(i); the lookups then run through the
+        // grid's batched fast path for the whole chunk.
+        if d == 0 || d > LANE_BLOCK {
+            lane_owners_generic(self, lanes, d, out);
+            return;
+        }
+        lane_owners_chunked(
+            lanes,
+            d,
+            out,
+            geo2c_torus::kd::KdPoint { coords: [0.0; K] },
+            geo2c_torus::kd::KdPoint::random,
+            |points, chunk| self.sites.owners_into(points, chunk),
+        );
     }
 
     fn sample_owner_in_division<R: Rng + ?Sized>(&self, rng: &mut R, j: usize, d: usize) -> usize {
@@ -475,6 +619,15 @@ impl Space for AnySpace {
             AnySpace::Uniform(s) => s.sample_owners_into(rng, out),
             AnySpace::Ring(s) => s.sample_owners_into(rng, out),
             AnySpace::Torus(s) => s.sample_owners_into(rng, out),
+        }
+    }
+
+    fn sample_owners_lanes<L: LaneSource>(&self, lanes: &L, d: usize, out: &mut [usize]) {
+        // Dispatch once per cross-ball block, not once per probe.
+        match self {
+            AnySpace::Uniform(s) => s.sample_owners_lanes(lanes, d, out),
+            AnySpace::Ring(s) => s.sample_owners_lanes(lanes, d, out),
+            AnySpace::Torus(s) => s.sample_owners_lanes(lanes, d, out),
         }
     }
 
@@ -723,6 +876,37 @@ mod tests {
             b.next_u64(),
             "KdTorusSpace: rng states diverged"
         );
+    }
+
+    #[test]
+    fn lane_sampling_matches_generic_reference() {
+        // Every fast sample_owners_lanes override must produce exactly
+        // the owners of the generic per-probe loop on the same lanes —
+        // across chunk boundaries and for d that does not divide the
+        // chunk budget. (The exhaustive property test lives in
+        // tests/lane_equivalence.rs; this pins the overrides directly.)
+        use geo2c_util::rng::BallLanes;
+        let mut rng = Xoshiro256pp::from_u64(33);
+        let lanes = BallLanes::new(99).block(7);
+        for kind in [SpaceKind::Uniform, SpaceKind::Ring, SpaceKind::Torus] {
+            let space = kind.build(64, &mut rng);
+            for d in [1usize, 2, 3, 5] {
+                let balls = 101; // crosses several LANE_BLOCK chunks
+                let mut fast = vec![0usize; balls * d];
+                let mut slow = vec![0usize; balls * d];
+                space.sample_owners_lanes(&lanes, d, &mut fast);
+                lane_owners_generic(&space, &lanes, d, &mut slow);
+                assert_eq!(fast, slow, "{kind:?} d={d}");
+            }
+        }
+        let space = KdTorusSpace::<3>::random(64, &mut rng);
+        for d in [1usize, 2, 4] {
+            let mut fast = vec![0usize; 101 * d];
+            let mut slow = vec![0usize; 101 * d];
+            space.sample_owners_lanes(&lanes, d, &mut fast);
+            lane_owners_generic(&space, &lanes, d, &mut slow);
+            assert_eq!(fast, slow, "kd3 d={d}");
+        }
     }
 
     #[test]

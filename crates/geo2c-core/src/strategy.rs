@@ -189,52 +189,55 @@ impl Strategy {
         matches!(self.rule, ChoiceRule::SplitAlwaysLeft { .. })
     }
 
-    /// True when choosing a destination consumes randomness *only* to
-    /// draw the probe locations themselves — pure least-loaded with an
-    /// RNG-free tie-break (`d = 1` never ties over more than one
-    /// candidate, and every policy except [`TieBreak::Random`] is
-    /// deterministic). For such strategies the probe draws of successive
-    /// balls are adjacent in the RNG stream, so the insertion engine may
-    /// draw probe blocks for many balls at once
-    /// ([`crate::sim::run_trial`]'s cross-ball batching) without
-    /// perturbing the stream.
+    /// True when the strategy's probe locations are plain independent
+    /// uniform draws — i.e. every independent-probe (non-split) strategy,
+    /// whatever its tie-break. Under RNG stream contract v2 each ball
+    /// owns a private probe lane *and* a private tie lane
+    /// ([`geo2c_util::rng::BallLanes`]), so tie resolution — random
+    /// included — can never perturb another ball's probe draws, and the
+    /// insertion engine batches probe blocks across balls for all of
+    /// them ([`crate::sim::run_trial`]). Only Vöcking's split scheme is
+    /// excluded: its probes are division-conditioned, not one uniform
+    /// block.
     #[must_use]
     pub fn supports_cross_ball_batching(&self) -> bool {
-        match self.rule {
-            ChoiceRule::Independent { d, tie } => d == 1 || tie != TieBreak::Random,
-            // Split probes draw through per-division sampling, not the
-            // batched owner path.
-            ChoiceRule::SplitAlwaysLeft { .. } => false,
-        }
+        !self.is_split()
     }
 
     /// Chooses the destination for one ball whose `d` probe owners were
-    /// already drawn (one window of a cross-ball block). RNG-free by
-    /// construction; identical to [`Strategy::choose_with`] on the same
-    /// owners for any strategy where
-    /// [`Strategy::supports_cross_ball_batching`] holds.
+    /// already drawn (one window of a cross-ball block), resolving load
+    /// ties through `tie_rng` — under contract v2, the ball's private
+    /// tie lane. Deterministic tie-breaks and the `d = 1` baseline never
+    /// touch `tie_rng`; [`TieBreak::Random`] reservoir-samples uniformly
+    /// among the tied candidates from it (and draws nothing when the
+    /// minimum is unique).
     ///
     /// # Panics
-    /// Panics if `owners.len() != d`, or if the strategy needs the RNG
-    /// stream to resolve (random tie-break with `d ≥ 2`, or the split
-    /// scheme, whose probes cannot be pre-drawn as one uniform block).
+    /// Panics if `owners.len() != d`, or for the split scheme, whose
+    /// probes cannot be pre-drawn as one uniform block.
     #[must_use]
-    pub fn place_from_owners<S: Space>(&self, space: &S, loads: &[u32], owners: &[usize]) -> usize {
+    pub fn place_from_owners<S: Space, R: Rng + ?Sized>(
+        &self,
+        space: &S,
+        loads: &[u32],
+        owners: &[usize],
+        tie_rng: &mut R,
+    ) -> usize {
         match self.rule {
             ChoiceRule::Independent { d, tie } => {
                 assert_eq!(owners.len(), d, "owner block sized for wrong d");
                 if let [only] = owners {
                     return *only;
                 }
-                assert!(
-                    tie != TieBreak::Random,
-                    "random tie-break needs the RNG stream"
-                );
                 let mut min_load = u32::MAX;
                 for &s in owners {
                     min_load = min_load.min(loads[s]);
                 }
-                Self::deterministic_tie(space, loads, owners, min_load, tie)
+                if tie == TieBreak::Random {
+                    Self::random_tie(loads, owners, min_load, tie_rng)
+                } else {
+                    Self::deterministic_tie(space, loads, owners, min_load, tie)
+                }
             }
             ChoiceRule::SplitAlwaysLeft { .. } => {
                 panic!("split-scheme probes cannot be pre-drawn as one uniform block")
@@ -354,6 +357,23 @@ impl Strategy {
         if tie != TieBreak::Random {
             return Self::deterministic_tie(space, loads, candidates, min_load, tie);
         }
+        Self::random_tie(loads, candidates, min_load, rng)
+    }
+
+    /// Uniform tie resolution among minimum-load candidates via
+    /// reservoir sampling — the [`TieBreak::Random`] arm shared by the
+    /// per-ball path ([`Strategy::choose_with`], drawing from the trial
+    /// stream) and the cross-ball path ([`Strategy::place_from_owners`],
+    /// drawing from the ball's tie lane). The draw pattern is part of
+    /// stream contract v2: with `k ≥ 2` tied candidates, one
+    /// `gen_range(0..j)` draw per `j ∈ {2..=k}`, in candidate order; a
+    /// unique minimum draws nothing.
+    fn random_tie<R: Rng + ?Sized>(
+        loads: &[u32],
+        candidates: &[usize],
+        min_load: u32,
+        rng: &mut R,
+    ) -> usize {
         // Fast path: a single candidate or a unique minimum.
         let mut tied = candidates.iter().copied().filter(|&s| loads[s] == min_load);
         let first = tied.next().expect("at least one candidate");
@@ -632,10 +652,14 @@ mod tests {
 
     #[test]
     fn cross_ball_batching_eligibility() {
+        // Contract v2: every independent-probe strategy batches — the
+        // paper-default random tie-break included. Only the split scheme
+        // (division-conditioned probes) stays per-ball.
         assert!(Strategy::one_choice().supports_cross_ball_batching());
-        assert!(!Strategy::two_choice().supports_cross_ball_batching());
-        assert!(!Strategy::d_choice(5).supports_cross_ball_batching());
+        assert!(Strategy::two_choice().supports_cross_ball_batching());
+        assert!(Strategy::d_choice(5).supports_cross_ball_batching());
         for tie in [
+            TieBreak::Random,
             TieBreak::Leftmost,
             TieBreak::SmallerRegion,
             TieBreak::LargerRegion,
@@ -648,9 +672,11 @@ mod tests {
 
     #[test]
     fn place_from_owners_matches_choose_with_on_predrawn_probes() {
-        // For batchable strategies, resolving a pre-drawn owner window
-        // must equal choose_with fed from an RNG that yields the same
-        // probes (and consume no randomness itself).
+        // For deterministic-tie strategies, resolving a pre-drawn owner
+        // window must equal choose_with fed from an RNG that yields the
+        // same probes (and consume no tie randomness: the tie lane's
+        // state is asserted untouched via a sentinel clone).
+        use rand::RngCore as _;
         let mut rng = Xoshiro256pp::from_u64(12);
         let space = RingSpace::random(32, &mut rng);
         for strategy in [
@@ -665,7 +691,15 @@ mod tests {
                 let mut owners = vec![0usize; strategy.d()];
                 let mut peek = probe_rng.clone();
                 space.sample_owners_into(&mut peek, &mut owners);
-                let batched = strategy.place_from_owners(&space, &loads, &owners);
+                let mut tie_rng = geo2c_util::rng::SplitMix64::new(99);
+                let sentinel = tie_rng.clone();
+                let batched = strategy.place_from_owners(&space, &loads, &owners, &mut tie_rng);
+                assert_eq!(
+                    tie_rng.next_u64(),
+                    sentinel.clone().next_u64(),
+                    "{}: deterministic tie consumed tie randomness",
+                    strategy.label()
+                );
                 let sequential = strategy.choose_with(&space, &loads, &mut scratch, &mut probe_rng);
                 assert_eq!(batched, sequential, "{}", strategy.label());
                 loads[batched] += 1;
@@ -674,10 +708,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "random tie-break needs the RNG stream")]
-    fn place_from_owners_rejects_random_ties() {
+    fn place_from_owners_random_tie_is_uniform_over_tied() {
+        // Contract v2: the random tie-break resolves from the supplied
+        // tie lane, uniformly among tied candidates.
         let space = UniformSpace::new(4);
-        let _ = Strategy::two_choice().place_from_owners(&space, &[0; 4], &[1, 2]);
+        let loads = [3u32, 0, 0, 7];
+        let strategy = Strategy::with_tie_break(3, TieBreak::Random);
+        let mut tie_rng = Xoshiro256pp::from_u64(5);
+        let mut hits = [0u32; 4];
+        let trials = 40_000;
+        for _ in 0..trials {
+            hits[strategy.place_from_owners(&space, &loads, &[1, 2, 3], &mut tie_rng)] += 1;
+        }
+        assert_eq!(hits[0], 0);
+        assert_eq!(hits[3], 0, "non-minimum candidate chosen");
+        for s in [1, 2] {
+            let frac = f64::from(hits[s]) / f64::from(trials);
+            assert!((frac - 0.5).abs() < 0.02, "server {s}: {frac}");
+        }
+        // A unique minimum never touches the tie lane.
+        use rand::RngCore as _;
+        let mut tie_rng = geo2c_util::rng::SplitMix64::new(1);
+        let sentinel = tie_rng.clone();
+        assert_eq!(
+            strategy.place_from_owners(&space, &loads, &[0, 1, 3], &mut tie_rng),
+            1
+        );
+        assert_eq!(tie_rng.next_u64(), sentinel.clone().next_u64());
     }
 
     #[test]

@@ -139,7 +139,15 @@ impl RingPartition {
     /// (pinned by the property tests in `tests/successor_equivalence.rs`).
     #[must_use]
     pub fn successor_index(&self, p: RingPoint) -> usize {
-        let x = p.coord();
+        let start = self.bucket_start(p.coord());
+        self.finish_scan(p.coord(), start)
+    }
+
+    /// The bucket-accelerant's first stage: the index of the first
+    /// position in the coordinate `x`'s bucket. Shared by the per-point
+    /// query and the staged batch so the two can never drift.
+    #[inline]
+    fn bucket_start(&self, x: f64) -> usize {
         let n = self.coords.len();
         let mut b = ((x * n as f64) as usize).min(n - 1);
         // floor(x·n) can land a bucket high after FP rounding; the
@@ -148,7 +156,17 @@ impl RingPartition {
         while b > 0 && b as f64 / n as f64 > x {
             b -= 1;
         }
-        let mut i = self.bucket_first[b] as usize;
+        self.bucket_first[b] as usize
+    }
+
+    /// The bucket-accelerant's second stage: the bounded forward scan
+    /// from `start` (with the binary-search fallback for dense clusters)
+    /// yielding the successor index of coordinate `x`. Shared by the
+    /// per-point query and the staged batch.
+    #[inline]
+    fn finish_scan(&self, x: f64, start: usize) -> usize {
+        let n = self.coords.len();
+        let mut i = start;
         let end = (i + Self::SCAN_LIMIT).min(n);
         while i < end && self.coords[i] < x {
             i += 1;
@@ -161,6 +179,66 @@ impl RingPartition {
             0
         } else {
             i
+        }
+    }
+
+    /// Batched [`Self::successor_index`]: writes the successor of
+    /// `points[j]` into `out[j]`, exactly equal to the per-point query
+    /// (pinned by `tests/successor_equivalence.rs`).
+    ///
+    /// The point of the batch is *memory-level parallelism*, not fewer
+    /// instructions: a single query chains two dependent DRAM accesses
+    /// (`bucket_first[b]`, then `coords[start..]`), so a loop of
+    /// independent queries is latency-bound once `n` outgrows the cache.
+    /// The batch splits the chain into per-block passes — gather every
+    /// query's bucket start, touch every scan's first `coords` line
+    /// (both loops are pure independent loads the out-of-order core
+    /// overlaps), then finish the scans against warm lines.
+    ///
+    /// # Panics
+    /// Panics if `points.len() != out.len()`.
+    pub fn successor_indices_into(&self, points: &[RingPoint], out: &mut [usize]) {
+        assert_eq!(points.len(), out.len(), "output sized for the points");
+        /// Queries staged per pass: 128 warm lines ≤ 8 KiB, safely L1.
+        const BATCH: usize = 128;
+        let n = self.coords.len();
+        let mut starts = [0u32; BATCH];
+        for (pts, outs) in points.chunks(BATCH).zip(out.chunks_mut(BATCH)) {
+            // Pass 1: bucket index arithmetic + one independent gather of
+            // bucket_first per query.
+            for (start, p) in starts.iter_mut().zip(pts.iter()) {
+                *start = self.bucket_start(p.coord()) as u32;
+            }
+            // Pass 2: touch the first coords line of every scan — the
+            // loads are independent now that the starts are known, so
+            // their misses overlap instead of serializing per query.
+            let mut warm = 0.0f64;
+            for &start in &starts[..pts.len()] {
+                warm += self.coords[(start as usize).min(n - 1)];
+            }
+            std::hint::black_box(warm);
+            // Pass 3: finish each scan against warm lines.
+            for ((slot, p), &start) in outs.iter_mut().zip(pts.iter()).zip(starts.iter()) {
+                *slot = self.finish_scan(p.coord(), start as usize);
+            }
+        }
+    }
+
+    /// Batched [`Self::owner`]: the staged successor batch for
+    /// [`Ownership::Successor`]; the per-point query in a plain loop for
+    /// [`Ownership::Nearest`] (not on the simulation hot path).
+    ///
+    /// # Panics
+    /// Panics if `points.len() != out.len()`.
+    pub fn owners_into(&self, points: &[RingPoint], ownership: Ownership, out: &mut [usize]) {
+        match ownership {
+            Ownership::Successor => self.successor_indices_into(points, out),
+            Ownership::Nearest => {
+                assert_eq!(points.len(), out.len(), "output sized for the points");
+                for (slot, &p) in out.iter_mut().zip(points.iter()) {
+                    *slot = self.nearest_index(p);
+                }
+            }
         }
     }
 

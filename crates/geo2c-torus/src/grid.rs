@@ -77,7 +77,8 @@ pub struct Grid {
 
 impl Grid {
     /// Builds a grid over `sites` with roughly one site per cell
-    /// (`g = ⌈√n⌉`, min 1).
+    /// (`g = ⌈√n⌉`, min 1) — measured faster than the K-d grid's
+    /// 2-sites-per-cell tuning in two dimensions.
     ///
     /// # Panics
     /// Panics if `sites` is empty or has more than `u32::MAX` entries.
@@ -135,17 +136,21 @@ impl Grid {
     }
 
     /// Exact nearest site to `p`. Ties are broken toward the site scanned
-    /// first (lowest bucket ring, then insertion order) — deterministic for
-    /// a fixed site set.
+    /// first (own cell, near orthant, remaining block cells, then outer
+    /// rings; insertion order within a bucket) — deterministic for a
+    /// fixed site set.
     ///
     /// Self-contained: scans the packed coordinate copy, so a query
     /// streams contiguous memory and needs no access to the original
     /// site slice. The common case (`g ≥ 4`, answer inside the probe's
-    /// 3×3 cell block — almost always, with ~1 site per cell) runs a
-    /// batched fast path: all nine bucket bounds are loaded before any
-    /// distance work, so the cache misses overlap instead of serializing,
-    /// and two exact early-exit tests (against the probe's own cell
-    /// boundary, then the block boundary) end most queries there.
+    /// 3×3 cell block — almost always, with ~1 site per cell) runs the
+    /// same near-orthant fast path as the K-d grid: the probe's own
+    /// cell first with an exact cell-boundary early exit, then the 3
+    /// cells displaced only *toward* the probe with an exact far-face
+    /// exit, then the remaining 5 block cells — every cell carrying its
+    /// exact squared lower bound so buckets the current best excludes
+    /// are never loaded — and an exact block-boundary exit before the
+    /// expanding-ring search resumes at ring 2.
     #[must_use]
     pub fn nearest(&self, p: TorusPoint) -> usize {
         let g = self.g;
@@ -158,64 +163,89 @@ impl Grid {
         let w = self.cell_w;
         // Probe offsets inside its own cell (clamped against FP skew at
         // the cell seam — a negative offset only makes the exits
-        // conservative, never wrong, because the block-boundary formula
-        // below is the true distance either way).
+        // conservative, never wrong, because the far/block formulas
+        // below are true distances either way).
         let fx = p.x - cx as f64 * w;
         let fy = p.y - cy as f64 * w;
+        let (near_x, far_x) = (fx.min(w - fx), fx.max(w - fx));
+        let (near_y, far_y) = (fy.min(w - fy), fy.max(w - fy));
+        let nx2 = near_x.max(0.0) * near_x.max(0.0);
+        let ny2 = near_y.max(0.0) * near_y.max(0.0);
+        let (fx2, fy2) = (far_x * far_x, far_y * far_y);
+        // Neighbour columns/rows toward the nearer and farther side.
         let xm = if cx == 0 { g - 1 } else { cx - 1 };
         let xp = if cx + 1 == g { 0 } else { cx + 1 };
         let ym = if cy == 0 { g - 1 } else { cy - 1 };
         let yp = if cy + 1 == g { 0 } else { cy + 1 };
-        let (row_m, row_c, row_p) = (ym * g, cy * g, yp * g);
-        // Legacy scan order (ring 0, then ring 1 rows, then flanks) keeps
-        // the tie-break deterministic across layouts.
-        let buckets = [
-            row_c + cx,
-            row_m + xm,
-            row_p + xm,
-            row_m + cx,
-            row_p + cx,
-            row_m + xp,
-            row_p + xp,
-            row_c + xm,
-            row_c + xp,
-        ];
-        let mut lo = [0usize; 9];
-        let mut hi = [0usize; 9];
-        for (k, &b) in buckets.iter().enumerate() {
-            lo[k] = self.offsets[b] as usize;
-            hi[k] = self.offsets[b + 1] as usize;
-        }
+        let (x_near, x_far) = if fx <= w - fx { (xm, xp) } else { (xp, xm) };
+        let (y_near, y_far) = if fy <= w - fy { (ym, yp) } else { (yp, ym) };
+        let row_c = cy * g;
+        let (row_n, row_f) = (y_near * g, y_far * g);
         // The scans track the best *CSR position*; the site id is a
         // single `indices` load at the very end, keeping that array out
         // of the inner loop entirely.
         let mut best_j = usize::MAX;
         let mut best_d2 = f64::INFINITY;
-        let scan = |k: usize, best_j: &mut usize, best_d2: &mut f64| {
-            for (off, site) in self.packed[lo[k]..hi[k]].iter().enumerate() {
+        let scan = |b: usize, best_j: &mut usize, best_d2: &mut f64| {
+            let (lo, hi) = (self.offsets[b] as usize, self.offsets[b + 1] as usize);
+            for (off, site) in self.packed[lo..hi].iter().enumerate() {
                 let d2 = p.dist2(*site);
                 if d2 < *best_d2 {
                     *best_d2 = d2;
-                    *best_j = lo[k] + off;
+                    *best_j = lo + off;
                 }
             }
         };
-        scan(0, &mut best_j, &mut best_d2);
+        scan(row_c + cx, &mut best_j, &mut best_d2);
         // A hit closer than the probe's own cell boundary cannot be beaten
-        // from any other cell: done without touching ring 1. The clamp
+        // from any other cell: done after a single bucket. The clamp
         // keeps this exact when FP seam skew makes an offset negative
         // (squaring would otherwise turn "impossible" into "tiny radius").
-        let cell_edge = fx.min(w - fx).min(fy).min(w - fy).max(0.0);
+        let cell_edge = near_x.min(near_y).max(0.0);
         if best_d2 <= cell_edge * cell_edge {
             return self.indices[best_j] as usize;
         }
-        for k in 1..9 {
-            scan(k, &mut best_j, &mut best_d2);
+        // Near-orthant pass: the 3 cells displaced only toward the probe,
+        // each pruned by its exact squared lower bound. The true nearest
+        // site is almost always here, and every cell outside the orthant
+        // is displaced to a far side on some axis, i.e. at least
+        // `min(far_x, far_y)` away — an exact certificate.
+        let orthant: [(usize, f64); 3] = [
+            (row_c + x_near, nx2),
+            (row_n + cx, ny2),
+            (row_n + x_near, nx2 + ny2),
+        ];
+        for &(b, bound) in &orthant {
+            if bound < best_d2 {
+                scan(b, &mut best_j, &mut best_d2);
+            }
+        }
+        // Capped at the block boundary: under FP seam skew a negative
+        // cell offset can make the far-face distance exceed the true
+        // block-boundary distance, and outside-block sites are only
+        // guaranteed to be at least the latter away.
+        let far_edge = far_x.min(far_y).min(w + near_x.min(near_y));
+        if best_j != usize::MAX && best_d2 <= far_edge * far_edge {
+            return self.indices[best_j] as usize;
+        }
+        // Remainder pass: the other 5 block cells with the same exact
+        // per-cell lower bounds (far margin² on far-displaced axes).
+        let remainder: [(usize, f64); 5] = [
+            (row_c + x_far, fx2),
+            (row_f + cx, fy2),
+            (row_n + x_far, fx2 + ny2),
+            (row_f + x_near, nx2 + fy2),
+            (row_f + x_far, fx2 + fy2),
+        ];
+        for &(b, bound) in &remainder {
+            if bound < best_d2 {
+                scan(b, &mut best_j, &mut best_d2);
+            }
         }
         // Every unscanned site lies outside the 3×3 block, i.e. at least
         // the block-boundary distance away (exact, not the coarser
-        // (r−1)·w bound).
-        let block_edge = (w + fx.min(w - fx)).min(w + fy.min(w - fy));
+        // (r−1)·w bound; unclamped so FP seam skew only ever shrinks it).
+        let block_edge = w + near_x.min(near_y);
         if best_j != usize::MAX && best_d2 <= block_edge * block_edge {
             return self.indices[best_j] as usize;
         }

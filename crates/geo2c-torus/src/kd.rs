@@ -218,10 +218,12 @@ impl<const K: usize> KdGrid<K> {
                 let d = wrap_delta(s - c);
                 d2 += d * d;
             }
-            if d2 < *best_d2 {
-                *best_d2 = d2;
-                *best_j = lo + off;
-            }
+            // Branchless update (min + select): the comparison is a
+            // data-dependent coin flip, and a mispredict here costs more
+            // than the whole distance computation above.
+            let better = d2 < *best_d2;
+            *best_j = if better { lo + off } else { *best_j };
+            *best_d2 = if better { d2 } else { *best_d2 };
         }
     }
 
@@ -363,6 +365,11 @@ impl<const K: usize> KdGrid<K> {
             far2[k] = far * far;
         }
         let block_edge = w + near_edge;
+        // Capped at the block boundary: under FP seam skew a negative
+        // cell offset can make every far-face distance exceed the true
+        // block-boundary distance, and outside-block sites are only
+        // guaranteed to be at least the latter away.
+        let far_edge = far_edge.min(block_edge);
         let near_edge = near_edge.max(0.0);
         // A hit closer than the probe's own nearest cell face cannot be
         // beaten from any other cell: done after a single bucket.
@@ -536,7 +543,12 @@ impl<const K: usize> KdGrid<K> {
     /// probe's cell and loads its own-bucket bounds (one tight
     /// homogeneous loop whose cache misses overlap), phase 2 runs the
     /// per-probe fast path with the center work already amortized.
-    /// Equivalent to `nearest` probe by probe.
+    /// Equivalent to `nearest` probe by probe. (A heavier variant that
+    /// also pre-gathers the `2^K` near-orthant bounds and warms their
+    /// packed lines was measured *slower* on the reference core — the
+    /// grid is cache-resident at these `n`, so the extra gathers cost
+    /// more than the latency they hide; the DRAM-regime staging lives
+    /// where it pays, in `RingPartition::successor_indices_into`.)
     ///
     /// # Panics
     /// Panics if `probes` and `out` differ in length.

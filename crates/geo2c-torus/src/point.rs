@@ -37,25 +37,28 @@ pub fn wrap01(v: f64) -> f64 {
 /// Canonicalizes a displacement component into `[-0.5, 0.5)`.
 ///
 /// Differences of `[0, 1)` coordinates lie in `(-1, 1)`, where the
-/// canonicalization is one conditional add — this is the innermost
-/// operation of every toroidal distance, so keeping `fmod` off that path
-/// matters. The fallback is bit-identical to `rem_euclid` for the rest.
+/// canonicalization is two *branchless* arithmetic selects (the
+/// comparisons convert to `0.0`/`1.0` addends). This is the innermost
+/// operation of every toroidal distance; with data-dependent values the
+/// two range tests are 50/50 coin flips, and replacing their branch
+/// mispredicts with converts is worth more than any instruction saved
+/// elsewhere in the scan loops. Adding `0.0` keeps the arithmetic
+/// bit-identical to the branchy form (up to the sign of a `-0.0`
+/// input). The out-of-range fallback matches `rem_euclid` bit-for-bit.
 #[inline]
 #[must_use]
 pub fn wrap_delta(d: f64) -> f64 {
-    let mut w = if (-1.0..1.0).contains(&d) {
-        if d < 0.0 {
-            d + 1.0
-        } else {
-            d
-        }
+    if (-1.0..1.0).contains(&d) {
+        // Branchless: w = d + [d < 0]; w -= [w ≥ 0.5].
+        let w = d + f64::from(u8::from(d < 0.0));
+        w - f64::from(u8::from(w >= 0.5))
     } else {
-        d.rem_euclid(1.0)
-    };
-    if w >= 0.5 {
-        w -= 1.0;
+        let mut w = d.rem_euclid(1.0);
+        if w >= 0.5 {
+            w -= 1.0;
+        }
+        w
     }
-    w
 }
 
 impl TorusPoint {

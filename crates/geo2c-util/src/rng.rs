@@ -37,6 +37,20 @@
 //! // ... and distinct per trial.
 //! assert_ne!(a.gen::<u64>(), b.gen::<u64>());
 //! ```
+//!
+//! # Per-ball lanes (RNG stream contract v2)
+//!
+//! The insertion engine's randomness is *laned*: each ball `b` of a trial
+//! draws its probe coordinates from its own counter-keyed generator
+//! ([`BallLanes::probe`]) and resolves load ties from a second one
+//! ([`BallLanes::tie`]), both derived from a single root
+//! ([`SplitMix64::mixed`] with the [`PROBE_TAG`] / [`TIE_TAG`] domain
+//! separators). Because no two balls — and no ball's probe and tie
+//! draws — share a stream, probe generation is independent of tie
+//! resolution and of every other ball, which is what lets the engine
+//! draw many balls' probe blocks in one batched call regardless of the
+//! tie-break policy. [`LaneSource`] abstracts the keying so alternative
+//! probe sources (e.g. [`TabulationLanes`]) plug into the same engine.
 
 use rand::{Error, RngCore, SeedableRng};
 
@@ -60,6 +74,22 @@ impl SplitMix64 {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self { state: seed }
+    }
+
+    /// Counter-keyed lane constructor (RNG stream contract v2): the
+    /// generator for lane `lane` of root `seed` in domain `tag`, with
+    /// the key `mix(mix(seed ^ tag) ^ mix(lane + γ))`.
+    ///
+    /// Every input goes through the full avalanche [`mix`] before
+    /// keying the counter, so sequential lane indices (ball 0, 1, 2, …)
+    /// and sequential roots land at statistically unrelated counter
+    /// positions — the same discipline [`StreamSeeder`] applies per
+    /// trial, one level down. [`BallLanes`] precomputes the
+    /// `mix(seed ^ tag)` half so per-ball lane construction costs two
+    /// mixes.
+    #[must_use]
+    pub fn mixed(seed: u64, lane: u64, tag: u64) -> Self {
+        Self::new(mix(mix(seed ^ tag) ^ mix(lane.wrapping_add(GOLDEN_GAMMA))))
     }
 
     /// Returns the next 64-bit output and advances the counter.
@@ -253,6 +283,243 @@ impl StreamSeeder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-ball lanes (RNG stream contract v2)
+// ---------------------------------------------------------------------------
+
+/// Domain-separation tag for probe-coordinate lanes (contract v2).
+pub const PROBE_TAG: u64 = 0xA076_1D64_78BD_642F;
+
+/// Domain-separation tag for tie-resolution lanes (contract v2).
+pub const TIE_TAG: u64 = 0xE703_7ED1_A0B4_28DB;
+
+/// A source of per-ball generator lanes: the abstraction the insertion
+/// engine draws through under stream contract v2.
+///
+/// Implementations must guarantee that `probe(b)`, `tie(b)` and every
+/// lane of every other ball are mutually decorrelated streams, and that
+/// the mapping is pure: calling `probe(b)` twice yields identical
+/// generators. [`BallLanes`] (SplitMix64 lanes) is the engine default;
+/// [`TabulationLanes`] swaps the mixer for a simple tabulation hash.
+pub trait LaneSource {
+    /// The per-lane generator type.
+    type Lane: RngCore;
+
+    /// The probe-coordinate lane for ball `ball` (relative to this
+    /// source's base offset).
+    fn probe(&self, ball: u64) -> Self::Lane;
+
+    /// The tie-resolution lane for ball `ball`.
+    fn tie(&self, ball: u64) -> Self::Lane;
+
+    /// A view of the same lanes with all ball indices shifted by
+    /// `first_ball`: `source.block(k).probe(i) == source.probe(k + i)`.
+    /// The engine hands each cross-ball block a shifted view so spaces
+    /// index lanes by position within the block.
+    #[must_use]
+    fn block(&self, first_ball: u64) -> Self;
+}
+
+/// SplitMix64 per-ball lanes keyed from one root (the engine default).
+///
+/// `BallLanes::new(root).probe(b)` is exactly
+/// [`SplitMix64::mixed`]`(root, b, PROBE_TAG)` (and `tie(b)` the same
+/// with [`TIE_TAG`]); the `mix(root ^ tag)` halves are precomputed so a
+/// lane costs two [`mix`] evaluations.
+///
+/// ```
+/// use geo2c_util::rng::{BallLanes, LaneSource, SplitMix64, PROBE_TAG};
+/// use rand::RngCore;
+///
+/// let lanes = BallLanes::new(7);
+/// assert_eq!(
+///     lanes.probe(3).next_u64(),
+///     SplitMix64::mixed(7, 3, PROBE_TAG).next_u64(),
+/// );
+/// // Shifted views address the same lanes.
+/// assert_eq!(lanes.block(2).probe(1).next_u64(), lanes.probe(3).next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BallLanes {
+    probe_root: u64,
+    tie_root: u64,
+    base: u64,
+}
+
+impl BallLanes {
+    /// Lanes keyed from `root` (one draw of the trial's stream).
+    #[must_use]
+    pub fn new(root: u64) -> Self {
+        Self {
+            probe_root: mix(root ^ PROBE_TAG),
+            tie_root: mix(root ^ TIE_TAG),
+            base: 0,
+        }
+    }
+
+    #[inline]
+    fn lane(half_mixed_root: u64, ball: u64) -> SplitMix64 {
+        SplitMix64::new(mix(half_mixed_root ^ mix(ball.wrapping_add(GOLDEN_GAMMA))))
+    }
+}
+
+impl LaneSource for BallLanes {
+    type Lane = SplitMix64;
+
+    #[inline]
+    fn probe(&self, ball: u64) -> SplitMix64 {
+        Self::lane(self.probe_root, self.base.wrapping_add(ball))
+    }
+
+    #[inline]
+    fn tie(&self, ball: u64) -> SplitMix64 {
+        Self::lane(self.tie_root, self.base.wrapping_add(ball))
+    }
+
+    fn block(&self, first_ball: u64) -> Self {
+        Self {
+            base: self.base.wrapping_add(first_ball),
+            ..*self
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simple tabulation hashing (Dahlgaard et al., SODA 2016)
+// ---------------------------------------------------------------------------
+
+/// Bytes of the hashed key; one lookup table per byte.
+const TAB_BYTES: usize = 8;
+
+/// A simple tabulation hash over 64-bit keys: `h(x) = ⊕ᵢ Tᵢ[byteᵢ(x)]`,
+/// eight tables of 256 random words each.
+///
+/// Simple tabulation is only 3-independent, yet Dahlgaard, Knudsen,
+/// Rotenberg & Thorup (SODA 2016) prove the two-choice maximum load
+/// survives it — making it the natural "weak hashing" ablation for this
+/// reproduction: [`TabulationLanes`] exposes it through the same
+/// [`LaneSource`] interface the SplitMix64 lanes use, so the insertion
+/// engine runs unmodified on either probe source and the max-load
+/// distributions can be compared head-to-head (the `tabulation`
+/// experiment in `EXPERIMENTS.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TabulationHash {
+    tables: Box<[[u64; 256]; TAB_BYTES]>,
+}
+
+impl TabulationHash {
+    /// Fills the eight tables from `seed` via SplitMix64.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(mix(seed));
+        let mut tables = Box::new([[0u64; 256]; TAB_BYTES]);
+        for table in tables.iter_mut() {
+            for slot in table.iter_mut() {
+                *slot = sm.next();
+            }
+        }
+        Self { tables }
+    }
+
+    /// Hashes one 64-bit key: XOR of one entry per key byte.
+    #[inline]
+    #[must_use]
+    pub fn hash(&self, x: u64) -> u64 {
+        let mut h = 0u64;
+        for (i, table) in self.tables.iter().enumerate() {
+            h ^= table[((x >> (8 * i)) & 0xFF) as usize];
+        }
+        h
+    }
+}
+
+/// Per-ball lanes whose generators are counter-mode tabulation hashing:
+/// output `j` of a lane is `h(key + j)` for the lane's key.
+///
+/// Keys are derived exactly like [`BallLanes`] keys (mixed root ⊕ mixed
+/// ball index under the probe/tie tags), so the *keying* is identical
+/// and only the per-output mixer differs — isolating the hash-quality
+/// question the Dahlgaard et al. comparison asks.
+#[derive(Debug, Clone, Copy)]
+pub struct TabulationLanes<'a> {
+    hash: &'a TabulationHash,
+    probe_root: u64,
+    tie_root: u64,
+    base: u64,
+}
+
+impl<'a> TabulationLanes<'a> {
+    /// Lanes keyed from `root`, hashing through `hash`.
+    #[must_use]
+    pub fn new(hash: &'a TabulationHash, root: u64) -> Self {
+        Self {
+            hash,
+            probe_root: mix(root ^ PROBE_TAG),
+            tie_root: mix(root ^ TIE_TAG),
+            base: 0,
+        }
+    }
+}
+
+impl<'a> LaneSource for TabulationLanes<'a> {
+    type Lane = TabulationLane<'a>;
+
+    fn probe(&self, ball: u64) -> TabulationLane<'a> {
+        TabulationLane {
+            hash: self.hash,
+            key: self.probe_root ^ mix(self.base.wrapping_add(ball).wrapping_add(GOLDEN_GAMMA)),
+            counter: 0,
+        }
+    }
+
+    fn tie(&self, ball: u64) -> TabulationLane<'a> {
+        TabulationLane {
+            hash: self.hash,
+            key: self.tie_root ^ mix(self.base.wrapping_add(ball).wrapping_add(GOLDEN_GAMMA)),
+            counter: 0,
+        }
+    }
+
+    fn block(&self, first_ball: u64) -> Self {
+        Self {
+            base: self.base.wrapping_add(first_ball),
+            ..*self
+        }
+    }
+}
+
+/// One counter-mode lane of a [`TabulationHash`] (see
+/// [`TabulationLanes`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TabulationLane<'a> {
+    hash: &'a TabulationHash,
+    key: u64,
+    counter: u64,
+}
+
+impl RngCore for TabulationLane<'_> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let out = self.hash.hash(self.key.wrapping_add(self.counter));
+        self.counter = self.counter.wrapping_add(1);
+        out
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_u64(self, dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,5 +644,125 @@ mod tests {
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn lane_reference_vectors_pin_contract_v2() {
+        // The v2 lane keying is a *committed distribution contract*: the
+        // numbers in results/*.json were produced through these exact
+        // streams. Any change to the keying is a new contract version and
+        // must regenerate the expectations — these vectors make such a
+        // change impossible to miss. (First output of
+        // SplitMix64::mixed(root, lane, tag) for pinned inputs, computed
+        // once from the definition `mix(mix(root^tag) ^ mix(lane+γ))`.)
+        let vector = |root: u64, lane: u64, tag: u64| SplitMix64::mixed(root, lane, tag).next();
+        // Self-consistency with the documented definition.
+        let manual = |root: u64, lane: u64, tag: u64| {
+            SplitMix64::new(mix(mix(root ^ tag) ^ mix(lane.wrapping_add(GOLDEN_GAMMA)))).next()
+        };
+        for (root, lane) in [(0u64, 0u64), (42, 0), (42, 1), (7, u64::MAX)] {
+            assert_eq!(vector(root, lane, PROBE_TAG), manual(root, lane, PROBE_TAG));
+            assert_eq!(vector(root, lane, TIE_TAG), manual(root, lane, TIE_TAG));
+        }
+        // Frozen absolute values (independently computed from the
+        // definition): recomputed == committed.
+        let frozen: [(u64, u64, u64, u64); 2] = [
+            (0, 0, PROBE_TAG, 13102172009130172927),
+            (42, 1, TIE_TAG, 12934604033053490546),
+        ];
+        for (root, lane, tag, value) in frozen {
+            assert_eq!(vector(root, lane, tag), value);
+        }
+        // Domain separation: probe and tie lanes of the same ball differ.
+        assert_ne!(vector(5, 9, PROBE_TAG), vector(5, 9, TIE_TAG));
+    }
+
+    #[test]
+    fn ball_lanes_match_mixed_and_shift_correctly() {
+        let lanes = BallLanes::new(123);
+        for ball in [0u64, 1, 63, 64, 1_000_000] {
+            assert_eq!(
+                lanes.probe(ball).next(),
+                SplitMix64::mixed(123, ball, PROBE_TAG).next(),
+                "probe lane {ball}"
+            );
+            assert_eq!(
+                lanes.tie(ball).next(),
+                SplitMix64::mixed(123, ball, TIE_TAG).next(),
+                "tie lane {ball}"
+            );
+        }
+        let block = lanes.block(64).block(3);
+        assert_eq!(block.probe(2).next(), lanes.probe(69).next());
+        assert_eq!(block.tie(0).next(), lanes.tie(67).next());
+    }
+
+    #[test]
+    fn lanes_are_mutually_decorrelated() {
+        // First outputs across many lanes: no duplicates, balanced bits —
+        // the same crude independence check the trial streams get.
+        let lanes = BallLanes::new(9);
+        let mut outs: Vec<u64> = (0..128).map(|b| lanes.probe(b).next()).collect();
+        outs.extend((0..128).map(|b| lanes.tie(b).next()));
+        let mut dedup = outs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), outs.len());
+        let ones: u32 = outs.iter().map(|x| x.count_ones()).sum();
+        let frac = f64::from(ones) / (256.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.05, "bit fraction {frac}");
+    }
+
+    #[test]
+    fn tabulation_hash_is_deterministic_and_seed_sensitive() {
+        let a = TabulationHash::from_seed(1);
+        let b = TabulationHash::from_seed(1);
+        let c = TabulationHash::from_seed(2);
+        assert_eq!(a, b);
+        for x in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(a.hash(x), b.hash(x));
+        }
+        assert!((0..64u64).any(|x| a.hash(x) != c.hash(x)));
+    }
+
+    #[test]
+    fn tabulation_lane_is_counter_mode_and_keyed_like_splitmix_lanes() {
+        let hash = TabulationHash::from_seed(3);
+        let lanes = TabulationLanes::new(&hash, 77);
+        let mut lane = lanes.probe(5);
+        let first = lane.next_u64();
+        let second = lane.next_u64();
+        assert_ne!(first, second);
+        // Re-derived lane restarts the counter.
+        assert_eq!(lanes.probe(5).next_u64(), first);
+        // Distinct balls and domains give distinct streams.
+        assert_ne!(lanes.probe(6).next_u64(), first);
+        assert_ne!(lanes.tie(5).next_u64(), first);
+        // Shifted views address the same lanes.
+        assert_eq!(
+            lanes.block(4).probe(1).next_u64(),
+            lanes.probe(5).next_u64()
+        );
+    }
+
+    #[test]
+    fn tabulation_lane_outputs_are_roughly_uniform() {
+        // Counter-mode tabulation over one lane: top-4-bit buckets of 16k
+        // outputs stay within ±25% of uniform (binomial s.d. ≈ 3%).
+        let hash = TabulationHash::from_seed(8);
+        let lanes = TabulationLanes::new(&hash, 1);
+        let mut lane = lanes.probe(0);
+        let mut buckets = [0u32; 16];
+        let total = 16_384;
+        for _ in 0..total {
+            buckets[(lane.next_u64() >> 60) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            let frac = f64::from(b) / f64::from(total);
+            assert!(
+                (frac - 1.0 / 16.0).abs() < 0.25 / 16.0,
+                "bucket {i}: {frac}"
+            );
+        }
     }
 }

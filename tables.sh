@@ -5,6 +5,10 @@
 #
 #   ./tables.sh                 # reference scale: rewrite results/ + EXPERIMENTS.md
 #   ./tables.sh --check         # rerun and diff against the committed numbers
+#   ./tables.sh --check --against results/v1
+#                               # diff against the archived pre-lane-contract
+#                               #   numbers (the stream-migration evidence)
+#   ./tables.sh --render        # no run: EXPERIMENTS.md == render(results/*.json)
 #   ./tables.sh --quick         # CI-scale expectations (results/quick/)
 #   ./tables.sh --quick --check # fast half of the ci.sh gate (ci.sh also runs
 #                               #   the reference-scale --check)
