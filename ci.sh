@@ -18,6 +18,13 @@ cargo build --release
 say "tests (workspace unit + integration + doctests)"
 cargo test -q
 
+# The serving engine's property layer (conservation, prefix-replay
+# byte-identity, event-sequential reference equality) is the contract
+# the serving experiment family rests on; run it by name so a failure
+# is attributed to the engine rather than to a drifted expectation.
+say "serving engine (geo2c-serve unit + property tests)"
+cargo test -q -p geo2c-serve
+
 say "docs (no warnings allowed)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
@@ -54,6 +61,12 @@ cargo run --release -q -p geo2c-bench --bin run_tables -- --render
 
 say "table expectations (quick scale vs results/quick/, statistical tolerance)"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check
+
+# The serving + churn cells are exact-compared scalar metrics (fully
+# deterministic in the seed), so this subset gate re-verifies them via
+# the --only path — which also keeps that flag itself exercised in CI.
+say "serving + churn expectations (quick scale, --only subset)"
+cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check --only serving,churn
 
 # A freshly written quick-scale suite must accept itself under --check:
 # this round-trips the current specs (notably the resized paper-scale

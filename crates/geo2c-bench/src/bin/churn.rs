@@ -8,18 +8,18 @@
 //! successor). This is the executable version of the paper's closing
 //! remark about maintaining reliability.
 //!
+//! The computation lives in [`geo2c_bench::experiments::churn`], which is
+//! also a member of the gated `run_tables` suite (committed expectations
+//! under `results/churn.json`); this binary is the ad-hoc CLI front end
+//! for other sizes and seeds.
+//!
 //! ```text
 //! cargo run --release -p geo2c-bench --bin churn [--trials T] [--max-exp K] [--json PATH]
 //! ```
 
-use geo2c_bench::{banner, pow2_label, Cli};
-use geo2c_dht::churn::churn_experiment;
-use geo2c_dht::placement::PlacementPolicy;
+use geo2c_bench::{banner, experiments, pow2_label, Cli};
+use geo2c_core::experiment::SweepConfig;
 use geo2c_report::markdown::render_text;
-use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
-use geo2c_util::parallel::parallel_map;
-use geo2c_util::rng::StreamSeeder;
-use geo2c_util::stats::RunningStats;
 
 fn main() {
     let cli = Cli::parse(20, (10, 10), 12);
@@ -28,60 +28,18 @@ fn main() {
         &cli,
     );
     let n = 1usize << cli.max_exp;
-    let m = (16 * n) as u64;
-    let seeder = StreamSeeder::new(cli.seed).child("churn");
-
-    let spec = ExperimentSpec::new("churn", "E16: node failures and re-placement")
-        .paper_ref("conclusion (reliability)")
-        .trials(cli.trials)
-        .seed(cli.seed)
-        .param("nodes", Json::from_usize(n))
-        .param("items", Json::from_u64(m));
-    let mut result = ExperimentResult::new(spec);
-
-    for (name, policy, v) in [
-        ("consistent", PlacementPolicy::Consistent, 1usize),
-        (
-            "virtual(log n)",
-            PlacementPolicy::Consistent,
-            (n as f64).log2().ceil() as usize,
-        ),
-        ("2-choice", PlacementPolicy::DChoice { d: 2 }, 1),
-    ] {
-        for &fail in &[0.1f64, 0.3, 0.5] {
-            let rows: Vec<(f64, f64, f64)> = parallel_map(cli.trials, cli.threads, |trial| {
-                let mut rng = seeder.child(&format!("{name}/{fail}")).stream(trial as u64);
-                let report = churn_experiment(n, v, policy, m, fail, &mut rng);
-                (
-                    f64::from(report.max_before),
-                    f64::from(report.max_after),
-                    report.moved_items as f64 / m as f64,
-                )
-            });
-            let mut before = RunningStats::new();
-            let mut after = RunningStats::new();
-            let mut moved = RunningStats::new();
-            for (b, a, mv) in rows {
-                before.push(b);
-                after.push(a);
-                moved.push(mv);
-            }
-            result.push(
-                Cell::new()
-                    .coord("scheme", Json::str(name))
-                    .coord("fail_pct", Json::num(fail * 100.0))
-                    .metric("max_before", Json::num(before.mean()))
-                    .metric("max_after", Json::num(after.mean()))
-                    .metric("moved_pct", Json::num(100.0 * moved.mean())),
-            );
-        }
-        eprintln!("--- {name} done ---");
-    }
+    let config = SweepConfig {
+        trials: cli.trials,
+        threads: cli.threads,
+        seed: cli.seed,
+    };
+    let result = experiments::churn(n, &config);
     println!("{}", render_text(&result));
     cli.write_results(std::slice::from_ref(&result));
     println!(
-        "n = {} nodes, m = {m} items. Every scheme moves ~fail% of the items",
-        pow2_label(n)
+        "n = {} nodes, m = {} items. Every scheme moves ~fail% of the items",
+        pow2_label(n),
+        16 * n
     );
     println!("(minimal disruption); the schemes differ in post-churn balance.");
 }

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! run_tables [--quick | --full] [--check [--against DIR]] [--render]
-//!            [--dir DIR] [--seed S] [--threads T]
+//!            [--only ID,ID] [--dir DIR] [--seed S] [--threads T]
 //! ```
 //!
 //! * *(no flags)* — run the **reference** scale (the committed
@@ -33,6 +33,10 @@
 //!   identical to the rendering of the committed `results/*.json`
 //!   (the cheap half of the reference-scale check; CI runs it on
 //!   every build).
+//! * `--only ID,ID` — run (and check or write) just the named suite
+//!   members, e.g. `--only serving,churn`. The `EXPERIMENTS.md`
+//!   rendering check/write is skipped (the document is a function of
+//!   the *whole* committed set).
 
 use geo2c_bench::experiments::{self, Scale, FULL, QUICK, REFERENCE};
 use geo2c_core::experiment::SweepConfig;
@@ -45,6 +49,7 @@ struct Args {
     check: bool,
     render: bool,
     against: Option<PathBuf>,
+    only: Option<Vec<String>>,
     dir: PathBuf,
     seed: u64,
     threads: usize,
@@ -56,6 +61,7 @@ fn parse_args() -> Args {
         check: false,
         render: false,
         against: None,
+        only: None,
         dir: PathBuf::from("."),
         seed: 0,
         threads: geo2c_util::parallel::num_threads(),
@@ -75,6 +81,20 @@ fn parse_args() -> Args {
             "--check" => args.check = true,
             "--render" => args.render = true,
             "--against" => args.against = Some(PathBuf::from(take(&argv, &mut i, "--against"))),
+            "--only" => {
+                let ids: Vec<String> = take(&argv, &mut i, "--only")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+                for id in &ids {
+                    assert!(
+                        experiments::SUITE_IDS.contains(&id.as_str()),
+                        "--only: unknown experiment '{id}' (suite: {})",
+                        experiments::SUITE_IDS.join(", ")
+                    );
+                }
+                args.only = Some(ids);
+            }
             "--dir" => args.dir = PathBuf::from(take(&argv, &mut i, "--dir")),
             "--seed" => args.seed = take(&argv, &mut i, "--seed").parse().expect("seed"),
             "--threads" => {
@@ -82,7 +102,8 @@ fn parse_args() -> Args {
             }
             other => panic!(
                 "unknown flag '{other}'\nusage: run_tables [--quick | --full] \
-                 [--check [--against DIR]] [--render] [--dir DIR] [--seed S] [--threads T]"
+                 [--check [--against DIR]] [--render] [--only ID,ID] [--dir DIR] \
+                 [--seed S] [--threads T]"
             ),
         }
         i += 1;
@@ -100,32 +121,25 @@ fn results_dir(base: &Path, scale: &Scale) -> PathBuf {
     }
 }
 
-fn run_suite(scale: &Scale, seed: u64, threads: usize) -> Vec<ExperimentResult> {
-    let ring = SweepConfig {
-        trials: scale.ring_trials,
+fn run_suite(
+    scale: &Scale,
+    seed: u64,
+    threads: usize,
+    only: Option<&[String]>,
+) -> Vec<ExperimentResult> {
+    let wanted = |id: &str| only.map_or(true, |ids| ids.iter().any(|want| want == id));
+    let config = |trials: usize| SweepConfig {
+        trials,
         threads,
         seed,
     };
-    let torus = SweepConfig {
-        trials: scale.torus_trials,
-        threads,
-        seed,
-    };
-    let dim = SweepConfig {
-        trials: scale.dim_trials,
-        threads,
-        seed,
-    };
-    let chart = SweepConfig {
-        trials: scale.chart_trials,
-        threads,
-        seed,
-    };
-    let tab = SweepConfig {
-        trials: scale.tab_trials,
-        threads,
-        seed,
-    };
+    let ring = config(scale.ring_trials);
+    let torus = config(scale.torus_trials);
+    let dim = config(scale.dim_trials);
+    let chart = config(scale.chart_trials);
+    let tab = config(scale.tab_trials);
+    let serve = config(scale.serve_trials);
+    let churn = config(scale.churn_trials);
     let provenance_line = |label: &str, config: &SweepConfig| {
         let pairs: Vec<String> = config
             .describe()
@@ -136,26 +150,51 @@ fn run_suite(scale: &Scale, seed: u64, threads: usize) -> Vec<ExperimentResult> 
     };
     eprintln!(
         "running the {} scale (ring n = {:?}, torus n = {:?}, dimension n = 2^{}, \
-         ring chart n = 2^{})",
+         ring chart n = 2^{}, serving n = 2^{}, churn n = 2^{})",
         scale.name,
         scale.ring_sizes(),
         scale.torus_sizes(),
         scale.dim_exp,
         scale.chart_exp,
+        scale.serve_exp,
+        scale.churn_exp,
     );
+    if let Some(ids) = only {
+        eprintln!("  only: {}", ids.join(", "));
+    }
     provenance_line("ring", &ring);
     provenance_line("torus", &torus);
     provenance_line("dimension", &dim);
     provenance_line("ring_chart", &chart);
     provenance_line("tabulation", &tab);
-    vec![
-        experiments::table1(&scale.ring_sizes(), &ring),
-        experiments::table2(&scale.torus_sizes(), &torus),
-        experiments::table3(&scale.ring_sizes(), &ring, true),
-        experiments::dimension(1usize << scale.dim_exp, &dim),
-        experiments::ring_chart(1usize << scale.chart_exp, &chart),
-        experiments::tabulation(1usize << scale.tab_exp, &tab),
-    ]
+    provenance_line("serving", &serve);
+    provenance_line("churn", &churn);
+    let mut results = Vec::new();
+    if wanted("table1") {
+        results.push(experiments::table1(&scale.ring_sizes(), &ring));
+    }
+    if wanted("table2") {
+        results.push(experiments::table2(&scale.torus_sizes(), &torus));
+    }
+    if wanted("table3") {
+        results.push(experiments::table3(&scale.ring_sizes(), &ring, true));
+    }
+    if wanted("dimension") {
+        results.push(experiments::dimension(1usize << scale.dim_exp, &dim));
+    }
+    if wanted("ring_chart") {
+        results.push(experiments::ring_chart(1usize << scale.chart_exp, &chart));
+    }
+    if wanted("tabulation") {
+        results.push(experiments::tabulation(1usize << scale.tab_exp, &tab));
+    }
+    if wanted("serving") {
+        results.push(experiments::serving(1usize << scale.serve_exp, &serve));
+    }
+    if wanted("churn") {
+        results.push(experiments::churn(1usize << scale.churn_exp, &churn));
+    }
+    results
 }
 
 /// Loads every committed expectation file *before* the (potentially long)
@@ -167,11 +206,15 @@ fn load_expected(
     dir: &Path,
     seed: u64,
     lenient: bool,
+    only: Option<&[String]>,
 ) -> Result<(ResultSet, Vec<(String, PathBuf)>), ExitCode> {
     let mut expected = ResultSet::new(Provenance::capture(seed));
     let mut sources = Vec::new();
     let mut missing = Vec::new();
     for id in experiments::SUITE_IDS {
+        if !only.map_or(true, |ids| ids.iter().any(|want| want == id)) {
+            continue;
+        }
         let path = dir.join(format!("{id}.json"));
         match ResultSet::load(&path) {
             Ok(set) => {
@@ -225,9 +268,9 @@ fn check(
     // At the reference scale, EXPERIMENTS.md is part of the committed
     // expectations too: it must be exactly what the committed results
     // render to, or the headline document has drifted from the data.
-    // (Not when diffing against an archive: the document belongs to the
-    // committed set, not to the archive.)
-    if scale.name == REFERENCE.name && args.against.is_none() {
+    // (Not when diffing against an archive or a `--only` subset: the
+    // document is a function of the whole committed set.)
+    if scale.name == REFERENCE.name && args.against.is_none() && args.only.is_none() {
         let md_path = args.dir.join("EXPERIMENTS.md");
         let committed_md = std::fs::read_to_string(&md_path).unwrap_or_default();
         if committed_md != experiments::experiments_markdown(expected) {
@@ -316,7 +359,9 @@ fn write(set: &ResultSet, args: &Args, dir: &Path) -> ExitCode {
         }
         println!("wrote {}", path.display());
     }
-    if args.scale.name == REFERENCE.name {
+    // A `--only` subset never rewrites EXPERIMENTS.md: the document
+    // renders the whole committed set, not a slice of it.
+    if args.scale.name == REFERENCE.name && args.only.is_none() {
         let md_path = args.dir.join("EXPERIMENTS.md");
         if let Err(e) = std::fs::write(&md_path, experiments::experiments_markdown(set)) {
             eprintln!("cannot write {}: {e}", md_path.display());
@@ -333,7 +378,7 @@ fn main() -> ExitCode {
         // No suite run: EXPERIMENTS.md must be the exact rendering of
         // the committed reference results.
         let dir = results_dir(&args.dir, &REFERENCE);
-        let (expected, _) = match load_expected(&dir, args.seed, false) {
+        let (expected, _) = match load_expected(&dir, args.seed, false, None) {
             Ok(loaded) => loaded,
             Err(code) => return code,
         };
@@ -362,7 +407,12 @@ fn main() -> ExitCode {
     };
     // Fail fast on missing/corrupt expectations before the long run.
     let expected = if args.check {
-        match load_expected(&dir, args.seed, args.against.is_some()) {
+        match load_expected(
+            &dir,
+            args.seed,
+            args.against.is_some(),
+            args.only.as_deref(),
+        ) {
             Ok(expected) => Some(expected),
             Err(code) => return code,
         }
@@ -370,7 +420,7 @@ fn main() -> ExitCode {
         None
     };
 
-    let results = run_suite(args.scale, args.seed, args.threads);
+    let results = run_suite(args.scale, args.seed, args.threads, args.only.as_deref());
     let mut set = ResultSet::new(Provenance::capture(args.seed));
     set.experiments = results;
 

@@ -20,20 +20,26 @@ use geo2c_core::experiment::{sweep_kind, sweep_max_load, MaxLoadCell, SweepConfi
 use geo2c_core::sim::{run_trial, run_trial_with_lanes};
 use geo2c_core::space::{KdTorusSpace, RingSpace, SpaceKind};
 use geo2c_core::strategy::{Strategy, TieBreak};
+use geo2c_dht::churn::churn_experiment;
+use geo2c_dht::placement::PlacementPolicy;
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
+use geo2c_serve::{ServeConfig, ServeEngine, SessionLife};
 use geo2c_util::parallel::parallel_map;
 use geo2c_util::rng::{StreamSeeder, TabulationHash, TabulationLanes, Xoshiro256pp};
+use geo2c_util::stats::RunningStats;
 use rand::Rng as _;
 
 /// Spec ids of the experiments `run_tables` drives, in suite order —
 /// also the basenames of the committed files under `results/`.
-pub const SUITE_IDS: [&str; 6] = [
+pub const SUITE_IDS: [&str; 8] = [
     "table1",
     "table2",
     "table3",
     "dimension",
     "ring_chart",
     "tabulation",
+    "serving",
+    "churn",
 ];
 
 /// A named parameter set for the table suite.
@@ -61,6 +67,14 @@ pub struct Scale {
     pub tab_exp: u32,
     /// Trials per tabulation-comparison cell.
     pub tab_trials: usize,
+    /// `n = 2^k` exponent for the online-serving steady state.
+    pub serve_exp: u32,
+    /// Trials per serving scenario.
+    pub serve_trials: usize,
+    /// `n = 2^k` exponent for the DHT churn experiment.
+    pub churn_exp: u32,
+    /// Trials per churn cell.
+    pub churn_trials: usize,
 }
 
 /// CI / smoke-test scale: regenerates in seconds, even unoptimized.
@@ -76,6 +90,10 @@ pub const QUICK: Scale = Scale {
     chart_trials: 10,
     tab_exp: 9,
     tab_trials: 25,
+    serve_exp: 8,
+    serve_trials: 6,
+    churn_exp: 8,
+    churn_trials: 5,
 };
 
 /// The committed-expectation scale behind `EXPERIMENTS.md` (~1.5
@@ -105,6 +123,14 @@ pub const REFERENCE: Scale = Scale {
     // 2^10 servers × 200 trials answers it for pennies of CPU.
     tab_exp: 10,
     tab_trials: 200,
+    // The serving steady state churns 16n sessions through n servers per
+    // trial; 2^10 servers × 25 trials per scenario keeps it well under
+    // the table sweeps' cost while the shed-rate columns stay stable to
+    // a fraction of a percent.
+    serve_exp: 10,
+    serve_trials: 25,
+    churn_exp: 10,
+    churn_trials: 20,
 };
 
 /// The paper's own scale (1000 trials, `n` up to `2^24` / `2^20`).
@@ -121,6 +147,10 @@ pub const FULL: Scale = Scale {
     chart_trials: 200,
     tab_exp: 12,
     tab_trials: 1000,
+    serve_exp: 13,
+    serve_trials: 100,
+    churn_exp: 12,
+    churn_trials: 100,
 };
 
 impl Scale {
@@ -482,6 +512,162 @@ pub fn tabulation(n: usize, config: &SweepConfig) -> ExperimentResult {
     result
 }
 
+/// The online-serving scenarios, in cell order: a probe-count sweep at
+/// unbounded capacity (the serving analogue of Table 1's `d` columns),
+/// then an admission-control sweep at `d = 2` as the per-server capacity
+/// tightens toward the steady-state mean load of 4.
+pub const SERVING_SCENARIOS: [(usize, Option<u32>); 7] = [
+    (1, None),
+    (2, None),
+    (3, None),
+    (4, None),
+    (2, Some(5)),
+    (2, Some(6)),
+    (2, Some(8)),
+];
+
+/// The online-serving steady state (`geo2c-serve`): sessions arrive on
+/// random ring arcs, route to the least-loaded of `d` probed owners,
+/// live an exponential number of arrivals (mean `4n`, so the stationary
+/// mean load is 4 sessions per server), and depart. Capacity-bounded
+/// scenarios shed arrivals whose destination is full. Each cell reports
+/// the end-state load profile after `16n` events — four mean lifetimes,
+/// comfortably past mixing — as exact scalar metrics (mean of max, p99,
+/// mean load, shed percentage over the trials) plus the aggregated
+/// per-server load distribution across all trials.
+#[must_use]
+pub fn serving(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let mean_life = 4.0 * n as f64;
+    let horizon = 16 * n as u64;
+    let spec = ExperimentSpec::new(
+        "serving",
+        "Online serving: steady-state load and shed rate under arrivals and departures",
+    )
+    .paper_ref("§1.1 (online placement)")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("space", Json::str("ring"))
+    .param("servers", Json::from_usize(n))
+    .param("events", Json::from_u64(horizon))
+    .param("mean_life", Json::num(mean_life))
+    .param("tie_break", Json::str("random"));
+    let mut result = ExperimentResult::new(spec);
+    for (d, capacity) in SERVING_SCENARIOS {
+        let cap_label = match capacity {
+            Some(cap) => cap.to_string(),
+            None => "unbounded".to_string(),
+        };
+        let seeder = StreamSeeder::new(config.seed).child(&format!("serving/d{d}/cap{cap_label}"));
+        let rows: Vec<(f64, f64, f64, f64, Vec<u32>)> =
+            parallel_map(config.trials, config.threads, |trial| {
+                let mut rng = seeder.stream(trial as u64);
+                let space = RingSpace::random(n, &mut rng);
+                let cfg = ServeConfig {
+                    strategy: Strategy::d_choice(d),
+                    capacity,
+                    life: SessionLife::Exponential { mean: mean_life },
+                };
+                let mut engine = ServeEngine::new(space, cfg, rng.gen::<u64>());
+                engine.run(horizon);
+                let stats = engine.load_stats();
+                (
+                    f64::from(stats.max),
+                    f64::from(stats.p99),
+                    stats.mean,
+                    100.0 * engine.shed_rate(),
+                    engine.live_loads().collect(),
+                )
+            });
+        let mut max = RunningStats::new();
+        let mut p99 = RunningStats::new();
+        let mut mean = RunningStats::new();
+        let mut shed = RunningStats::new();
+        let mut distribution = geo2c_util::hist::Counter::new();
+        for (m, p, avg, s, loads) in rows {
+            max.push(m);
+            p99.push(p);
+            mean.push(avg);
+            shed.push(s);
+            for load in loads {
+                distribution.add(u64::from(load));
+            }
+        }
+        result.push(
+            Cell::new()
+                .coord("d", Json::from_usize(d))
+                .coord("capacity", Json::str(&cap_label))
+                .metric("max_load", Json::num(max.mean()))
+                .metric("p99_load", Json::num(p99.mean()))
+                .metric("mean_load", Json::num(mean.mean()))
+                .metric("shed_pct", Json::num(shed.mean()))
+                .dist(distribution),
+        );
+        progress(&format!("serving: d = {d}, capacity = {cap_label} done"));
+    }
+    result
+}
+
+/// The DHT churn experiment (previously the stdout-only `churn` binary,
+/// folded into the gated suite): place `16n` items on an `n`-node Chord
+/// ring under each scheme, fail a fraction of the nodes, re-place the
+/// orphans under the same scheme, and report the before/after maximum
+/// load plus the fraction of items that moved. Metric-only cells,
+/// compared exactly by `--check`.
+#[must_use]
+pub fn churn(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let m = (16 * n) as u64;
+    let seeder = StreamSeeder::new(config.seed).child("churn");
+    let spec = ExperimentSpec::new(
+        "churn",
+        "Churn: node failures and re-placement (items = 16n)",
+    )
+    .paper_ref("conclusion (reliability)")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("nodes", Json::from_usize(n))
+    .param("items", Json::from_u64(m));
+    let mut result = ExperimentResult::new(spec);
+    for (name, policy, v) in [
+        ("consistent", PlacementPolicy::Consistent, 1usize),
+        (
+            "virtual(log n)",
+            PlacementPolicy::Consistent,
+            (n as f64).log2().ceil() as usize,
+        ),
+        ("2-choice", PlacementPolicy::DChoice { d: 2 }, 1),
+    ] {
+        for &fail in &[0.1f64, 0.3, 0.5] {
+            let rows: Vec<(f64, f64, f64)> = parallel_map(config.trials, config.threads, |trial| {
+                let mut rng = seeder.child(&format!("{name}/{fail}")).stream(trial as u64);
+                let report = churn_experiment(n, v, policy, m, fail, &mut rng);
+                (
+                    f64::from(report.max_before),
+                    f64::from(report.max_after),
+                    report.moved_items as f64 / m as f64,
+                )
+            });
+            let mut before = RunningStats::new();
+            let mut after = RunningStats::new();
+            let mut moved = RunningStats::new();
+            for (b, a, mv) in rows {
+                before.push(b);
+                after.push(a);
+                moved.push(mv);
+            }
+            result.push(
+                Cell::new()
+                    .coord("scheme", Json::str(name))
+                    .coord("fail_pct", Json::num(fail * 100.0))
+                    .metric("max_before", Json::num(before.mean()))
+                    .metric("max_after", Json::num(after.mean()))
+                    .metric("moved_pct", Json::num(100.0 * moved.mean())),
+            );
+        }
+        progress(&format!("churn: {name} done"));
+    }
+    result
+}
+
 /// Renders `EXPERIMENTS.md` from the reference result set.
 ///
 /// The output is a pure function of the results (no timestamps, no git
@@ -489,7 +675,7 @@ pub fn tabulation(n: usize, config: &SweepConfig) -> ExperimentResult {
 /// committed seeds as long as the algorithms are unchanged.
 #[must_use]
 pub fn experiments_markdown(set: &geo2c_report::ResultSet) -> String {
-    use geo2c_report::markdown::render_markdown_pivot;
+    use geo2c_report::markdown::{render_markdown, render_markdown_pivot};
     use std::fmt::Write as _;
 
     let mut out = String::new();
@@ -522,7 +708,11 @@ of CPU) and writes `results/full/`.\n\n",
     );
     out.push_str(
         "Each cell shows the distribution of the **maximum load** over the trials, \
-in the paper's `value: percent` format, with the distribution mean beneath.\n\n",
+in the paper's `value: percent` format, with the distribution mean beneath. \
+The serving and churn tables at the end instead report scalar metric columns \
+(means over the trials, compared *exactly* by `--check` — they are \
+deterministic in the seed); the serving distribution column aggregates the \
+end-state per-server loads across all trials.\n\n",
     );
 
     let pivots: [(&str, &str, &str); 6] = [
@@ -536,6 +726,14 @@ in the paper's `value: percent` format, with the distribution mean beneath.\n\n"
     for (id, row_key, col_key) in pivots {
         if let Some(result) = set.experiment(id) {
             out.push_str(&render_markdown_pivot(result, row_key, col_key));
+            out.push('\n');
+        }
+    }
+    // The metric-bearing experiments render flat (one row per cell,
+    // scalar columns + the aggregated load distribution where present).
+    for id in ["serving", "churn"] {
+        if let Some(result) = set.experiment(id) {
+            out.push_str(&render_markdown(result));
             out.push('\n');
         }
     }
@@ -641,6 +839,10 @@ mod tests {
             assert!(pair[0].ring_exps.last() <= pair[1].ring_exps.last());
             assert!(pair[0].torus_exps.last() <= pair[1].torus_exps.last());
             assert!(pair[0].dim_exp <= pair[1].dim_exp);
+            assert!(pair[0].serve_exp <= pair[1].serve_exp);
+            assert!(pair[0].serve_trials <= pair[1].serve_trials);
+            assert!(pair[0].churn_exp <= pair[1].churn_exp);
+            assert!(pair[0].churn_trials <= pair[1].churn_trials);
         }
         // The K-torus sweep runs at paper-scale n from the reference
         // scale up (the K-d owner port made this a ~0.5 s/trial sweep).
@@ -762,6 +964,65 @@ mod tests {
     }
 
     #[test]
+    fn serving_covers_every_scenario_with_conserving_cells() {
+        let n = 32;
+        let config = tiny_config();
+        let result = serving(n, &config);
+        assert_eq!(result.spec.id, "serving");
+        assert_eq!(result.cells.len(), SERVING_SCENARIOS.len());
+        for (cell, (d, capacity)) in result.cells.iter().zip(SERVING_SCENARIOS) {
+            assert!(cell
+                .coords
+                .iter()
+                .any(|(k, v)| k == "d" && v.as_u64() == Some(d as u64)));
+            // The distribution aggregates every server of every trial.
+            let dist = cell.distribution.as_ref().expect("load distribution");
+            assert_eq!(dist.total(), (config.trials * n) as u64);
+            let metric = |key: &str| {
+                cell.metrics
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.as_f64())
+                    .unwrap_or_else(|| panic!("missing metric {key}"))
+            };
+            assert!(metric("max_load") >= metric("p99_load"));
+            assert!(metric("p99_load") >= metric("mean_load"));
+            match capacity {
+                Some(cap) => {
+                    assert!(metric("max_load") <= f64::from(cap));
+                    assert!(metric("shed_pct") >= 0.0);
+                }
+                None => assert_eq!(metric("shed_pct"), 0.0),
+            }
+        }
+        // Deterministic in the seed: the metrics are compared exactly.
+        assert_eq!(serving(n, &config), result);
+    }
+
+    #[test]
+    fn churn_matches_the_former_binary_cell_grid() {
+        let config = tiny_config();
+        let result = churn(16, &config);
+        assert_eq!(result.spec.id, "churn");
+        // 3 schemes × 3 failure fractions, metric-only cells.
+        assert_eq!(result.cells.len(), 9);
+        for cell in &result.cells {
+            assert!(cell.distribution.is_none());
+            for key in ["max_before", "max_after", "moved_pct"] {
+                assert!(
+                    cell.metrics.iter().any(|(k, _)| k == key),
+                    "missing metric {key}"
+                );
+            }
+        }
+        assert_eq!(
+            result.cells[0].label(),
+            "scheme=\"consistent\", fail_pct=10"
+        );
+        assert_eq!(churn(16, &config), result);
+    }
+
+    #[test]
     fn experiments_markdown_has_all_sections() {
         use geo2c_report::{Provenance, ResultSet};
         let config = tiny_config();
@@ -777,6 +1038,8 @@ mod tests {
         set.push(dimension(32, &config));
         set.push(ring_chart(32, &config));
         set.push(tabulation(32, &config));
+        set.push(serving(32, &config));
+        set.push(churn(16, &config));
         let md = experiments_markdown(&set);
         assert!(md.starts_with("# EXPERIMENTS"));
         for heading in [
@@ -786,6 +1049,8 @@ mod tests {
             "## Higher dimensions",
             "## Diminishing returns",
             "## Weak hashing",
+            "## Online serving",
+            "## Churn",
             "## RNG stream contract v2",
             "## Performance methodology",
         ] {

@@ -24,9 +24,11 @@ use geo2c_core::space::{KdTorusSpace, RingSpace, TorusSpace, UniformSpace};
 use geo2c_core::strategy::{Strategy, TieBreak};
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_ring::RingPoint;
+use geo2c_serve::{ServeConfig, ServeEngine, SessionLife};
 use geo2c_torus::kd::{KdPoint, KdSites};
 use geo2c_torus::TorusPoint;
 use geo2c_util::rng::Xoshiro256pp;
+use rand::RngCore as _;
 use std::time::{Duration, Instant};
 
 /// Target measurement window per repeat (mirrors the criterion shim).
@@ -105,6 +107,10 @@ enum BenchKind {
     TrialKdLeft { d: usize },
     /// One full `run_trial` on uniform bins (the RNG + load-vector floor).
     TrialUniform { d: usize },
+    /// One serving run (`geo2c-serve`): 4n arrival events with
+    /// exponential departures (mean life n) on a fixed ring space —
+    /// the heap-draining, admission-controlled variant of `TrialRing`.
+    TrialServe { d: usize },
 }
 
 /// Owner-lookup workload on the `K`-torus (monomorphized per dimension).
@@ -222,6 +228,21 @@ impl BenchDef {
                     run_trial(&space, &strategy, n, &mut rng).max_load
                 })
             }
+            BenchKind::TrialServe { d } => {
+                let space = RingSpace::random(n, &mut rng);
+                let config = ServeConfig {
+                    strategy: Strategy::d_choice(d),
+                    capacity: None,
+                    life: SessionLife::Exponential { mean: n as f64 },
+                };
+                let events = self.elems;
+                let root = rng.next_u64();
+                time_with(window, repeats, || {
+                    let mut engine = ServeEngine::new(space.clone(), config, root);
+                    engine.run(events);
+                    engine.peak_load()
+                })
+            }
         }
     }
 }
@@ -245,6 +266,8 @@ pub struct BenchScale {
     pub trial_torus_exp: u32,
     /// End-to-end 3-torus trial size exponent.
     pub trial_kd_exp: u32,
+    /// Serving trial size exponent (4n events per iteration).
+    pub trial_serve_exp: u32,
     /// Owner lookups per iteration for the substrate benches.
     pub queries: u64,
 }
@@ -258,6 +281,7 @@ pub const QUICK: BenchScale = BenchScale {
     trial_ring_exp: 12,
     trial_torus_exp: 10,
     trial_kd_exp: 9,
+    trial_serve_exp: 10,
     queries: 4096,
 };
 
@@ -271,6 +295,7 @@ pub const FULL: BenchScale = BenchScale {
     trial_ring_exp: 20,
     trial_torus_exp: 16,
     trial_kd_exp: 13,
+    trial_serve_exp: 14,
     queries: 4096,
 };
 
@@ -347,6 +372,13 @@ impl BenchScale {
                 exp: self.trial_ring_exp,
                 elems: 1u64 << self.trial_ring_exp,
                 kind: BenchKind::TrialUniform { d: 2 },
+            },
+            BenchDef {
+                group: "trial",
+                name: "serving_d2_random",
+                exp: self.trial_serve_exp,
+                elems: 4u64 << self.trial_serve_exp,
+                kind: BenchKind::TrialServe { d: 2 },
             },
         ]
     }
@@ -491,6 +523,7 @@ mod tests {
         trial_ring_exp: 4,
         trial_torus_exp: 3,
         trial_kd_exp: 3,
+        trial_serve_exp: 3,
         queries: 16,
     };
 
@@ -531,6 +564,7 @@ mod tests {
         assert!(ids.contains(&"substrate/kd4_owner/2^16".to_string()));
         assert!(ids.contains(&"trial/kd3_d2_random/2^13".to_string()));
         assert!(ids.contains(&"trial/kd3_d2_left/2^13".to_string()));
+        assert!(ids.contains(&"trial/serving_d2_random/2^14".to_string()));
         assert_eq!(BenchScale::by_name("quick"), Some(&QUICK));
         assert_eq!(BenchScale::by_name("full"), Some(&FULL));
         assert_eq!(BenchScale::by_name("nope"), None);

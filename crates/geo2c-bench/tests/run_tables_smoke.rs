@@ -31,11 +31,28 @@ fn quick_run_produces_parseable_result_sets_and_check_works() {
         assert!(!experiment.cells.is_empty(), "{id} has no cells");
         assert_eq!(experiment.spec.seed, 0);
         assert!(experiment.spec.trials > 0);
-        // Table cells carry max-load distributions with one entry per trial.
-        if id != "dimension" {
-            let cell = &experiment.cells[0];
-            let dist = cell.distribution.as_ref().expect("distribution");
-            assert_eq!(dist.total(), experiment.spec.trials as u64);
+        // Table cells carry max-load distributions with one entry per
+        // trial; serving aggregates per-server loads (n per trial) and
+        // churn is metric-only.
+        let cell = &experiment.cells[0];
+        match id {
+            "dimension" => {}
+            "churn" => assert!(cell.distribution.is_none(), "churn cells are metric-only"),
+            "serving" => {
+                let n = experiment
+                    .spec
+                    .params
+                    .iter()
+                    .find(|(k, _)| k == "servers")
+                    .and_then(|(_, v)| v.as_u64())
+                    .expect("servers param");
+                let dist = cell.distribution.as_ref().expect("distribution");
+                assert_eq!(dist.total(), experiment.spec.trials as u64 * n);
+            }
+            _ => {
+                let dist = cell.distribution.as_ref().expect("distribution");
+                assert_eq!(dist.total(), experiment.spec.trials as u64);
+            }
         }
     }
     // The quick scale never touches EXPERIMENTS.md (reference scale only).
@@ -48,6 +65,16 @@ fn quick_run_produces_parseable_result_sets_and_check_works() {
         "self-check failed: {}",
         String::from_utf8_lossy(&output.stderr)
     );
+
+    // A subset check via --only runs (and compares) just those members.
+    let output = run(&dir, &["--check", "--only", "serving,churn"]);
+    assert!(
+        output.status.success(),
+        "--only self-check failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("2 experiments"), "stdout: {stdout}");
 
     // Tamper with one committed distribution: the check must fail loudly.
     let victim = results_dir.join("table1.json");
@@ -100,6 +127,8 @@ fn quick_expectations_in_the_repository_match_the_current_scale() {
             "dimension" => scale.dim_trials,
             "ring_chart" => scale.chart_trials,
             "tabulation" => scale.tab_trials,
+            "serving" => scale.serve_trials,
+            "churn" => scale.churn_trials,
             _ => scale.ring_trials,
         };
         assert_eq!(spec.trials, expected_trials, "{id}: stale trials");

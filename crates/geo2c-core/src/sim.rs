@@ -139,6 +139,84 @@ fn insert_balls_lanes<S: Space, L: LaneSource>(
     }
 }
 
+/// Pre-drawn owner blocks for an *online* event stream.
+///
+/// A long-running serving process interleaves arrivals with departures,
+/// so it cannot batch a whole trial's placements up front the way
+/// [`run_trial`] does — but under RNG stream contract v2 probe draws are
+/// load-*independent*, so it can still pre-draw the owner sets of a
+/// whole block of future arrivals in one [`Space::sample_owners_lanes`]
+/// call and resolve them one event at a time as the loads evolve.
+///
+/// Blocks are aligned to multiples of the internal block size counted
+/// from event 0, so the owners of event `t` are a pure function of the
+/// lane source and `t` — never of when (or in what order) the block was
+/// materialised. That alignment is what makes replaying any prefix of
+/// the event stream byte-identical.
+///
+/// ```
+/// use geo2c_core::{sim::EventOwnerBlocks, space::UniformSpace, space::Space};
+/// use geo2c_util::rng::{EventLanes, LaneSource};
+///
+/// let space = UniformSpace::new(16);
+/// let lanes = EventLanes::new(7);
+/// let mut blocks = EventOwnerBlocks::new(2);
+/// let owners: Vec<usize> = blocks.owners(&space, &lanes, 5).to_vec();
+/// // Same draws as the event's private probe lane, by construction.
+/// let mut probe = lanes.probe(5);
+/// assert_eq!(owners[0], space.sample_owner(&mut probe));
+/// assert_eq!(owners[1], space.sample_owner(&mut probe));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventOwnerBlocks {
+    buf: Vec<usize>,
+    d: usize,
+    /// First event of the cached block (`u64::MAX` = nothing cached).
+    block_start: u64,
+}
+
+impl EventOwnerBlocks {
+    /// A block cache for `d` probes per event.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 1, "at least one probe per event");
+        Self {
+            buf: Vec::new(),
+            d,
+            block_start: u64::MAX,
+        }
+    }
+
+    /// Probes per event, as passed to [`EventOwnerBlocks::new`].
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The `d` owners probed by `event`, drawing the event's aligned
+    /// block through `space` on first touch. Identical to sampling `d`
+    /// owners from `lanes.probe(event)` directly, at block cost.
+    pub fn owners<S: Space, L: LaneSource>(
+        &mut self,
+        space: &S,
+        lanes: &L,
+        event: u64,
+    ) -> &[usize] {
+        let start = event - event % BALL_BLOCK as u64;
+        if start != self.block_start {
+            self.buf.resize(BALL_BLOCK * self.d, 0);
+            let block_lanes = lanes.block(start);
+            space.sample_owners_lanes(&block_lanes, self.d, &mut self.buf);
+            self.block_start = start;
+        }
+        let offset = (event - start) as usize * self.d;
+        &self.buf[offset..offset + self.d]
+    }
+}
+
 /// [`run_trial`] on an explicit [`LaneSource`] instead of the default
 /// SplitMix64 lanes: the entry point for alternative probe sources such
 /// as [`geo2c_util::rng::TabulationLanes`] (the Dahlgaard et al. weak-
@@ -452,6 +530,28 @@ mod tests {
                     "height {h} ({})",
                     strategy.label()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn event_owner_blocks_match_per_event_probe_draws() {
+        // Block alignment means the owners of event t are a pure
+        // function of (lanes, t) — independent of access order and of
+        // block boundaries. Pin against from-scratch per-event draws.
+        use geo2c_util::rng::EventLanes;
+        let mut rng = Xoshiro256pp::from_u64(47);
+        let space = RingSpace::random(96, &mut rng);
+        let lanes = EventLanes::new(1234);
+        for d in [1usize, 2, 3] {
+            let mut blocks = EventOwnerBlocks::new(d);
+            assert_eq!(blocks.d(), d);
+            // Out-of-order access, block revisits, boundary straddles.
+            for event in [0u64, 5, 63, 64, 65, 3, 200, 64, 127, 128] {
+                let got = blocks.owners(&space, &lanes, event).to_vec();
+                let mut probe = lanes.probe(event);
+                let want: Vec<usize> = (0..d).map(|_| space.sample_owner(&mut probe)).collect();
+                assert_eq!(got, want, "d={d} event={event}");
             }
         }
     }

@@ -19,10 +19,11 @@
 //! orphaned items re-balances, at the same O(moved · lookup) cost.
 
 use crate::chord::ChordRing;
-use crate::id::hash_with_salt;
-use crate::placement::PlacementPolicy;
+use crate::id::NodeId;
+use crate::placement::{place_key, PlacementPolicy};
 use geo2c_util::rng::Xoshiro256pp;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
 /// Outcome of one churn experiment.
 #[derive(Debug, Clone)]
@@ -62,6 +63,35 @@ pub fn apply_churn(ring: &ChordRing, failed: &[bool]) -> (ChordRing, Vec<Option<
     (ChordRing::from_pairs(pairs, next as usize), remap)
 }
 
+/// Builds the ring after `joining` new physical nodes arrive, each with
+/// `virtual_servers` fresh random ring positions. Existing virtual nodes
+/// keep their ids and physical numbering; the joiners take physical ids
+/// `old_n..old_n + joining`. The Chord minimal-disruption property
+/// follows: a key's owner either stays put or moves to a *joiner* (a new
+/// virtual node can only steal the id-space arc it lands in).
+///
+/// # Panics
+/// Panics if `virtual_servers == 0` (a joiner must own ring positions).
+#[must_use]
+pub fn apply_join<R: Rng + ?Sized>(
+    ring: &ChordRing,
+    joining: usize,
+    virtual_servers: usize,
+    rng: &mut R,
+) -> ChordRing {
+    assert!(virtual_servers >= 1, "a joiner needs ring positions");
+    let old_n = ring.num_physical();
+    let mut pairs: Vec<(NodeId, u32)> = (0..ring.num_virtual())
+        .map(|v| (ring.id(v), ring.physical_of(v) as u32))
+        .collect();
+    for p in 0..joining {
+        for _ in 0..virtual_servers {
+            pairs.push((NodeId(rng.gen()), (old_n + p) as u32));
+        }
+    }
+    ChordRing::from_pairs(pairs, old_n + joining)
+}
+
 /// Runs one churn experiment: place `m` items under `policy`, fail
 /// `fail_fraction` of the physical nodes uniformly at random, re-place
 /// every *orphaned* item under the same policy on the surviving ring
@@ -77,26 +107,15 @@ pub fn churn_experiment(
     rng: &mut Xoshiro256pp,
 ) -> ChurnReport {
     let ring = ChordRing::with_virtual_servers(n, virtual_servers, rng);
-    let d = match policy {
-        PlacementPolicy::Consistent => 1,
-        PlacementPolicy::DChoice { d } => d.max(1),
-    };
+    let d = policy.d();
 
     // Initial sequential placement; remember each item's physical home.
     let mut loads = vec![0u32; n];
     let mut home: Vec<u32> = Vec::with_capacity(m as usize);
     for k in 0..m {
-        let mut best = usize::MAX;
-        let mut best_load = u32::MAX;
-        for j in 0..d {
-            let owner = ring.owner_of(hash_with_salt(k, j as u64));
-            if loads[owner] < best_load {
-                best_load = loads[owner];
-                best = owner;
-            }
-        }
-        loads[best] += 1;
-        home.push(best as u32);
+        let (owner, _) = place_key(&ring, d, k, &loads);
+        loads[owner] += 1;
+        home.push(owner as u32);
     }
     let max_before = loads.iter().copied().max().unwrap_or(0);
 
@@ -127,16 +146,8 @@ pub fn churn_experiment(
             continue;
         }
         moved += 1;
-        let mut best = usize::MAX;
-        let mut best_load = u32::MAX;
-        for j in 0..d {
-            let owner = new_ring.owner_of(hash_with_salt(k, j as u64));
-            if new_loads[owner] < best_load {
-                best_load = new_loads[owner];
-                best = owner;
-            }
-        }
-        new_loads[best] += 1;
+        let (owner, _) = place_key(&new_ring, d, k, &new_loads);
+        new_loads[owner] += 1;
     }
     let max_after = new_loads.iter().copied().max().unwrap_or(0);
 
@@ -243,6 +254,79 @@ mod tests {
         let min_possible = (2048f64 / report.survivors as f64).ceil() as u32;
         assert!(report.max_after >= min_possible);
         assert!(report.max_after >= report.max_before);
+    }
+
+    #[test]
+    fn leave_accounting_keeps_survivor_virtual_nodes() {
+        // Each survivor carries exactly its old virtual nodes (same ids)
+        // under the new physical numbering — apply_churn only removes.
+        let mut rng = Xoshiro256pp::from_u64(7);
+        let ring = ChordRing::with_virtual_servers(12, 4, &mut rng);
+        let mut failed = vec![false; 12];
+        failed[0] = true;
+        failed[5] = true;
+        failed[11] = true;
+        let (new_ring, remap) = apply_churn(&ring, &failed);
+        let mut old_ids: Vec<Vec<crate::id::NodeId>> = vec![Vec::new(); 12];
+        for v in 0..ring.num_virtual() {
+            old_ids[ring.physical_of(v)].push(ring.id(v));
+        }
+        let mut new_ids: Vec<Vec<crate::id::NodeId>> = vec![Vec::new(); 9];
+        for v in 0..new_ring.num_virtual() {
+            new_ids[new_ring.physical_of(v)].push(new_ring.id(v));
+        }
+        for old in 0..12 {
+            match remap[old] {
+                Some(new_phys) => {
+                    let mut a = old_ids[old].clone();
+                    let mut b = new_ids[new_phys as usize].clone();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "survivor {old} kept its ring positions");
+                }
+                None => assert!(failed[old]),
+            }
+        }
+    }
+
+    #[test]
+    fn join_accounting_adds_only_the_joiners() {
+        let mut rng = Xoshiro256pp::from_u64(8);
+        let ring = ChordRing::with_virtual_servers(10, 3, &mut rng);
+        let joined = apply_join(&ring, 4, 3, &mut rng);
+        assert_eq!(joined.num_physical(), 14);
+        assert_eq!(joined.num_virtual(), 30 + 12);
+        // Old virtual nodes survive verbatim under their old numbering.
+        let mut old_pairs: Vec<(crate::id::NodeId, usize)> = (0..ring.num_virtual())
+            .map(|v| (ring.id(v), ring.physical_of(v)))
+            .collect();
+        let mut kept: Vec<(crate::id::NodeId, usize)> = (0..joined.num_virtual())
+            .map(|v| (joined.id(v), joined.physical_of(v)))
+            .filter(|&(_, p)| p < 10)
+            .collect();
+        old_pairs.sort_unstable();
+        kept.sort_unstable();
+        assert_eq!(old_pairs, kept);
+    }
+
+    #[test]
+    fn join_steals_keys_only_for_joiners() {
+        // Minimal disruption on join: a key's owner stays put unless a
+        // joiner's virtual node landed in its arc.
+        let mut rng = Xoshiro256pp::from_u64(9);
+        let ring = ChordRing::with_virtual_servers(16, 2, &mut rng);
+        let joined = apply_join(&ring, 3, 2, &mut rng);
+        let mut stolen = 0u32;
+        for _ in 0..500 {
+            let key = crate::id::NodeId(rng.gen::<u64>());
+            let before = ring.owner_of(key);
+            let after = joined.owner_of(key);
+            if after != before {
+                assert!(after >= 16, "key moved to old node {after}");
+                stolen += 1;
+            }
+        }
+        assert!(stolen > 0, "3 joiners x 2 arcs should steal something");
     }
 
     #[test]

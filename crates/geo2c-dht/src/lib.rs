@@ -50,5 +50,6 @@ pub mod placement;
 pub mod replication;
 
 pub use chord::ChordRing;
+pub use churn::{apply_churn, apply_join, churn_experiment, ChurnReport};
 pub use id::{hash_with_salt, key_id, NodeId};
-pub use placement::{LoadMetrics, LookupMetrics, PlacementPolicy, PlacementReport};
+pub use placement::{place_key, LoadMetrics, LookupMetrics, PlacementPolicy, PlacementReport};

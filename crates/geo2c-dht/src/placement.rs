@@ -49,6 +49,41 @@ impl PlacementPolicy {
             PlacementPolicy::DChoice { d } => format!("{d}-choice"),
         }
     }
+
+    /// Number of hash locations probed per item (`≥ 1`).
+    #[must_use]
+    pub fn d(&self) -> usize {
+        match self {
+            PlacementPolicy::Consistent => 1,
+            PlacementPolicy::DChoice { d } => (*d).max(1),
+        }
+    }
+}
+
+/// Routes one item: probes `hash(key, j)` for `j ∈ 0..d` and picks the
+/// least-loaded physical owner, first probe winning ties (so the primary
+/// location wins when loads are level and a `d = 1` probe is exactly
+/// consistent hashing). Returns `(owner, winning probe index)`.
+///
+/// This is the one placement loop behind [`place_items` → `evaluate`],
+/// `churn::churn_experiment`'s initial and re-placement passes, and the
+/// `run_tables` churn spec — extracted so the DHT application and the
+/// serving experiments share a single routing definition.
+#[must_use]
+pub fn place_key(ring: &ChordRing, d: usize, key: u64, loads: &[u32]) -> (usize, usize) {
+    assert!(d >= 1, "at least one probe per item");
+    let mut best_owner = usize::MAX;
+    let mut best_load = u32::MAX;
+    let mut best_j = 0usize;
+    for j in 0..d {
+        let owner = ring.owner_of(hash_with_salt(key, j as u64));
+        if loads[owner] < best_load {
+            best_load = loads[owner];
+            best_owner = owner;
+            best_j = j;
+        }
+    }
+    (best_owner, best_j)
 }
 
 /// Load-balance statistics over *physical* servers.
@@ -111,24 +146,11 @@ fn place_items(ring: &ChordRing, policy: PlacementPolicy, m: u64) -> (Vec<u32>, 
     let n = ring.num_physical();
     let mut loads = vec![0u32; n];
     let mut redirected = vec![false; m as usize];
-    let d = match policy {
-        PlacementPolicy::Consistent => 1,
-        PlacementPolicy::DChoice { d } => d.max(1),
-    };
+    let d = policy.d();
     for k in 0..m {
-        let mut best_owner = usize::MAX;
-        let mut best_load = u32::MAX;
-        let mut best_j = 0usize;
-        for j in 0..d {
-            let owner = ring.owner_of(hash_with_salt(k, j as u64));
-            if loads[owner] < best_load {
-                best_load = loads[owner];
-                best_owner = owner;
-                best_j = j;
-            }
-        }
-        loads[best_owner] += 1;
-        redirected[k as usize] = best_j != 0;
+        let (owner, j) = place_key(ring, d, k, &loads);
+        loads[owner] += 1;
+        redirected[k as usize] = j != 0;
     }
     (loads, redirected)
 }

@@ -1,0 +1,130 @@
+//! Property tests for churn: ownership stays a partition of the key
+//! space, and reconfiguration is minimally disruptive in Chord's sense.
+//!
+//! "Partition" here is the consistent-hashing invariant: every key has
+//! exactly one owner (its clockwise successor's physical node), the
+//! per-node ownership fractions sum to the whole ring, and churn can only
+//! move a key's owner in the allowed direction — on a *leave*, a key
+//! moves only if its old owner departed; on a *join*, a key moves only
+//! onto a joiner.
+
+use geo2c_dht::chord::ChordRing;
+use geo2c_dht::churn::{apply_churn, apply_join};
+use geo2c_dht::id::NodeId;
+use geo2c_util::rng::Xoshiro256pp;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Keys probing the arcs: fixed grid plus random draws.
+fn sample_keys(rng: &mut Xoshiro256pp, count: usize) -> Vec<NodeId> {
+    let mut keys: Vec<NodeId> = (0..32)
+        .map(|i| NodeId(i * (u64::MAX / 32) + (u64::MAX / 64)))
+        .collect();
+    keys.extend((0..count).map(|_| NodeId(rng.gen::<u64>())));
+    keys
+}
+
+fn fractions_cover_the_ring(ring: &ChordRing) {
+    let fractions = ring.ownership_fractions();
+    assert_eq!(fractions.len(), ring.num_physical());
+    let total: f64 = fractions.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "ownership fractions sum to {total}, not 1"
+    );
+    assert!(fractions.iter().all(|&f| f >= 0.0));
+}
+
+proptest! {
+    /// Leave: survivors keep exactly the keys they owned; orphaned keys
+    /// land on some survivor. Together with single-valued `owner_of`
+    /// this is the partition property under departures.
+    #[test]
+    fn ownership_partitions_the_key_space_under_leave(
+        seed in 0u64..1 << 48,
+        n in 2usize..40,
+        v in 1usize..4,
+        fail_mask in 0u64..1 << 20,
+    ) {
+        let mut rng = Xoshiro256pp::from_u64(seed ^ 0x0DD);
+        let ring = ChordRing::with_virtual_servers(n, v, &mut rng);
+        // Derive a failure set from the mask, always sparing node 0.
+        let failed: Vec<bool> =
+            (0..n).map(|i| i != 0 && (fail_mask >> (i % 20)) & 1 == 1).collect();
+        let (new_ring, remap) = apply_churn(&ring, &failed);
+        fractions_cover_the_ring(&ring);
+        fractions_cover_the_ring(&new_ring);
+        let survivors = new_ring.num_physical();
+        prop_assert_eq!(
+            survivors,
+            failed.iter().filter(|&&f| !f).count()
+        );
+        for key in sample_keys(&mut rng, 64) {
+            let before = ring.owner_of(key);
+            let after = new_ring.owner_of(key);
+            prop_assert!(after < survivors, "owner out of range");
+            match remap[before] {
+                // Old owner survived: the key must not move.
+                Some(new_phys) => prop_assert_eq!(after as u32, new_phys),
+                // Old owner failed: any survivor may inherit the arc.
+                None => prop_assert!(failed[before]),
+            }
+        }
+    }
+
+    /// Join: a key either keeps its owner (same physical id — old nodes
+    /// are numbered first) or moves onto one of the joiners.
+    #[test]
+    fn ownership_partitions_the_key_space_under_join(
+        seed in 0u64..1 << 48,
+        n in 1usize..32,
+        v in 1usize..4,
+        joining in 1usize..6,
+    ) {
+        let mut rng = Xoshiro256pp::from_u64(seed ^ 0x101);
+        let ring = ChordRing::with_virtual_servers(n, v, &mut rng);
+        let joined = apply_join(&ring, joining, v, &mut rng);
+        fractions_cover_the_ring(&joined);
+        prop_assert_eq!(joined.num_physical(), n + joining);
+        for key in sample_keys(&mut rng, 64) {
+            let before = ring.owner_of(key);
+            let after = joined.owner_of(key);
+            prop_assert!(
+                after == before || after >= n,
+                "key moved between old nodes: {} -> {}", before, after
+            );
+        }
+    }
+
+    /// Leave-then-join round trips keep the partition well formed at
+    /// every stage (the composition the serving scenario exercises).
+    #[test]
+    fn repeated_churn_preserves_the_partition(
+        seed in 0u64..1 << 48,
+        n in 2usize..24,
+        v in 1usize..3,
+        rounds in 1usize..4,
+    ) {
+        let mut rng = Xoshiro256pp::from_u64(seed ^ 0x5EA);
+        let mut ring = ChordRing::with_virtual_servers(n, v, &mut rng);
+        for _ in 0..rounds {
+            let cur = ring.num_physical();
+            // Fail every third node except node 0, then add two.
+            let failed: Vec<bool> = (0..cur).map(|i| i != 0 && i % 3 == 0).collect();
+            let (after_leave, _) = apply_churn(&ring, &failed);
+            fractions_cover_the_ring(&after_leave);
+            ring = apply_join(&after_leave, 2, v, &mut rng);
+            fractions_cover_the_ring(&ring);
+            let total_virtual: usize = ring.num_virtual();
+            prop_assert_eq!(
+                total_virtual,
+                (0..ring.num_physical())
+                    .map(|p| (0..ring.num_virtual())
+                        .filter(|&vv| ring.physical_of(vv) == p)
+                        .count())
+                    .sum::<usize>(),
+                "every virtual node belongs to exactly one physical node"
+            );
+        }
+    }
+}

@@ -268,7 +268,9 @@ pub fn render_markdown(result: &ExperimentResult) -> String {
     let (keys, has_dist) = flat_columns(result);
     let mut header = keys.clone();
     if has_dist {
-        header.push("max-load distribution".to_string());
+        // Generic label: flat tables carry max-load distributions for
+        // the paper tables but per-server load profiles for `serving`.
+        header.push("distribution".to_string());
     }
     let rows: Vec<Vec<String>> = result
         .cells
@@ -368,10 +370,7 @@ mod tests {
     fn flat_markdown_is_a_table() {
         let md = render_markdown(&sample());
         assert!(md.starts_with("## Table 1 sample"));
-        assert!(
-            md.contains("| n | d | mean | max-load distribution |"),
-            "{md}"
-        );
+        assert!(md.contains("| n | d | mean | distribution |"), "{md}");
         assert!(md.contains("`space = \"ring\"`"));
     }
 

@@ -1,0 +1,496 @@
+//! The event loop: arrivals, departures, failures, admission control.
+//!
+//! Time is measured in *arrival events*: [`ServeEngine::step`] is one
+//! arrival, and a session admitted at event `t` with lifetime `l`
+//! departs at the start of event `t + l`. Server failures are permanent
+//! ([`ServeEngine::fail_server`]): a failed server's sessions are
+//! evicted, its pending departures are lazily discarded, and its load is
+//! pinned at a sentinel so that any live probed server always wins the
+//! least-loaded comparison — an arrival is shed as unavailable only when
+//! *every* one of its probes lands on a failed server.
+
+use geo2c_core::sim::EventOwnerBlocks;
+use geo2c_core::space::Space;
+use geo2c_core::strategy::Strategy;
+use geo2c_util::rng::{EventLanes, LaneSource as _};
+use rand::RngCore as _;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Load sentinel marking a failed server: live loads are bounded far
+/// below this, so a live probe always beats a failed one.
+const FAILED_LOAD: u32 = u32::MAX;
+
+/// How long an admitted session holds a slot, in arrival events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionLife {
+    /// Every session lasts exactly this many events (must be ≥ 1).
+    Fixed(u64),
+    /// Memoryless sessions: lifetime `⌈Exp(mean)⌉` drawn on the event's
+    /// private life lane (so the draw replays with the event).
+    Exponential {
+        /// Mean lifetime in arrival events (must be positive, finite).
+        mean: f64,
+    },
+}
+
+/// Static configuration of a [`ServeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Placement strategy. Must support cross-ball batching (every
+    /// independent-probe strategy does; Vöcking's split scheme has no
+    /// lane form and is rejected at construction).
+    pub strategy: Strategy,
+    /// Admission bound: an arrival whose chosen server already carries
+    /// this many sessions is shed. `None` admits unconditionally.
+    pub capacity: Option<u32>,
+    /// Session lifetime model.
+    pub life: SessionLife,
+}
+
+/// What [`ServeEngine::step`] did with its arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// The session was admitted to this server.
+    Admitted(usize),
+    /// The least-loaded probed server was at capacity; shed.
+    ShedCapacity(usize),
+    /// Every probed server had failed; shed.
+    ShedUnavailable,
+}
+
+/// Point-in-time load statistics over the *live* servers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadStats {
+    /// Maximum live load.
+    pub max: u32,
+    /// 99th-percentile live load (max over the lowest `⌈0.99k⌉` of `k`).
+    pub p99: u32,
+    /// Mean live load.
+    pub mean: f64,
+    /// Number of live servers.
+    pub live_servers: usize,
+}
+
+/// A complete, comparable image of the engine's mutable state — the unit
+/// of the replay-prefix byte-identity contract: two engines with equal
+/// construction inputs that have processed the same event prefix (and
+/// the same failure schedule) have equal `EngineState`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineState {
+    /// Per-server loads; failed servers hold the sentinel.
+    pub loads: Vec<u32>,
+    /// Per-server failure flags.
+    pub failed: Vec<bool>,
+    /// Outstanding departures as sorted `(event, server)` pairs
+    /// (entries for failed servers linger until lazily discarded).
+    pub departures: Vec<(u64, u32)>,
+    /// `(arrivals, departed, shed, evicted)`.
+    pub counters: (u64, u64, u64, u64),
+    /// Highest load any server reached while live.
+    pub peak_load: u32,
+}
+
+/// The long-running placement engine. See the crate docs for the event
+/// model and the stream contract.
+#[derive(Debug, Clone)]
+pub struct ServeEngine<S: Space> {
+    space: S,
+    config: ServeConfig,
+    lanes: EventLanes,
+    blocks: EventOwnerBlocks,
+    loads: Vec<u32>,
+    failed: Vec<bool>,
+    /// Min-heap of `(departure event, server)`.
+    departures: BinaryHeap<Reverse<(u64, u32)>>,
+    clock: u64,
+    departed: u64,
+    shed: u64,
+    evicted: u64,
+    peak_load: u32,
+}
+
+impl<S: Space> ServeEngine<S> {
+    /// A fresh engine over `space`, keyed by the lane `root`.
+    ///
+    /// # Panics
+    /// Panics if the strategy has no lane form (split scheme), if a
+    /// fixed lifetime is zero, or if an exponential mean is not a
+    /// positive finite number.
+    #[must_use]
+    pub fn new(space: S, config: ServeConfig, root: u64) -> Self {
+        assert!(
+            config.strategy.supports_cross_ball_batching(),
+            "serving requires a lane-form strategy (not the split scheme)"
+        );
+        match config.life {
+            SessionLife::Fixed(ttl) => assert!(ttl >= 1, "zero-length sessions never occupy"),
+            SessionLife::Exponential { mean } => {
+                assert!(
+                    mean.is_finite() && mean > 0.0,
+                    "mean lifetime must be positive"
+                );
+            }
+        }
+        let n = space.num_servers();
+        Self {
+            blocks: EventOwnerBlocks::new(config.strategy.d()),
+            lanes: EventLanes::new(root),
+            loads: vec![0; n],
+            failed: vec![false; n],
+            departures: BinaryHeap::new(),
+            clock: 0,
+            departed: 0,
+            shed: 0,
+            evicted: 0,
+            peak_load: 0,
+            space,
+            config,
+        }
+    }
+
+    /// Processes one arrival event: sessions due to depart leave first,
+    /// then the arrival probes `d` owners on its private lanes and is
+    /// admitted to the least loaded — or shed by admission control.
+    pub fn step(&mut self) -> Placement {
+        let t = self.clock;
+        self.clock += 1;
+        while let Some(&Reverse((when, server))) = self.departures.peek() {
+            if when > t {
+                break;
+            }
+            self.departures.pop();
+            let server = server as usize;
+            if self.failed[server] {
+                continue; // session already evicted with its server
+            }
+            self.loads[server] -= 1;
+            self.departed += 1;
+        }
+        let owners = self.blocks.owners(&self.space, &self.lanes, t);
+        let mut tie = self.lanes.tie(t);
+        let dest =
+            self.config
+                .strategy
+                .place_from_owners(&self.space, &self.loads, owners, &mut tie);
+        if self.failed[dest] {
+            self.shed += 1;
+            return Placement::ShedUnavailable;
+        }
+        if let Some(cap) = self.config.capacity {
+            if self.loads[dest] >= cap {
+                self.shed += 1;
+                return Placement::ShedCapacity(dest);
+            }
+        }
+        self.loads[dest] += 1;
+        self.peak_load = self.peak_load.max(self.loads[dest]);
+        let life = self.sample_life(t);
+        self.departures.push(Reverse((t + life, dest as u32)));
+        Placement::Admitted(dest)
+    }
+
+    /// Runs `events` arrival events.
+    pub fn run(&mut self, events: u64) {
+        for _ in 0..events {
+            self.step();
+        }
+    }
+
+    /// Permanently fails `server`: its sessions are evicted, its load is
+    /// pinned at the sentinel, and future probes that land on it lose to
+    /// any live alternative. Idempotent.
+    pub fn fail_server(&mut self, server: usize) {
+        if self.failed[server] {
+            return;
+        }
+        self.evicted += u64::from(self.loads[server]);
+        self.loads[server] = FAILED_LOAD;
+        self.failed[server] = true;
+    }
+
+    /// The event `t`'s session lifetime, drawn on its private life lane.
+    fn sample_life(&self, t: u64) -> u64 {
+        match self.config.life {
+            SessionLife::Fixed(ttl) => ttl,
+            SessionLife::Exponential { mean } => {
+                // 53-bit uniform in (0, 1]: ln is finite, life ≥ 1.
+                let raw = self.lanes.life(t).next_u64();
+                let u = ((raw >> 11) + 1) as f64 / (1u64 << 53) as f64;
+                let life = (-mean * u.ln()).ceil();
+                if life < 1.0 {
+                    1
+                } else {
+                    life as u64
+                }
+            }
+        }
+    }
+
+    /// Arrival events processed so far.
+    #[must_use]
+    pub fn arrivals(&self) -> u64 {
+        self.clock
+    }
+
+    /// Sessions that ran to completion and departed.
+    #[must_use]
+    pub fn departed(&self) -> u64 {
+        self.departed
+    }
+
+    /// Arrivals rejected by admission control (capacity or unavailable).
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Sessions killed by server failures.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Arrivals admitted: `arrivals − shed`.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.clock - self.shed
+    }
+
+    /// Sessions currently occupying a live server:
+    /// `admitted − departed − evicted`.
+    #[must_use]
+    pub fn in_service(&self) -> u64 {
+        self.admitted() - self.departed - self.evicted
+    }
+
+    /// Fraction of arrivals shed (`0` before the first event).
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.clock == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.clock as f64
+        }
+    }
+
+    /// Highest load any server reached while live.
+    #[must_use]
+    pub fn peak_load(&self) -> u32 {
+        self.peak_load
+    }
+
+    /// Whether `server` has failed.
+    #[must_use]
+    pub fn is_failed(&self, server: usize) -> bool {
+        self.failed[server]
+    }
+
+    /// The loads of the live servers, in server order.
+    pub fn live_loads(&self) -> impl Iterator<Item = u32> + '_ {
+        self.loads
+            .iter()
+            .zip(&self.failed)
+            .filter(|&(_, &f)| !f)
+            .map(|(&l, _)| l)
+    }
+
+    /// The substrate the engine routes on.
+    #[must_use]
+    pub fn space(&self) -> &S {
+        &self.space
+    }
+
+    /// The engine's static configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Point-in-time statistics over the live loads.
+    #[must_use]
+    pub fn load_stats(&self) -> LoadStats {
+        let mut live: Vec<u32> = self.live_loads().collect();
+        live.sort_unstable();
+        let k = live.len();
+        if k == 0 {
+            return LoadStats {
+                max: 0,
+                p99: 0,
+                mean: 0.0,
+                live_servers: 0,
+            };
+        }
+        let p99_index = ((k as f64 * 0.99).ceil() as usize).max(1) - 1;
+        LoadStats {
+            max: live[k - 1],
+            p99: live[p99_index],
+            mean: live.iter().map(|&l| f64::from(l)).sum::<f64>() / k as f64,
+            live_servers: k,
+        }
+    }
+
+    /// A comparable image of the full mutable state (replay tests).
+    #[must_use]
+    pub fn state(&self) -> EngineState {
+        let mut departures: Vec<(u64, u32)> =
+            self.departures.iter().map(|&Reverse(pair)| pair).collect();
+        departures.sort_unstable();
+        EngineState {
+            loads: self.loads.clone(),
+            failed: self.failed.clone(),
+            departures,
+            counters: (self.clock, self.departed, self.shed, self.evicted),
+            peak_load: self.peak_load,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo2c_core::space::{RingSpace, UniformSpace};
+    use geo2c_util::rng::Xoshiro256pp;
+
+    fn config(capacity: Option<u32>, life: SessionLife) -> ServeConfig {
+        ServeConfig {
+            strategy: Strategy::two_choice(),
+            capacity,
+            life,
+        }
+    }
+
+    #[test]
+    fn fixed_ttl_sessions_depart_on_schedule() {
+        // Life 1: the session admitted at t departs at the start of
+        // t + 1, so at most one session is ever in service.
+        let space = UniformSpace::new(8);
+        let mut engine = ServeEngine::new(space, config(None, SessionLife::Fixed(1)), 7);
+        for _ in 0..100 {
+            engine.step();
+            assert!(engine.in_service() <= 1);
+        }
+        assert_eq!(engine.arrivals(), 100);
+        assert_eq!(engine.shed(), 0);
+        assert_eq!(engine.departed(), 99);
+        assert_eq!(engine.in_service(), 1);
+        assert_eq!(engine.load_stats().max, 1);
+    }
+
+    #[test]
+    fn zero_capacity_sheds_every_arrival() {
+        let space = UniformSpace::new(4);
+        let mut engine = ServeEngine::new(space, config(Some(0), SessionLife::Fixed(5)), 3);
+        for _ in 0..50 {
+            assert!(matches!(engine.step(), Placement::ShedCapacity(_)));
+        }
+        assert_eq!(engine.shed(), 50);
+        assert_eq!(engine.in_service(), 0);
+        assert_eq!(engine.shed_rate(), 1.0);
+        assert_eq!(engine.load_stats().max, 0);
+    }
+
+    #[test]
+    fn capacity_bounds_every_live_load() {
+        let mut rng = Xoshiro256pp::from_u64(11);
+        let space = RingSpace::random(16, &mut rng);
+        let mut engine = ServeEngine::new(space, config(Some(3), SessionLife::Fixed(1000)), 99);
+        engine.run(500);
+        assert!(engine.load_stats().max <= 3);
+        assert!(engine.shed() > 0, "16 servers x cap 3 < 500 held sessions");
+        assert_eq!(
+            engine.in_service(),
+            engine.live_loads().map(u64::from).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn all_servers_failed_sheds_as_unavailable() {
+        let space = UniformSpace::new(4);
+        let mut engine = ServeEngine::new(space, config(None, SessionLife::Fixed(9)), 1);
+        engine.run(20);
+        let held = engine.in_service();
+        assert!(held > 0);
+        for s in 0..4 {
+            engine.fail_server(s);
+        }
+        assert_eq!(engine.evicted(), held);
+        assert_eq!(engine.in_service(), 0);
+        for _ in 0..10 {
+            assert_eq!(engine.step(), Placement::ShedUnavailable);
+        }
+        assert_eq!(engine.load_stats().live_servers, 0);
+        assert_eq!(engine.load_stats().max, 0);
+    }
+
+    #[test]
+    fn live_probe_beats_failed_probe() {
+        // With d covering the whole 2-server space every arrival probes
+        // both; failing one server must route everything to the other.
+        let space = UniformSpace::new(2);
+        let cfg = ServeConfig {
+            strategy: Strategy::d_choice(8),
+            capacity: None,
+            life: SessionLife::Fixed(1_000_000),
+        };
+        let mut engine = ServeEngine::new(space, cfg, 5);
+        engine.fail_server(0);
+        for _ in 0..30 {
+            // d = 8 probes over 2 servers: P(all on server 0) = 2^-8,
+            // and this seed never rolls it.
+            assert_eq!(engine.step(), Placement::Admitted(1));
+        }
+        assert_eq!(engine.in_service(), 30);
+    }
+
+    #[test]
+    fn failing_a_server_is_idempotent_and_evicts_its_sessions() {
+        let mut rng = Xoshiro256pp::from_u64(13);
+        let space = RingSpace::random(8, &mut rng);
+        let mut engine = ServeEngine::new(space, config(None, SessionLife::Fixed(400)), 21);
+        engine.run(100);
+        let before = engine.state();
+        let loads = before.loads.clone();
+        engine.fail_server(3);
+        assert_eq!(engine.evicted(), u64::from(loads[3]));
+        engine.fail_server(3);
+        assert_eq!(engine.evicted(), u64::from(loads[3]), "idempotent");
+        assert!(engine.is_failed(3));
+        assert_eq!(
+            engine.in_service(),
+            engine.live_loads().map(u64::from).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn exponential_lifetimes_replay_with_the_event() {
+        // The life draw is keyed by (root, t): two engines with the same
+        // root agree byte-for-byte, a different root disagrees.
+        let mut rng = Xoshiro256pp::from_u64(17);
+        let space = RingSpace::random(32, &mut rng);
+        let life = SessionLife::Exponential { mean: 40.0 };
+        let mut a = ServeEngine::new(space.clone(), config(Some(6), life), 1000);
+        let mut b = ServeEngine::new(space.clone(), config(Some(6), life), 1000);
+        let mut c = ServeEngine::new(space, config(Some(6), life), 1001);
+        a.run(2000);
+        b.run(2000);
+        c.run(2000);
+        assert_eq!(a.state(), b.state());
+        assert_ne!(a.state(), c.state());
+        assert!(a.departed() > 0, "mean 40 over 2000 events must cycle");
+    }
+
+    #[test]
+    fn split_scheme_is_rejected() {
+        let result = std::panic::catch_unwind(|| {
+            let space = UniformSpace::new(4);
+            let cfg = ServeConfig {
+                strategy: Strategy::voecking(2),
+                capacity: None,
+                life: SessionLife::Fixed(1),
+            };
+            ServeEngine::new(space, cfg, 0)
+        });
+        assert!(result.is_err());
+    }
+}

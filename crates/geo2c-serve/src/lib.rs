@@ -1,0 +1,54 @@
+//! The online serving engine: the paper's process, run forever.
+//!
+//! The paper inserts `n` balls once and stops, but its own motivation
+//! (§1.1) is *online server selection*: a stream of users arrives on a
+//! geometric substrate and each is routed to the least loaded of `d`
+//! nearby servers. This crate closes that loop. A [`engine::ServeEngine`]
+//! consumes a deterministic event stream in which every step is one
+//! arrival, interleaved with the departures of previously admitted
+//! sessions (fixed-TTL or memoryless lifetimes), optional server
+//! failures, and capacity-bounded admission control that sheds an
+//! arrival when even its least-loaded probed server is full — the
+//! production `p2c` + load-shed idiom.
+//!
+//! **RNG stream contract v2 for event streams.** The engine is keyed by
+//! one `u64` root. Event `t` draws its `d` probe locations from its
+//! private probe lane, resolves load ties on its private tie lane, and
+//! samples its session lifetime on its private *life* lane
+//! ([`geo2c_util::rng::EventLanes`]). Because every lane is a pure
+//! function of `(root, t)`, the engine state after any prefix of the
+//! stream is byte-identical no matter how the run is chunked, paused, or
+//! resumed — and the engine can pre-draw probe owners for a whole block
+//! of future arrivals ([`geo2c_core::sim::EventOwnerBlocks`]) while
+//! departures interleave between the per-arrival resolutions, exactly
+//! equivalent to the one-event-at-a-time process. The
+//! `tests/steady_state.rs` property suite pins both equivalences.
+//!
+//! ```
+//! use geo2c_core::{space::RingSpace, strategy::Strategy};
+//! use geo2c_serve::engine::{ServeConfig, ServeEngine, SessionLife};
+//! use geo2c_util::rng::Xoshiro256pp;
+//!
+//! let mut rng = Xoshiro256pp::from_u64(5);
+//! let space = RingSpace::random(64, &mut rng);
+//! let config = ServeConfig {
+//!     strategy: Strategy::two_choice(),
+//!     capacity: Some(8),
+//!     life: SessionLife::Exponential { mean: 256.0 },
+//! };
+//! let mut engine = ServeEngine::new(space, config, 42);
+//! engine.run(4096);
+//! // Conservation: every arrival is live, departed, shed, or evicted.
+//! assert_eq!(
+//!     engine.in_service(),
+//!     engine.arrivals() - engine.departed() - engine.shed() - engine.evicted()
+//! );
+//! assert!(engine.load_stats().max <= 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+
+pub use engine::{EngineState, LoadStats, Placement, ServeConfig, ServeEngine, SessionLife};

@@ -293,6 +293,10 @@ pub const PROBE_TAG: u64 = 0xA076_1D64_78BD_642F;
 /// Domain-separation tag for tie-resolution lanes (contract v2).
 pub const TIE_TAG: u64 = 0xE703_7ED1_A0B4_28DB;
 
+/// Domain-separation tag for session-lifetime lanes (the serving
+/// engine's event streams; see [`EventLanes`]).
+pub const LIFE_TAG: u64 = 0x8CB9_2BA7_2F3D_8DD7;
+
 /// A source of per-ball generator lanes: the abstraction the insertion
 /// engine draws through under stream contract v2.
 ///
@@ -380,6 +384,83 @@ impl LaneSource for BallLanes {
         Self {
             base: self.base.wrapping_add(first_ball),
             ..*self
+        }
+    }
+}
+
+/// Per-event lanes for open-ended serving streams: the [`BallLanes`]
+/// probe/tie pair plus a third, session-*lifetime* lane per event under
+/// [`LIFE_TAG`].
+///
+/// Event `e` of a stream rooted at `root` draws its probe coordinates
+/// from [`SplitMix64::mixed`]`(root, e, PROBE_TAG)`, resolves routing
+/// ties on the [`TIE_TAG`] lane, and draws its session lifetime on the
+/// [`LIFE_TAG`] lane — three mutually decorrelated streams per event,
+/// none shared with any other event. That is what makes serving runs
+/// *prefix-replayable*: the state after the first `p` events is a pure
+/// function of `(root, p)`, no matter how many events follow or how the
+/// engine batches its probe draws.
+///
+/// ```
+/// use geo2c_util::rng::{EventLanes, LaneSource, SplitMix64, LIFE_TAG, PROBE_TAG};
+/// use rand::RngCore;
+///
+/// let lanes = EventLanes::new(7);
+/// // Probe/tie lanes are exactly the BallLanes keying …
+/// assert_eq!(
+///     lanes.probe(3).next_u64(),
+///     SplitMix64::mixed(7, 3, PROBE_TAG).next_u64(),
+/// );
+/// // … and the lifetime lane is the same keying under LIFE_TAG.
+/// assert_eq!(
+///     lanes.life(3).next_u64(),
+///     SplitMix64::mixed(7, 3, LIFE_TAG).next_u64(),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLanes {
+    balls: BallLanes,
+    life_root: u64,
+    base: u64,
+}
+
+impl EventLanes {
+    /// Lanes keyed from `root` (one draw of the trial's stream).
+    #[must_use]
+    pub fn new(root: u64) -> Self {
+        Self {
+            balls: BallLanes::new(root),
+            life_root: mix(root ^ LIFE_TAG),
+            base: 0,
+        }
+    }
+
+    /// The session-lifetime lane for event `event`.
+    #[inline]
+    #[must_use]
+    pub fn life(&self, event: u64) -> SplitMix64 {
+        BallLanes::lane(self.life_root, self.base.wrapping_add(event))
+    }
+}
+
+impl LaneSource for EventLanes {
+    type Lane = SplitMix64;
+
+    #[inline]
+    fn probe(&self, event: u64) -> SplitMix64 {
+        self.balls.probe(event)
+    }
+
+    #[inline]
+    fn tie(&self, event: u64) -> SplitMix64 {
+        self.balls.tie(event)
+    }
+
+    fn block(&self, first_event: u64) -> Self {
+        Self {
+            balls: self.balls.block(first_event),
+            life_root: self.life_root,
+            base: self.base.wrapping_add(first_event),
         }
     }
 }
@@ -695,6 +776,28 @@ mod tests {
         let block = lanes.block(64).block(3);
         assert_eq!(block.probe(2).next(), lanes.probe(69).next());
         assert_eq!(block.tie(0).next(), lanes.tie(67).next());
+    }
+
+    #[test]
+    fn event_lanes_extend_ball_lanes_with_a_lifetime_lane() {
+        let lanes = EventLanes::new(321);
+        let balls = BallLanes::new(321);
+        for event in [0u64, 1, 63, 64, 9999] {
+            assert_eq!(lanes.probe(event).next(), balls.probe(event).next());
+            assert_eq!(lanes.tie(event).next(), balls.tie(event).next());
+            assert_eq!(
+                lanes.life(event).next(),
+                SplitMix64::mixed(321, event, LIFE_TAG).next(),
+                "life lane {event}"
+            );
+            // The three lanes of one event are mutually distinct streams.
+            assert_ne!(lanes.life(event).next(), lanes.probe(event).next());
+            assert_ne!(lanes.life(event).next(), lanes.tie(event).next());
+        }
+        // Shifted views address the same lanes, life lane included.
+        let block = lanes.block(64).block(3);
+        assert_eq!(block.probe(2).next(), lanes.probe(69).next());
+        assert_eq!(block.life(2).next(), lanes.life(69).next());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`torus`] | the k-D torus substrate: exact nearest neighbour, Voronoi cells, Lemma 8–9 |
 //! | [`core`] | the allocation framework: spaces, `d`-choice strategies, tie-breaking, simulation engine, theory predictors, uniform baselines |
 //! | [`dht`] | the Chord-style DHT application: finger tables, lookups, virtual servers vs two-choice placement |
+//! | [`serve`] | the online serving engine: arrivals, session departures, server churn, capacity-bounded admission control |
 //! | [`report`] | experiment reporting: JSON `ResultSet`s with provenance, tolerance diffing, markdown rendering (`EXPERIMENTS.md`) |
 //!
 //! ## Quickstart
@@ -44,5 +45,6 @@ pub use geo2c_core as core;
 pub use geo2c_dht as dht;
 pub use geo2c_report as report;
 pub use geo2c_ring as ring;
+pub use geo2c_serve as serve;
 pub use geo2c_torus as torus;
 pub use geo2c_util as util;
