@@ -25,6 +25,16 @@ cargo test -q
 say "serving engine (geo2c-serve unit + property tests)"
 cargo test -q -p geo2c-serve
 
+# The packed/sharded load states are byte-for-byte replacements for the
+# flat Vec<u32> — every committed number rests on that equivalence. Run
+# the pinning proptest layers by name (the offline batch engine across
+# all spaces x d x tie policies, and the serving engine with departures,
+# failures, and spill/un-spill churn) so a divergence is attributed to
+# the load-state layer, not to a drifted expectation downstream.
+say "load-state equivalence (packed/sharded == flat, offline + serving)"
+cargo test -q -p geo2c-core --test loadvec_equivalence
+cargo test -q -p geo2c-serve --test packed_equivalence
+
 say "docs (no warnings allowed)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
@@ -56,17 +66,28 @@ cargo run --release -q -p geo2c-bench --bin run_benches -- \
   --diff results/bench/baseline.json results/bench/before_pr5.json \
   --min-speedup 1.5 --only ring_d2_random,torus_d2_random,kd3_d2_random
 
+# The load-state abstraction's contract is *no slower*, not faster: the
+# generic engine must not cost the headline trial benches anything
+# against the pre-abstraction archive. 0.95 allows bench noise only.
+say "committed no-regression evidence (baseline.json >= 0.95x before_pr7.json on trial/*_random)"
+cargo run --release -q -p geo2c-bench --bin run_benches -- \
+  --diff results/bench/baseline.json results/bench/before_pr7.json \
+  --min-speedup 0.95 --only ring_d2_random,torus_d2_random,kd3_d2_random
+
 say "EXPERIMENTS.md renders byte-identically from the committed results/*.json"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --render
 
 say "table expectations (quick scale vs results/quick/, statistical tolerance)"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check
 
-# The serving + churn cells are exact-compared scalar metrics (fully
-# deterministic in the seed), so this subset gate re-verifies them via
-# the --only path — which also keeps that flag itself exercised in CI.
-say "serving + churn expectations (quick scale, --only subset)"
-cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check --only serving,churn
+# The serving + churn + scaling cells are exact-compared scalar metrics
+# (fully deterministic in the seed; scaling's ~balls_per_s wall-clock
+# column is excluded by its ~ prefix), so this subset gate re-verifies
+# them via the --only path — which also keeps that flag itself exercised
+# in CI. The scaling member additionally asserts, inside the experiment,
+# that every packed/sharded backing places identically to flat.
+say "serving + churn + scaling expectations (quick scale, --only subset)"
+cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check --only serving,churn,scaling
 
 # A freshly written quick-scale suite must accept itself under --check:
 # this round-trips the current specs (notably the resized paper-scale

@@ -140,6 +140,7 @@ fn run_suite(
     let tab = config(scale.tab_trials);
     let serve = config(scale.serve_trials);
     let churn = config(scale.churn_trials);
+    let scaling = config(scale.scaling_trials);
     let provenance_line = |label: &str, config: &SweepConfig| {
         let pairs: Vec<String> = config
             .describe()
@@ -150,7 +151,7 @@ fn run_suite(
     };
     eprintln!(
         "running the {} scale (ring n = {:?}, torus n = {:?}, dimension n = 2^{}, \
-         ring chart n = 2^{}, serving n = 2^{}, churn n = 2^{})",
+         ring chart n = 2^{}, serving n = 2^{}, churn n = 2^{}, scaling n = 2^{})",
         scale.name,
         scale.ring_sizes(),
         scale.torus_sizes(),
@@ -158,6 +159,7 @@ fn run_suite(
         scale.chart_exp,
         scale.serve_exp,
         scale.churn_exp,
+        scale.scaling_exp,
     );
     if let Some(ids) = only {
         eprintln!("  only: {}", ids.join(", "));
@@ -169,6 +171,7 @@ fn run_suite(
     provenance_line("tabulation", &tab);
     provenance_line("serving", &serve);
     provenance_line("churn", &churn);
+    provenance_line("scaling", &scaling);
     let mut results = Vec::new();
     if wanted("table1") {
         results.push(experiments::table1(&scale.ring_sizes(), &ring));
@@ -193,6 +196,9 @@ fn run_suite(
     }
     if wanted("churn") {
         results.push(experiments::churn(1usize << scale.churn_exp, &churn));
+    }
+    if wanted("scaling") {
+        results.push(experiments::scaling(1usize << scale.scaling_exp, &scaling));
     }
     results
 }

@@ -17,21 +17,23 @@
 //! deliberately).
 
 use geo2c_core::experiment::{sweep_kind, sweep_max_load, MaxLoadCell, SweepConfig};
-use geo2c_core::sim::{run_trial, run_trial_with_lanes};
-use geo2c_core::space::{KdTorusSpace, RingSpace, SpaceKind};
+use geo2c_core::load::{LoadState as _, PackedLoads, ShardedLoads};
+use geo2c_core::sim::{run_trial, run_trial_into, run_trial_with_lanes};
+use geo2c_core::space::{KdTorusSpace, RingSpace, SpaceKind, UniformSpace};
 use geo2c_core::strategy::{Strategy, TieBreak};
 use geo2c_dht::churn::churn_experiment;
 use geo2c_dht::placement::PlacementPolicy;
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_serve::{ServeConfig, ServeEngine, SessionLife};
 use geo2c_util::parallel::parallel_map;
-use geo2c_util::rng::{StreamSeeder, TabulationHash, TabulationLanes, Xoshiro256pp};
+use geo2c_util::rng::{BallLanes, StreamSeeder, TabulationHash, TabulationLanes, Xoshiro256pp};
 use geo2c_util::stats::RunningStats;
 use rand::Rng as _;
+use rand::RngCore as _;
 
 /// Spec ids of the experiments `run_tables` drives, in suite order —
 /// also the basenames of the committed files under `results/`.
-pub const SUITE_IDS: [&str; 8] = [
+pub const SUITE_IDS: [&str; 9] = [
     "table1",
     "table2",
     "table3",
@@ -40,6 +42,7 @@ pub const SUITE_IDS: [&str; 8] = [
     "tabulation",
     "serving",
     "churn",
+    "scaling",
 ];
 
 /// A named parameter set for the table suite.
@@ -75,6 +78,10 @@ pub struct Scale {
     pub churn_exp: u32,
     /// Trials per churn cell.
     pub churn_trials: usize,
+    /// `n = 2^k` exponent for the streaming-scale backing comparison.
+    pub scaling_exp: u32,
+    /// Trials per scaling cell.
+    pub scaling_trials: usize,
 }
 
 /// CI / smoke-test scale: regenerates in seconds, even unoptimized.
@@ -94,6 +101,8 @@ pub const QUICK: Scale = Scale {
     serve_trials: 6,
     churn_exp: 8,
     churn_trials: 5,
+    scaling_exp: 14,
+    scaling_trials: 3,
 };
 
 /// The committed-expectation scale behind `EXPERIMENTS.md` (~1.5
@@ -131,6 +140,13 @@ pub const REFERENCE: Scale = Scale {
     serve_trials: 25,
     churn_exp: 10,
     churn_trials: 20,
+    // The streaming-scale backing comparison runs at 2^24 bins — the
+    // paper's own largest ring n, and far past L2 for every backing —
+    // so bytes/bin and balls/sec are measured where they matter. The
+    // uniform space keeps a trial to ~1 s single-core, so 3 trials fit
+    // the suite budget.
+    scaling_exp: 24,
+    scaling_trials: 3,
 };
 
 /// The paper's own scale (1000 trials, `n` up to `2^24` / `2^20`).
@@ -151,6 +167,8 @@ pub const FULL: Scale = Scale {
     serve_trials: 100,
     churn_exp: 12,
     churn_trials: 100,
+    scaling_exp: 26,
+    scaling_trials: 5,
 };
 
 impl Scale {
@@ -668,6 +686,122 @@ pub fn churn(n: usize, config: &SweepConfig) -> ExperimentResult {
     result
 }
 
+/// The load-state backings the `scaling` experiment compares, in cell
+/// order: the flat `Vec<u32>` reference, the two packed widths, and the
+/// sharded default (independently allocated 64 KB byte shards).
+pub const SCALING_BACKINGS: [&str; 4] =
+    ["flat-u32", "packed-nibble", "packed-byte", "sharded-byte"];
+
+/// The streaming-scale backing comparison (the former stdout-only
+/// `scaling` binary, promoted into the gated suite): `m = n` random-tie
+/// insertions on uniform bins for every [`geo2c_core::load::LoadState`]
+/// backing × d ∈ {1, 2}, at the largest `n` the suite touches. Uniform
+/// bins isolate the load-state data path — the geometry substrates have
+/// their own `trial/*` benches.
+///
+/// Cells are metric-only. `max_load` (mean over trials) is deterministic
+/// in the seed and **asserted equal across backings** per `d`: every
+/// backing replays the flat trial's exact lane streams, so a packed
+/// backing that moved a single placement would panic here before
+/// `--check` ever saw it. `bytes_per_bin` is the end-state
+/// `heap_bytes / n` of trial 0 — exactly 4 for the flat vector, ~0.5 /
+/// ~1 for the nibble / byte packings (plus spill, which `m = n` trials
+/// never reach at these sizes). `~balls_per_s` is wall-clock placement
+/// throughput; the `~` prefix marks it informational, so `--check`
+/// renders it but excludes it from the exact metric compare.
+#[must_use]
+pub fn scaling(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let ds = [1usize, 2];
+    let spec = ExperimentSpec::new(
+        "scaling",
+        "Streaming scale: load-state backings at large n (m = n)",
+    )
+    .paper_ref("§1 (scaling to large n)")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("space", Json::str("uniform"))
+    .param("m", Json::str("n"))
+    .param("tie_break", Json::str("random"))
+    .param("n", Json::from_usize(n))
+    .param(
+        "backing",
+        Json::Arr(SCALING_BACKINGS.iter().map(|&b| Json::str(b)).collect()),
+    )
+    .param(
+        "d",
+        Json::Arr(ds.iter().map(|&d| Json::from_usize(d)).collect()),
+    );
+    let mut result = ExperimentResult::new(spec);
+    for &d in &ds {
+        let strategy = Strategy::d_choice(d);
+        // One seeder child per d, shared by every backing: each packed
+        // trial replays the flat trial's lane streams bit for bit.
+        let seeder = StreamSeeder::new(config.seed).child(&format!("scaling/n{n}/d{d}"));
+        let mut flat_maxes: Vec<u32> = Vec::new();
+        for backing in SCALING_BACKINGS {
+            let started = std::time::Instant::now();
+            let rows: Vec<(u32, usize)> = parallel_map(config.trials, config.threads, |trial| {
+                let mut rng = seeder.stream(trial as u64);
+                let space = UniformSpace::new(n);
+                match backing {
+                    "flat-u32" => {
+                        let r = run_trial(&space, &strategy, n, &mut rng);
+                        (r.max_load, r.loads.heap_bytes())
+                    }
+                    "packed-nibble" => {
+                        let lanes = BallLanes::new(rng.next_u64());
+                        let mut loads = PackedLoads::nibble(n);
+                        let max = run_trial_into(&space, &strategy, n, &lanes, &mut loads);
+                        (max, loads.heap_bytes())
+                    }
+                    "packed-byte" => {
+                        let lanes = BallLanes::new(rng.next_u64());
+                        let mut loads = PackedLoads::byte(n);
+                        let max = run_trial_into(&space, &strategy, n, &lanes, &mut loads);
+                        (max, loads.heap_bytes())
+                    }
+                    _ => {
+                        let lanes = BallLanes::new(rng.next_u64());
+                        let mut loads = ShardedLoads::byte(n);
+                        let max = run_trial_into(&space, &strategy, n, &lanes, &mut loads);
+                        (max, loads.heap_bytes())
+                    }
+                }
+            });
+            let elapsed = started.elapsed().as_secs_f64();
+            let maxes: Vec<u32> = rows.iter().map(|&(m, _)| m).collect();
+            if backing == "flat-u32" {
+                flat_maxes.clone_from(&maxes);
+            } else {
+                assert_eq!(
+                    maxes, flat_maxes,
+                    "{backing} diverged from flat-u32 at d = {d}"
+                );
+            }
+            let mut max_stats = RunningStats::new();
+            for &ml in &maxes {
+                max_stats.push(f64::from(ml));
+            }
+            let bytes_per_bin = rows.first().map_or(0.0, |&(_, b)| b as f64 / n as f64);
+            let balls_per_s = if elapsed > 0.0 {
+                ((config.trials * n) as f64 / elapsed).round()
+            } else {
+                0.0
+            };
+            result.push(
+                Cell::new()
+                    .coord("backing", Json::str(backing))
+                    .coord("d", Json::from_usize(d))
+                    .metric("max_load", Json::num(max_stats.mean()))
+                    .metric("bytes_per_bin", Json::num(bytes_per_bin))
+                    .metric("~balls_per_s", Json::num(balls_per_s)),
+            );
+            progress(&format!("scaling: {backing}, d = {d} done"));
+        }
+    }
+    result
+}
+
 /// Renders `EXPERIMENTS.md` from the reference result set.
 ///
 /// The output is a pure function of the results (no timestamps, no git
@@ -693,7 +827,10 @@ cell reproduces bit-for-bit on any platform and thread count.",
     out.push_str(
         "* **Regenerate:** `./tables.sh` (≈1.5 minutes single-core) rewrites this file \
 byte-identically, and the `ResultSet` JSON under [`results/`](results/) identically \
-except for the provenance `git_rev` stamp (which records the producing checkout).\n\
+except for the provenance `git_rev` stamp (which records the producing checkout) — \
+with one carve-out: the `~`-prefixed wall-clock columns (the scaling table's \
+`~balls_per_s`) record the producing machine's throughput and change with every \
+rewrite, which is why `--check` excludes them.\n\
 * **Check:** `./tables.sh --check` reruns the suite and diffs it against the committed \
 expectations with the two-sample statistics in `geo2c_util::stats` \
 (`two_proportion_z` per distribution bucket, Welch's z for means; a difference fails at \
@@ -709,10 +846,13 @@ of CPU) and writes `results/full/`.\n\n",
     out.push_str(
         "Each cell shows the distribution of the **maximum load** over the trials, \
 in the paper's `value: percent` format, with the distribution mean beneath. \
-The serving and churn tables at the end instead report scalar metric columns \
-(means over the trials, compared *exactly* by `--check` — they are \
-deterministic in the seed); the serving distribution column aggregates the \
-end-state per-server loads across all trials.\n\n",
+The serving, churn, and streaming-scale tables at the end instead report \
+scalar metric columns (means over the trials, compared *exactly* by `--check` — \
+they are deterministic in the seed); the serving distribution column \
+aggregates the end-state per-server loads across all trials. Metric columns \
+whose name starts with `~` (the scaling table's `~balls_per_s`) are \
+*informational* — wall-clock measurements that vary by machine — and are \
+excluded from `--check`'s exact compare.\n\n",
     );
 
     let pivots: [(&str, &str, &str); 6] = [
@@ -731,7 +871,7 @@ end-state per-server loads across all trials.\n\n",
     }
     // The metric-bearing experiments render flat (one row per cell,
     // scalar columns + the aggregated load distribution where present).
-    for id in ["serving", "churn"] {
+    for id in ["serving", "churn", "scaling"] {
         if let Some(result) = set.experiment(id) {
             out.push_str(&render_markdown(result));
             out.push('\n');
@@ -784,8 +924,10 @@ never fail; a bench appearing or disappearing always does.\n\
 speedups, and `--min-speedup R --only SUBSTR,SUBSTR` turns the diff into \
 a gate. Pre-optimization measurements are archived per PR by \
 `run_benches --archive [LABEL]` as `results/bench/before_<LABEL>.json` \
-(auto-numbered `before_prN.json` without a label): `before_pr5.json` \
-holds the captures just before the contract-v2 lane engine \
+(auto-numbered `before_prN.json` without a label): `before_pr7.json` \
+holds the captures just before the packed/sharded load-state layer \
+(its gate is *no slower*, not faster — see below), `before_pr5.json` \
+the captures just before the contract-v2 lane engine \
 (1.9×/1.8×/1.9× end-to-end random-tie trials on ring 2^20 / torus 2^16 / \
 3-torus 2^13 against the committed `baseline.json`, both sides measured \
 back-to-back on the reference core), `before_pr4.json` those before the \
@@ -800,7 +942,26 @@ the batched engine is byte-equal to the lane-sequential reference (the \
 `lane_equivalence` suite), so `./tables.sh --check` passing with \
 *unchanged* committed JSON remains part of any perf PR's evidence — the \
 one exception was the v1→v2 contract migration itself, documented in the \
-section above.\n\n",
+section above.\n\n\
+### Memory: packed and sharded load states\n\n\
+The streaming-scale table above tracks **bytes/bin** alongside \
+throughput: the insertion engine is generic over its \
+`geo2c_core::load::LoadState` backing, and the packed backings store a \
+bin's load in 4 or 8 bits in-line (loads above the in-line cap — 14 for \
+nibbles, 254 for bytes — spill to a sparse side table behind a sentinel, \
+so arbitrary loads still read exactly). That takes the live working set \
+for 10^8 bins from 400 MB (flat `u32`) to ~50 MB (nibble), which is the \
+difference between streaming from DRAM and fitting hot shards in cache. \
+The sharded variant splits the packed array into independently allocated \
+64 KB blocks whose bumps never touch another shard's cache lines — on \
+this single-core reference box it is *asserted byte-identical* to the \
+flat engine (the `loadvec_equivalence` and `packed_equivalence` proptest \
+suites, plus the in-experiment max-load equality assert), and the \
+shard-independence is what a multi-core build would exploit; only the \
+determinism, not the concurrency win, is claimable here. Every backing \
+replays the same RNG streams as the flat vector, so the committed tables \
+are unchanged by construction; the `trial/scaling_*` benches and the \
+`before_pr7.json` diff pin the *no slower* half of the claim.\n\n",
     );
     out.push_str(
         "## Reading the JSON\n\n\
@@ -843,11 +1004,16 @@ mod tests {
             assert!(pair[0].serve_trials <= pair[1].serve_trials);
             assert!(pair[0].churn_exp <= pair[1].churn_exp);
             assert!(pair[0].churn_trials <= pair[1].churn_trials);
+            assert!(pair[0].scaling_exp <= pair[1].scaling_exp);
+            assert!(pair[0].scaling_trials <= pair[1].scaling_trials);
         }
         // The K-torus sweep runs at paper-scale n from the reference
         // scale up (the K-d owner port made this a ~0.5 s/trial sweep).
         let reference = Scale::by_name("reference").unwrap();
         assert!(reference.dim_exp >= 13);
+        // The streaming-scale comparison runs at the paper's largest
+        // ring n (2^24) in the committed expectations.
+        assert!(reference.scaling_exp >= 24);
     }
 
     #[test]
@@ -1022,6 +1188,60 @@ mod tests {
         assert_eq!(churn(16, &config), result);
     }
 
+    /// Strips the `~`-prefixed informational metrics (wall-clock
+    /// throughput) so the rest of the result can be compared exactly.
+    fn strip_informational(mut result: ExperimentResult) -> ExperimentResult {
+        for cell in &mut result.cells {
+            cell.metrics.retain(|(k, _)| !k.starts_with('~'));
+        }
+        result
+    }
+
+    #[test]
+    fn scaling_pins_every_backing_to_the_flat_reference() {
+        let n = 256;
+        let config = tiny_config();
+        let result = scaling(n, &config);
+        assert_eq!(result.spec.id, "scaling");
+        // 4 backings × d ∈ {1, 2}, metric-only cells. (The constructor
+        // itself asserts max-load equality with flat-u32 per d.)
+        assert_eq!(result.cells.len(), SCALING_BACKINGS.len() * 2);
+        let metric = |cell: &Cell, key: &str| {
+            cell.metrics
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap_or_else(|| panic!("missing metric {key}"))
+        };
+        for cell in &result.cells {
+            assert!(cell.distribution.is_none());
+            assert!(metric(cell, "max_load") >= 1.0);
+            assert!(metric(cell, "~balls_per_s") > 0.0);
+            let backing = cell
+                .coords
+                .iter()
+                .find(|(k, _)| k == "backing")
+                .and_then(|(_, v)| v.as_str())
+                .expect("backing coord");
+            let bytes = metric(cell, "bytes_per_bin");
+            if backing == "flat-u32" {
+                assert_eq!(bytes, 4.0);
+            } else {
+                // The headline memory claim: every compact backing stays
+                // at or under 1.25 bytes/bin (nibble 0.5, byte 1.0, plus
+                // any spill — absent at m = n scales).
+                assert!(bytes <= 1.25, "{backing}: {bytes} bytes/bin");
+            }
+        }
+        assert_eq!(result.cells[0].label(), "backing=\"flat-u32\", d=1");
+        // Deterministic in the seed once the wall-clock column is
+        // stripped — the contract `--check` relies on.
+        assert_eq!(
+            strip_informational(scaling(n, &config)),
+            strip_informational(result)
+        );
+    }
+
     #[test]
     fn experiments_markdown_has_all_sections() {
         use geo2c_report::{Provenance, ResultSet};
@@ -1040,6 +1260,7 @@ mod tests {
         set.push(tabulation(32, &config));
         set.push(serving(32, &config));
         set.push(churn(16, &config));
+        set.push(scaling(64, &config));
         let md = experiments_markdown(&set);
         assert!(md.starts_with("# EXPERIMENTS"));
         for heading in [
@@ -1051,8 +1272,10 @@ mod tests {
             "## Weak hashing",
             "## Online serving",
             "## Churn",
+            "## Streaming scale",
             "## RNG stream contract v2",
             "## Performance methodology",
+            "### Memory: packed and sharded load states",
         ] {
             assert!(md.contains(heading), "missing {heading}");
         }

@@ -19,7 +19,8 @@
 //! Driven by the `run_benches` binary; see the "Performance methodology"
 //! section of the README for the workflow and the regression gate.
 
-use geo2c_core::sim::run_trial;
+use geo2c_core::load::{PackedLoads, ShardedLoads};
+use geo2c_core::sim::{run_trial, run_trial_into};
 use geo2c_core::space::{KdTorusSpace, RingSpace, TorusSpace, UniformSpace};
 use geo2c_core::strategy::{Strategy, TieBreak};
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
@@ -27,7 +28,7 @@ use geo2c_ring::RingPoint;
 use geo2c_serve::{ServeConfig, ServeEngine, SessionLife};
 use geo2c_torus::kd::{KdPoint, KdSites};
 use geo2c_torus::TorusPoint;
-use geo2c_util::rng::Xoshiro256pp;
+use geo2c_util::rng::{BallLanes, Xoshiro256pp};
 use rand::RngCore as _;
 use std::time::{Duration, Instant};
 
@@ -111,6 +112,20 @@ enum BenchKind {
     /// exponential departures (mean life n) on a fixed ring space —
     /// the heap-draining, admission-controlled variant of `TrialRing`.
     TrialServe { d: usize },
+    /// One full laned trial on uniform bins against an alternative
+    /// load-state backing (`run_trial_into`): the `TrialUniform` workload
+    /// with the flat `Vec<u32>` swapped for a packed/sharded backing.
+    TrialScaling { d: usize, backing: ScalingBacking },
+}
+
+/// Which load-state backing a `TrialScaling` bench drives. `Flat` runs
+/// the same `Vec<u32>` engine as `uniform_d2_random` so the `scaling_*`
+/// trio diffs self-contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScalingBacking {
+    Flat,
+    PackedNibble,
+    Sharded,
 }
 
 /// Owner-lookup workload on the `K`-torus (monomorphized per dimension).
@@ -243,6 +258,25 @@ impl BenchDef {
                     engine.peak_load()
                 })
             }
+            BenchKind::TrialScaling { d, backing } => {
+                let space = UniformSpace::new(n);
+                let strategy = Strategy::d_choice(d);
+                match backing {
+                    ScalingBacking::Flat => time_with(window, repeats, || {
+                        run_trial(&space, &strategy, n, &mut rng).max_load
+                    }),
+                    ScalingBacking::PackedNibble => time_with(window, repeats, || {
+                        let lanes = BallLanes::new(rng.next_u64());
+                        let mut loads = PackedLoads::nibble(n);
+                        run_trial_into(&space, &strategy, n, &lanes, &mut loads)
+                    }),
+                    ScalingBacking::Sharded => time_with(window, repeats, || {
+                        let lanes = BallLanes::new(rng.next_u64());
+                        let mut loads = ShardedLoads::byte(n);
+                        run_trial_into(&space, &strategy, n, &lanes, &mut loads)
+                    }),
+                }
+            }
         }
     }
 }
@@ -372,6 +406,38 @@ impl BenchScale {
                 exp: self.trial_ring_exp,
                 elems: 1u64 << self.trial_ring_exp,
                 kind: BenchKind::TrialUniform { d: 2 },
+            },
+            // The load-state backing trio at the same n as
+            // `uniform_d2_random`, so flat-vs-packed diffs directly.
+            BenchDef {
+                group: "trial",
+                name: "scaling_flat",
+                exp: self.trial_ring_exp,
+                elems: 1u64 << self.trial_ring_exp,
+                kind: BenchKind::TrialScaling {
+                    d: 2,
+                    backing: ScalingBacking::Flat,
+                },
+            },
+            BenchDef {
+                group: "trial",
+                name: "scaling_packed",
+                exp: self.trial_ring_exp,
+                elems: 1u64 << self.trial_ring_exp,
+                kind: BenchKind::TrialScaling {
+                    d: 2,
+                    backing: ScalingBacking::PackedNibble,
+                },
+            },
+            BenchDef {
+                group: "trial",
+                name: "scaling_sharded",
+                exp: self.trial_ring_exp,
+                elems: 1u64 << self.trial_ring_exp,
+                kind: BenchKind::TrialScaling {
+                    d: 2,
+                    backing: ScalingBacking::Sharded,
+                },
             },
             BenchDef {
                 group: "trial",
@@ -565,6 +631,9 @@ mod tests {
         assert!(ids.contains(&"trial/kd3_d2_random/2^13".to_string()));
         assert!(ids.contains(&"trial/kd3_d2_left/2^13".to_string()));
         assert!(ids.contains(&"trial/serving_d2_random/2^14".to_string()));
+        assert!(ids.contains(&"trial/scaling_flat/2^20".to_string()));
+        assert!(ids.contains(&"trial/scaling_packed/2^20".to_string()));
+        assert!(ids.contains(&"trial/scaling_sharded/2^20".to_string()));
         assert_eq!(BenchScale::by_name("quick"), Some(&QUICK));
         assert_eq!(BenchScale::by_name("full"), Some(&FULL));
         assert_eq!(BenchScale::by_name("nope"), None);

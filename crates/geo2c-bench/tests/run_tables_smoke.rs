@@ -38,6 +38,15 @@ fn quick_run_produces_parseable_result_sets_and_check_works() {
         match id {
             "dimension" => {}
             "churn" => assert!(cell.distribution.is_none(), "churn cells are metric-only"),
+            "scaling" => {
+                assert!(cell.distribution.is_none(), "scaling cells are metric-only");
+                // The wall-clock throughput column must be present (it
+                // renders) but `~`-prefixed (so `--check` skips it).
+                assert!(
+                    cell.metrics.iter().any(|(k, _)| k == "~balls_per_s"),
+                    "scaling cells carry the informational throughput metric"
+                );
+            }
             "serving" => {
                 let n = experiment
                     .spec
@@ -106,6 +115,28 @@ fn quick_run_produces_parseable_result_sets_and_check_works() {
 }
 
 #[test]
+fn only_flag_rejects_unknown_experiment_ids() {
+    // `--only` must fail fast on a typo'd id — before any suite work —
+    // and name the valid suite members in the error.
+    let output = Command::new(env!("CARGO_BIN_EXE_run_tables"))
+        .args(["--quick", "--only", "bogus"])
+        .output()
+        .expect("run_tables executes");
+    assert!(!output.status.success(), "--only bogus must exit non-zero");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown experiment 'bogus'"),
+        "stderr: {stderr}"
+    );
+    for id in SUITE_IDS {
+        assert!(
+            stderr.contains(id),
+            "error must name suite id {id}: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn quick_expectations_in_the_repository_match_the_current_scale() {
     // The committed results/quick/*.json must carry the spec the QUICK
     // scale would run today — otherwise ci.sh's `--quick --check` is
@@ -129,6 +160,7 @@ fn quick_expectations_in_the_repository_match_the_current_scale() {
             "tabulation" => scale.tab_trials,
             "serving" => scale.serve_trials,
             "churn" => scale.churn_trials,
+            "scaling" => scale.scaling_trials,
             _ => scale.ring_trials,
         };
         assert_eq!(spec.trials, expected_trials, "{id}: stale trials");

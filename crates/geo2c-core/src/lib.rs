@@ -23,6 +23,12 @@
 //!   remark 4).
 //! * [`sim`] — the sequential insertion engine producing per-server loads
 //!   and load profiles.
+//! * [`load`] — pluggable load-state backings behind the
+//!   [`load::LoadRead`]/[`load::LoadState`] traits: the flat `Vec<u32>`
+//!   reference plus packed nibble/byte arrays with overflow spill
+//!   ([`load::PackedLoads`]) and a cache-line-independent sharded
+//!   variant ([`load::ShardedLoads`]) for streaming-scale trials —
+//!   all placement-identical by construction and by proptest.
 //! * [`experiment`] — parallel multi-trial sweeps producing the paper's
 //!   max-load distributions (Tables 1–3) and the `m ≠ n` extension (E9).
 //! * [`theory`] — closed-form predictors: the `log log n / log d` band,
@@ -58,6 +64,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiment;
+pub mod load;
 pub mod nonuniform;
 pub mod sim;
 pub mod space;
@@ -65,6 +72,7 @@ pub mod strategy;
 pub mod theory;
 
 pub use experiment::{sweep_max_load, SweepConfig};
+pub use load::{LoadRead, LoadState, PackedLoads, ShardedLoads};
 pub use sim::{run_trial, TrialResult};
 pub use space::{AnySpace, KdTorusSpace, RingSpace, Space, SpaceKind, TorusSpace, UniformSpace};
 pub use strategy::{Strategy, TieBreak};

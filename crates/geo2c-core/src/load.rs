@@ -1,0 +1,740 @@
+//! Compact load-state backings for streaming-scale trials.
+//!
+//! The two-choices bound says max load stays `O(log log n + d)`, so a
+//! `u32` per bin wastes most of its bits at any realistic scale. This
+//! module abstracts the engine's load vector behind two traits and
+//! provides packed backings that exploit the bound:
+//!
+//! * [`LoadRead`] — the read side a [`crate::strategy::Strategy`] needs
+//!   to resolve a probe set (per-bin load, least-loaded-of-`d`).
+//! * [`LoadState`] — the mutation side the insertion and serving engines
+//!   need (bump, decrement, sentinel overwrite).
+//! * [`PackedLoads`] — nibble (2 bins/byte) or byte (1 bin/byte) storage
+//!   with a branchless in-line bump and overflow *spill* to a sparse side
+//!   table, so the common case is 0.5–1 byte/bin while arbitrary `u32`
+//!   values (the serving engine's failed-server sentinel included) still
+//!   round-trip exactly.
+//! * [`ShardedLoads`] — a power-of-two partition of [`PackedLoads`]
+//!   shards with independent allocations, so concurrent committers (the
+//!   64-ball blocks of [`crate::sim`], or future per-shard worker
+//!   threads) never share a cache line across shards. This box is
+//!   single-core: what is *asserted* here is that sharding is placement-
+//!   identical; the multicore win it is shaped for is documented in
+//!   EXPERIMENTS.md.
+//!
+//! Every backing is pinned placement-identical to the flat `Vec<u32>`
+//! reference by the `loadvec_equivalence` proptest suite: same loads,
+//! same tie-break draws, same RNG stream (contract v2), byte for byte.
+
+use std::collections::HashMap;
+
+/// The read side of a load vector: what tie-breaking needs.
+pub trait LoadRead {
+    /// Number of bins tracked.
+    fn num_servers(&self) -> usize;
+
+    /// The exact load of `server`.
+    fn load(&self, server: usize) -> u32;
+
+    /// `min(load(s) for s in servers)` — the least-loaded-of-`d` scan.
+    /// Packed backings override this with a register-wide lane compare.
+    ///
+    /// Returns `u32::MAX` for an empty slice (the fold identity).
+    fn min_load_of(&self, servers: &[usize]) -> u32 {
+        let mut min = u32::MAX;
+        for &s in servers {
+            min = min.min(self.load(s));
+        }
+        min
+    }
+
+    /// A cheap read used only to pull `server`'s cache line into L1
+    /// ahead of the resolution pass — the value is discarded, so packed
+    /// backings may skip the spill lookup.
+    fn warm(&self, server: usize) -> u32 {
+        self.load(server)
+    }
+}
+
+/// The mutation side of a load vector: what the engines need.
+pub trait LoadState: LoadRead {
+    /// Adds one ball to `server`, returning the new load.
+    fn bump(&mut self, server: usize) -> u32;
+
+    /// Removes one ball from `server` (serving departures), returning
+    /// the new load. Decrementing an empty bin is a logic error (panics
+    /// in debug builds, like `Vec<u32>` underflow).
+    fn dec(&mut self, server: usize) -> u32;
+
+    /// Overwrites `server`'s load with an arbitrary value — the serving
+    /// engine pins failed servers at `u32::MAX`, which packed backings
+    /// must round-trip exactly (via spill).
+    fn set(&mut self, server: usize, value: u32);
+
+    /// The full load image as a flat vector, for cross-backing
+    /// comparison and reporting.
+    fn to_vec(&self) -> Vec<u32>;
+
+    /// Bytes of backing storage attributed to this load vector — the
+    /// `bytes/bin` metric is `heap_bytes / num_servers`. Counts the
+    /// packed array plus one `(key, value)` record per spill entry;
+    /// allocator slack is not modelled.
+    fn heap_bytes(&self) -> usize;
+}
+
+impl LoadRead for [u32] {
+    #[inline]
+    fn num_servers(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn load(&self, server: usize) -> u32 {
+        self[server]
+    }
+}
+
+impl LoadState for [u32] {
+    #[inline]
+    fn bump(&mut self, server: usize) -> u32 {
+        self[server] += 1;
+        self[server]
+    }
+
+    #[inline]
+    fn dec(&mut self, server: usize) -> u32 {
+        self[server] -= 1;
+        self[server]
+    }
+
+    #[inline]
+    fn set(&mut self, server: usize, value: u32) {
+        self[server] = value;
+    }
+
+    fn to_vec(&self) -> Vec<u32> {
+        self.into()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+impl<const N: usize> LoadRead for [u32; N] {
+    #[inline]
+    fn num_servers(&self) -> usize {
+        N
+    }
+
+    #[inline]
+    fn load(&self, server: usize) -> u32 {
+        self[server]
+    }
+}
+
+impl LoadRead for Vec<u32> {
+    #[inline]
+    fn num_servers(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn load(&self, server: usize) -> u32 {
+        self[server]
+    }
+}
+
+impl LoadState for Vec<u32> {
+    #[inline]
+    fn bump(&mut self, server: usize) -> u32 {
+        self.as_mut_slice().bump(server)
+    }
+
+    #[inline]
+    fn dec(&mut self, server: usize) -> u32 {
+        self.as_mut_slice().dec(server)
+    }
+
+    #[inline]
+    fn set(&mut self, server: usize, value: u32) {
+        self[server] = value;
+    }
+
+    fn to_vec(&self) -> Vec<u32> {
+        self.clone()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// In-line width of one [`PackedLoads`] bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedWidth {
+    /// Two bins per byte: loads `0..=14` in line, `15` the spill mark.
+    Nibble,
+    /// One bin per byte: loads `0..=254` in line, `255` the spill mark.
+    Byte,
+}
+
+impl PackedWidth {
+    /// The largest load stored in line; `max_inline + 1` is the spill
+    /// sentinel.
+    #[must_use]
+    pub fn max_inline(self) -> u32 {
+        match self {
+            PackedWidth::Nibble => 14,
+            PackedWidth::Byte => 254,
+        }
+    }
+}
+
+/// Bytes attributed to one spill record: the bin index plus the value.
+const SPILL_RECORD_BYTES: usize = std::mem::size_of::<usize>() + std::mem::size_of::<u32>();
+
+/// A packed load vector: 0.5 or 1 byte per bin in line, with loads above
+/// the in-line cap *spilled* to a sparse side table.
+///
+/// The invariant is strict: a bin's raw cell holds its exact load when
+/// that load fits in line, and holds the sentinel (with the exact value
+/// in `spill`) when it does not. Loads cross back below the cap on
+/// [`LoadState::dec`] and are un-spilled, so the side table tracks only
+/// the bins currently above the cap — under the two-choices bound,
+/// normally none.
+///
+/// ```
+/// use geo2c_core::load::{LoadState, PackedLoads};
+///
+/// let mut loads = PackedLoads::nibble(4);
+/// for _ in 0..20 {
+///     loads.bump(2); // saturates the nibble at 14, then spills
+/// }
+/// assert_eq!(loads.to_vec(), vec![0, 0, 20, 0]);
+/// assert_eq!(loads.dec(2), 19);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedLoads {
+    raw: Vec<u8>,
+    spill: HashMap<usize, u32>,
+    n: usize,
+    width: PackedWidth,
+    /// `width.max_inline()` as the raw-cell type (hot-path compares).
+    max_inline: u8,
+    /// `max_inline + 1`: the raw-cell value marking a spilled bin.
+    sentinel: u8,
+}
+
+impl PackedLoads {
+    /// An all-zero packed vector of `n` bins at `width`.
+    #[must_use]
+    pub fn new(n: usize, width: PackedWidth) -> Self {
+        let cells = match width {
+            PackedWidth::Nibble => n / 2 + n % 2,
+            PackedWidth::Byte => n,
+        };
+        let max_inline = width.max_inline() as u8;
+        Self {
+            raw: vec![0; cells],
+            spill: HashMap::new(),
+            n,
+            width,
+            max_inline,
+            sentinel: max_inline + 1,
+        }
+    }
+
+    /// An all-zero nibble-packed vector (2 bins/byte).
+    #[must_use]
+    pub fn nibble(n: usize) -> Self {
+        Self::new(n, PackedWidth::Nibble)
+    }
+
+    /// An all-zero byte-packed vector (1 bin/byte).
+    #[must_use]
+    pub fn byte(n: usize) -> Self {
+        Self::new(n, PackedWidth::Byte)
+    }
+
+    /// The in-line width.
+    #[must_use]
+    pub fn width(&self) -> PackedWidth {
+        self.width
+    }
+
+    /// Number of bins currently above the in-line cap.
+    #[must_use]
+    pub fn spilled_bins(&self) -> usize {
+        self.spill.len()
+    }
+
+    #[inline]
+    fn raw_cell(&self, server: usize) -> u8 {
+        match self.width {
+            PackedWidth::Byte => self.raw[server],
+            PackedWidth::Nibble => (self.raw[server >> 1] >> ((server & 1) << 2)) & 0xF,
+        }
+    }
+
+    #[inline]
+    fn set_raw_cell(&mut self, server: usize, value: u8) {
+        match self.width {
+            PackedWidth::Byte => self.raw[server] = value,
+            PackedWidth::Nibble => {
+                let shift = ((server & 1) << 2) as u8;
+                let cell = &mut self.raw[server >> 1];
+                *cell = (*cell & !(0xF << shift)) | (value << shift);
+            }
+        }
+    }
+
+    /// The saturating-overflow arm of [`LoadState::bump`], out of line so
+    /// the in-line increment stays branch-predictable.
+    #[cold]
+    fn bump_spill(&mut self, server: usize, raw: u8) -> u32 {
+        if raw == self.max_inline {
+            // In-line cap reached: mark the cell and open a spill entry.
+            self.set_raw_cell(server, self.sentinel);
+            let value = u32::from(self.max_inline) + 1;
+            self.spill.insert(server, value);
+            value
+        } else {
+            debug_assert_eq!(raw, self.sentinel);
+            let value = self
+                .spill
+                .get_mut(&server)
+                .expect("sentinel cell without spill entry");
+            *value += 1;
+            *value
+        }
+    }
+
+    /// The spilled arm of [`LoadState::dec`]: decrement the side-table
+    /// value and pull the bin back in line once it fits again.
+    #[cold]
+    fn dec_spill(&mut self, server: usize) -> u32 {
+        let value = {
+            let entry = self
+                .spill
+                .get_mut(&server)
+                .expect("sentinel cell without spill entry");
+            *entry -= 1;
+            *entry
+        };
+        if value <= u32::from(self.max_inline) {
+            self.spill.remove(&server);
+            self.set_raw_cell(server, value as u8);
+        }
+        value
+    }
+
+    /// Exact minimum when every raw cell in `servers` is the sentinel.
+    #[cold]
+    fn min_load_spilled(&self, servers: &[usize]) -> u32 {
+        let mut min = u32::MAX;
+        for &s in servers {
+            min = min.min(self.load(s));
+        }
+        min
+    }
+}
+
+/// Lane width of the gathered min-of-`d` compare: eight raw cells fold in
+/// registers (the compiler lowers the fixed-size min tree to `pmin`-style
+/// branch-free code), covering every `d ≤ 8` probe set in one pass.
+const MIN_LANES: usize = 8;
+
+impl LoadRead for PackedLoads {
+    #[inline]
+    fn num_servers(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn load(&self, server: usize) -> u32 {
+        let raw = self.raw_cell(server);
+        if raw < self.sentinel {
+            u32::from(raw)
+        } else {
+            self.spill[&server]
+        }
+    }
+
+    /// Gathers the raw cells into a fixed-width lane block and folds the
+    /// minimum branch-free. Any in-line cell beats every spilled cell
+    /// (spilled values exceed the in-line cap by construction), so the
+    /// side table is consulted only when *all* candidates have spilled.
+    fn min_load_of(&self, servers: &[usize]) -> u32 {
+        let mut min_raw = u8::MAX;
+        for chunk in servers.chunks(MIN_LANES) {
+            let mut lanes = [u8::MAX; MIN_LANES];
+            for (lane, &s) in lanes.iter_mut().zip(chunk) {
+                *lane = self.raw_cell(s);
+            }
+            let folded = lanes.iter().fold(u8::MAX, |m, &v| m.min(v));
+            min_raw = min_raw.min(folded);
+        }
+        if min_raw < self.sentinel {
+            u32::from(min_raw)
+        } else if servers.is_empty() {
+            u32::MAX
+        } else {
+            self.min_load_spilled(servers)
+        }
+    }
+
+    #[inline]
+    fn warm(&self, server: usize) -> u32 {
+        u32::from(self.raw_cell(server))
+    }
+}
+
+impl LoadState for PackedLoads {
+    #[inline]
+    fn bump(&mut self, server: usize) -> u32 {
+        let raw = self.raw_cell(server);
+        if raw < self.max_inline {
+            self.set_raw_cell(server, raw + 1);
+            u32::from(raw) + 1
+        } else {
+            self.bump_spill(server, raw)
+        }
+    }
+
+    #[inline]
+    fn dec(&mut self, server: usize) -> u32 {
+        let raw = self.raw_cell(server);
+        if raw < self.sentinel {
+            self.set_raw_cell(server, raw - 1);
+            u32::from(raw) - 1
+        } else {
+            self.dec_spill(server)
+        }
+    }
+
+    fn set(&mut self, server: usize, value: u32) {
+        if value <= u32::from(self.max_inline) {
+            self.spill.remove(&server);
+            self.set_raw_cell(server, value as u8);
+        } else {
+            self.set_raw_cell(server, self.sentinel);
+            self.spill.insert(server, value);
+        }
+    }
+
+    fn to_vec(&self) -> Vec<u32> {
+        (0..self.n).map(|s| self.load(s)).collect()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.raw.len() + self.spill.len() * SPILL_RECORD_BYTES
+    }
+}
+
+/// Bins per shard: 2^16 byte-packed bins is one 64 KiB block — big
+/// enough that shard dispatch is noise, small enough that a shard's hot
+/// region lives in L1/L2 while a block commits against it.
+const DEFAULT_SHARD_BITS: u32 = 16;
+
+/// A load vector partitioned into independently allocated
+/// [`PackedLoads`] shards of `2^shard_bits` bins each.
+///
+/// Bin `s` lives in shard `s >> shard_bits` at offset
+/// `s & (2^shard_bits − 1)`; every operation is a shard dispatch plus
+/// the packed operation. Because shards are separate allocations, two
+/// committers touching different shards can never share a cache line —
+/// the layout the PR-5 `parallel_map` routing anticipates for multicore
+/// block commits. On this single-core box the dispatch is pure overhead,
+/// which is exactly what the `scaling` experiment measures; what is
+/// *asserted* (by the equivalence proptests) is that sharding never
+/// changes a placement.
+///
+/// ```
+/// use geo2c_core::load::{LoadState, ShardedLoads};
+///
+/// let mut loads = ShardedLoads::byte(100_000);
+/// loads.bump(99_999);
+/// assert_eq!(loads.to_vec().iter().sum::<u32>(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedLoads {
+    shards: Vec<PackedLoads>,
+    shard_bits: u32,
+    n: usize,
+    sentinel: u8,
+}
+
+impl ShardedLoads {
+    /// An all-zero sharded vector of `n` bins: `2^shard_bits` bins per
+    /// shard (the last shard takes the remainder), each shard packed at
+    /// `width`.
+    ///
+    /// # Panics
+    /// Panics if `shard_bits` is 0 (a bin must fit its shard) or
+    /// exceeds `usize` indexing.
+    #[must_use]
+    pub fn new(n: usize, width: PackedWidth, shard_bits: u32) -> Self {
+        assert!(
+            (1..usize::BITS).contains(&shard_bits),
+            "shard_bits must be in 1..{}",
+            usize::BITS
+        );
+        let per_shard = 1usize << shard_bits;
+        // (n + per_shard - 1) / per_shard, MSRV 1.70 (no `div_ceil`).
+        let num_shards = ((n + per_shard - 1) >> shard_bits).max(1);
+        let shards: Vec<PackedLoads> = (0..num_shards)
+            .map(|i| PackedLoads::new(per_shard.min(n - i * per_shard), width))
+            .collect();
+        Self {
+            shards,
+            shard_bits,
+            n,
+            sentinel: width.max_inline() as u8 + 1,
+        }
+    }
+
+    /// Byte-packed shards of the default `2^16` bins.
+    #[must_use]
+    pub fn byte(n: usize) -> Self {
+        Self::new(n, PackedWidth::Byte, DEFAULT_SHARD_BITS)
+    }
+
+    /// Nibble-packed shards of the default `2^16` bins.
+    #[must_use]
+    pub fn nibble(n: usize) -> Self {
+        Self::new(n, PackedWidth::Nibble, DEFAULT_SHARD_BITS)
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn split(&self, server: usize) -> (usize, usize) {
+        (
+            server >> self.shard_bits,
+            server & ((1 << self.shard_bits) - 1),
+        )
+    }
+}
+
+impl LoadRead for ShardedLoads {
+    #[inline]
+    fn num_servers(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn load(&self, server: usize) -> u32 {
+        let (shard, offset) = self.split(server);
+        self.shards[shard].load(offset)
+    }
+
+    /// The same lane-gather fold as [`PackedLoads::min_load_of`], with
+    /// the gather crossing shard boundaries (all shards share one
+    /// width, hence one sentinel).
+    fn min_load_of(&self, servers: &[usize]) -> u32 {
+        let mut min_raw = u8::MAX;
+        for chunk in servers.chunks(MIN_LANES) {
+            let mut lanes = [u8::MAX; MIN_LANES];
+            for (lane, &s) in lanes.iter_mut().zip(chunk) {
+                let (shard, offset) = self.split(s);
+                *lane = self.shards[shard].raw_cell(offset);
+            }
+            let folded = lanes.iter().fold(u8::MAX, |m, &v| m.min(v));
+            min_raw = min_raw.min(folded);
+        }
+        if min_raw < self.sentinel {
+            u32::from(min_raw)
+        } else if servers.is_empty() {
+            u32::MAX
+        } else {
+            let mut min = u32::MAX;
+            for &s in servers {
+                min = min.min(self.load(s));
+            }
+            min
+        }
+    }
+
+    #[inline]
+    fn warm(&self, server: usize) -> u32 {
+        let (shard, offset) = self.split(server);
+        self.shards[shard].warm(offset)
+    }
+}
+
+impl LoadState for ShardedLoads {
+    #[inline]
+    fn bump(&mut self, server: usize) -> u32 {
+        let (shard, offset) = self.split(server);
+        self.shards[shard].bump(offset)
+    }
+
+    #[inline]
+    fn dec(&mut self, server: usize) -> u32 {
+        let (shard, offset) = self.split(server);
+        self.shards[shard].dec(offset)
+    }
+
+    fn set(&mut self, server: usize, value: u32) {
+        let (shard, offset) = self.split(server);
+        self.shards[shard].set(offset, value);
+    }
+
+    fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.n);
+        for shard in &self.shards {
+            out.extend(shard.to_vec());
+        }
+        out
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.shards.iter().map(PackedLoads::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backings(n: usize) -> Vec<(&'static str, Box<dyn LoadState>)> {
+        vec![
+            ("flat", Box::new(vec![0u32; n])),
+            ("nibble", Box::new(PackedLoads::nibble(n))),
+            ("byte", Box::new(PackedLoads::byte(n))),
+            (
+                "sharded-byte",
+                Box::new(ShardedLoads::new(n, PackedWidth::Byte, 3)),
+            ),
+            (
+                "sharded-nibble",
+                Box::new(ShardedLoads::new(n, PackedWidth::Nibble, 3)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn bump_dec_set_round_trip_across_backings() {
+        // A scripted mutation sequence, mirrored against a flat model.
+        let n = 21; // odd: exercises the trailing nibble half-cell
+        for (name, mut state) in backings(n) {
+            let mut model = vec![0u32; n];
+            assert_eq!(state.num_servers(), n, "{name}");
+            for step in 0..2000usize {
+                let s = (step * 7 + step / 3) % n;
+                match step % 5 {
+                    0..=2 => {
+                        model[s] += 1;
+                        assert_eq!(state.bump(s), model[s], "{name} bump step {step}");
+                    }
+                    3 if model[s] > 0 => {
+                        model[s] -= 1;
+                        assert_eq!(state.dec(s), model[s], "{name} dec step {step}");
+                    }
+                    _ => {
+                        let v = (step as u32 * 31) % 40;
+                        model[s] = v;
+                        state.set(s, v);
+                    }
+                }
+                assert_eq!(state.load(s), model[s], "{name} load step {step}");
+            }
+            assert_eq!(state.to_vec(), model, "{name} final image");
+        }
+    }
+
+    #[test]
+    fn min_load_of_matches_scalar_reference() {
+        let n = 40;
+        for (name, mut state) in backings(n) {
+            // A spread of loads straddling both in-line caps.
+            for s in 0..n {
+                state.set(s, (s as u32 * 5) % 23);
+            }
+            state.set(7, 300); // above both caps: spilled
+            state.set(8, 16); // above the nibble cap only
+            for probes in [
+                &[0usize][..],
+                &[7],
+                &[7, 8],
+                &[3, 7, 8, 15],
+                &[9, 9, 9],
+                &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11], // > MIN_LANES
+            ] {
+                let want = probes.iter().map(|&s| state.load(s)).min().unwrap();
+                assert_eq!(state.min_load_of(probes), want, "{name} {probes:?}");
+            }
+            assert_eq!(state.min_load_of(&[]), u32::MAX, "{name} empty");
+        }
+    }
+
+    #[test]
+    fn nibble_saturation_spills_and_unspills() {
+        let mut loads = PackedLoads::nibble(3);
+        for i in 1..=14 {
+            assert_eq!(loads.bump(1), i);
+            assert_eq!(loads.spilled_bins(), 0, "in line through the cap");
+        }
+        assert_eq!(loads.bump(1), 15, "first spilled value");
+        assert_eq!(loads.spilled_bins(), 1);
+        assert_eq!(loads.bump(1), 16);
+        assert_eq!(loads.load(1), 16);
+        assert_eq!(loads.dec(1), 15);
+        assert_eq!(loads.dec(1), 14, "back below the cap");
+        assert_eq!(loads.spilled_bins(), 0, "un-spilled");
+        assert_eq!(loads.to_vec(), vec![0, 14, 0]);
+    }
+
+    #[test]
+    fn failed_load_sentinel_round_trips() {
+        // The serving engine pins failed servers at u32::MAX; packed
+        // backings must reproduce it exactly and lose to any live bin.
+        for (name, mut state) in backings(9) {
+            state.set(4, u32::MAX);
+            state.bump(2);
+            assert_eq!(state.load(4), u32::MAX, "{name}");
+            assert_eq!(state.min_load_of(&[4, 2]), 1, "{name}");
+            assert_eq!(state.min_load_of(&[4, 4]), u32::MAX, "{name}");
+            state.set(4, 0);
+            assert_eq!(state.load(4), 0, "{name} sentinel cleared");
+        }
+    }
+
+    #[test]
+    fn heap_bytes_reflect_packing() {
+        let n = 1 << 12;
+        assert_eq!(vec![0u32; n].heap_bytes(), 4 * n);
+        assert_eq!(PackedLoads::byte(n).heap_bytes(), n);
+        assert_eq!(PackedLoads::nibble(n).heap_bytes(), n / 2);
+        // Sharded storage packs identically; spill entries are charged.
+        assert_eq!(ShardedLoads::byte(n).heap_bytes(), n);
+        let mut spilled = PackedLoads::nibble(n);
+        spilled.set(0, 1000);
+        assert_eq!(spilled.heap_bytes(), n / 2 + SPILL_RECORD_BYTES);
+    }
+
+    #[test]
+    fn sharded_layout_covers_ragged_and_degenerate_sizes() {
+        for n in [1usize, 7, 8, 9, 64, 100] {
+            let loads = ShardedLoads::new(n, PackedWidth::Byte, 3);
+            assert_eq!(loads.num_servers(), n);
+            assert_eq!(loads.num_shards(), n.div_ceil(8).max(1));
+            assert_eq!(loads.to_vec(), vec![0u32; n]);
+        }
+        // n = 0: a single empty shard, no bins.
+        let empty = ShardedLoads::byte(0);
+        assert_eq!(empty.num_servers(), 0);
+        assert_eq!(empty.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_bits")]
+    fn zero_shard_bits_rejected() {
+        let _ = ShardedLoads::new(8, PackedWidth::Byte, 0);
+    }
+}

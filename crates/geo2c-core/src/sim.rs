@@ -10,6 +10,7 @@
 //! reasons about: `ν_i` (number of bins with load ≥ i — the layered
 //! induction variable), ball heights, and load/region-size correlations.
 
+use crate::load::LoadState;
 use crate::space::Space;
 use crate::strategy::{ProbeScratch, Strategy};
 use geo2c_util::hist::Counter;
@@ -67,12 +68,12 @@ const BALL_BLOCK: usize = 64;
 /// against the evolving loads ball by ball. Only Vöcking's split scheme
 /// (division-conditioned probes) keeps the per-ball path on the shared
 /// stream.
-fn insert_balls<S: Space, R: Rng + ?Sized>(
+fn insert_balls<S: Space, R: Rng + ?Sized, LS: LoadState + ?Sized>(
     space: &S,
     strategy: &Strategy,
     m: usize,
     rng: &mut R,
-    loads: &mut [u32],
+    loads: &mut LS,
     on_place: impl FnMut(usize, u32),
 ) {
     if strategy.supports_cross_ball_batching() {
@@ -82,15 +83,15 @@ fn insert_balls<S: Space, R: Rng + ?Sized>(
         let mut scratch = ProbeScratch::for_strategy(strategy);
         let mut on_place = on_place;
         for _ in 0..m {
-            let dest = strategy.choose_with(space, loads, &mut scratch, rng);
-            loads[dest] += 1;
-            on_place(dest, loads[dest]);
+            let dest = strategy.choose_with(space, &*loads, &mut scratch, rng);
+            let new_load = loads.bump(dest);
+            on_place(dest, new_load);
         }
     }
 }
 
 /// The cross-ball batched insertion loop on an explicit [`LaneSource`]
-/// (contract v2): probe blocks for [`BALL_BLOCK`] balls per
+/// (contract v2): probe blocks of 64 balls (`BALL_BLOCK`) per
 /// [`Space::sample_owners_lanes`] call, then per-ball resolution through
 /// [`Strategy::place_from_owners`] on each ball's tie lane.
 ///
@@ -101,15 +102,20 @@ fn insert_balls<S: Space, R: Rng + ?Sized>(
 /// against warm lines — a safe-code prefetch that matters at `n` where
 /// the load vector far exceeds L2.
 ///
+/// The loop is generic over the [`LoadState`] backing: the flat
+/// `Vec<u32>` reference the committed tables run on, or the packed and
+/// sharded backings of [`crate::load`] for streaming-scale trials —
+/// placement-identical by the `loadvec_equivalence` proptest suite.
+///
 /// # Panics
 /// Panics if `strategy` does not support cross-ball batching (the split
 /// scheme's probes are division-conditioned and have no lane form).
-fn insert_balls_lanes<S: Space, L: LaneSource>(
+pub fn insert_balls_lanes<S: Space, L: LaneSource, LS: LoadState + ?Sized>(
     space: &S,
     strategy: &Strategy,
     m: usize,
     lanes: &L,
-    loads: &mut [u32],
+    loads: &mut LS,
     mut on_place: impl FnMut(usize, u32),
 ) {
     assert!(
@@ -126,14 +132,14 @@ fn insert_balls_lanes<S: Space, L: LaneSource>(
         space.sample_owners_lanes(&block_lanes, d, block);
         let mut warm = 0u32;
         for &owner in block.iter() {
-            warm = warm.wrapping_add(loads[owner]);
+            warm = warm.wrapping_add(loads.warm(owner));
         }
         std::hint::black_box(warm);
         for (ball, window) in block.chunks_exact(d).enumerate() {
             let mut tie = block_lanes.tie(ball as u64);
-            let dest = strategy.place_from_owners(space, loads, window, &mut tie);
-            loads[dest] += 1;
-            on_place(dest, loads[dest]);
+            let dest = strategy.place_from_loads(space, &*loads, window, &mut tie);
+            let new_load = loads.bump(dest);
+            on_place(dest, new_load);
         }
         placed += balls;
     }
@@ -255,6 +261,51 @@ pub fn run_trial_with_lanes<S: Space, L: LaneSource>(
         max_load = max_load.max(new_load);
     });
     TrialResult { loads, max_load }
+}
+
+/// Runs one trial *into* a caller-supplied [`LoadState`] backing and
+/// returns the maximum load: the streaming-scale entry point, where
+/// materialising a `Vec<u32>` per trial is exactly the cost the packed
+/// backings exist to avoid. `loads` must start all-zero to model the
+/// paper's process; the final load image is left in `loads` for
+/// inspection via [`LoadState::to_vec`] / [`LoadState::heap_bytes`].
+///
+/// Placement-identical to [`run_trial_with_lanes`] on the same lanes,
+/// whatever the backing (the `loadvec_equivalence` suite pins this).
+///
+/// # Panics
+/// Panics if `loads` is sized for a different space or `strategy` has no
+/// lane form.
+///
+/// ```
+/// use geo2c_core::load::{LoadState, PackedLoads};
+/// use geo2c_core::{sim, space::UniformSpace, strategy::Strategy};
+/// use geo2c_util::rng::BallLanes;
+///
+/// let space = UniformSpace::new(256);
+/// let mut loads = PackedLoads::nibble(256);
+/// let max = sim::run_trial_into(&space, &Strategy::two_choice(), 256, &BallLanes::new(7), &mut loads);
+/// let flat = sim::run_trial_with_lanes(&space, &Strategy::two_choice(), 256, &BallLanes::new(7));
+/// assert_eq!(loads.to_vec(), flat.loads);
+/// assert_eq!(max, flat.max_load);
+/// ```
+pub fn run_trial_into<S: Space, L: LaneSource, LS: LoadState + ?Sized>(
+    space: &S,
+    strategy: &Strategy,
+    m: usize,
+    lanes: &L,
+    loads: &mut LS,
+) -> u32 {
+    assert_eq!(
+        loads.num_servers(),
+        space.num_servers(),
+        "load state sized for a different space"
+    );
+    let mut max_load = 0u32;
+    insert_balls_lanes(space, strategy, m, lanes, loads, |_, new_load| {
+        max_load = max_load.max(new_load);
+    });
+    max_load
 }
 
 /// Inserts `m` balls into `space` using `strategy` and returns the final

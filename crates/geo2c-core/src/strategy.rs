@@ -27,6 +27,7 @@
 //! which for uniform bins improves the bound to
 //! `log log n / (d ln φ_d) + O(1)`.
 
+use crate::load::LoadRead;
 use crate::space::Space;
 use rand::Rng;
 
@@ -223,16 +224,35 @@ impl Strategy {
         owners: &[usize],
         tie_rng: &mut R,
     ) -> usize {
+        self.place_from_loads(space, loads, owners, tie_rng)
+    }
+
+    /// [`Strategy::place_from_owners`] over any [`LoadRead`] backing —
+    /// the entry point the packed/sharded load states run. The minimum
+    /// scan goes through [`LoadRead::min_load_of`] (a register-wide lane
+    /// compare on packed backings) and tie filtering through
+    /// [`LoadRead::load`]; both agree exactly with the flat reference,
+    /// so the tie-lane draw pattern — and hence the RNG stream — is
+    /// backing-independent.
+    ///
+    /// # Panics
+    /// Panics if `owners.len() != d`, or for the split scheme, whose
+    /// probes cannot be pre-drawn as one uniform block.
+    #[must_use]
+    pub fn place_from_loads<S: Space, L: LoadRead + ?Sized, R: Rng + ?Sized>(
+        &self,
+        space: &S,
+        loads: &L,
+        owners: &[usize],
+        tie_rng: &mut R,
+    ) -> usize {
         match self.rule {
             ChoiceRule::Independent { d, tie } => {
                 assert_eq!(owners.len(), d, "owner block sized for wrong d");
                 if let [only] = owners {
                     return *only;
                 }
-                let mut min_load = u32::MAX;
-                for &s in owners {
-                    min_load = min_load.min(loads[s]);
-                }
+                let min_load = loads.min_load_of(owners);
                 if tie == TieBreak::Random {
                     Self::random_tie(loads, owners, min_load, tie_rng)
                 } else {
@@ -276,15 +296,15 @@ impl Strategy {
     ///
     /// # Panics
     /// Panics if `loads.len() != space.num_servers()`.
-    pub fn choose<S: Space, R: Rng + ?Sized>(
+    pub fn choose<S: Space, L: LoadRead + ?Sized, R: Rng + ?Sized>(
         &self,
         space: &S,
-        loads: &[u32],
+        loads: &L,
         rng: &mut R,
     ) -> usize {
         if let ChoiceRule::Independent { d, tie } = self.rule {
             if d <= INLINE_PROBES {
-                debug_assert_eq!(loads.len(), space.num_servers());
+                debug_assert_eq!(loads.num_servers(), space.num_servers());
                 let mut candidates = [0usize; INLINE_PROBES];
                 return self.place_block(space, loads, &mut candidates[..d], tie, rng);
             }
@@ -298,14 +318,14 @@ impl Strategy {
     /// # Panics
     /// Panics if `loads.len() != space.num_servers()` or `scratch` was
     /// built for a different probe count.
-    pub fn choose_with<S: Space, R: Rng + ?Sized>(
+    pub fn choose_with<S: Space, L: LoadRead + ?Sized, R: Rng + ?Sized>(
         &self,
         space: &S,
-        loads: &[u32],
+        loads: &L,
         scratch: &mut ProbeScratch,
         rng: &mut R,
     ) -> usize {
-        debug_assert_eq!(loads.len(), space.num_servers());
+        debug_assert_eq!(loads.num_servers(), space.num_servers());
         match self.rule {
             ChoiceRule::Independent { d, tie } => {
                 assert_eq!(scratch.owners.len(), d, "scratch sized for wrong d");
@@ -317,8 +337,8 @@ impl Strategy {
                 let mut best_load = u32::MAX;
                 for j in 0..d {
                     let s = space.sample_owner_in_division(rng, j, d);
-                    if loads[s] < best_load {
-                        best_load = loads[s];
+                    if loads.load(s) < best_load {
+                        best_load = loads.load(s);
                         best = s;
                     }
                 }
@@ -329,26 +349,23 @@ impl Strategy {
 
     /// Draws one probe block, finds the minimum load, applies the
     /// tie-break.
-    fn place_block<S: Space, R: Rng + ?Sized>(
+    fn place_block<S: Space, L: LoadRead + ?Sized, R: Rng + ?Sized>(
         &self,
         space: &S,
-        loads: &[u32],
+        loads: &L,
         cand: &mut [usize],
         tie: TieBreak,
         rng: &mut R,
     ) -> usize {
         space.sample_owners_into(rng, cand);
-        let mut min_load = u32::MAX;
-        for &s in cand.iter() {
-            min_load = min_load.min(loads[s]);
-        }
+        let min_load = loads.min_load_of(cand);
         self.break_tie(space, loads, cand, min_load, tie, rng)
     }
 
-    fn break_tie<S: Space, R: Rng + ?Sized>(
+    fn break_tie<S: Space, L: LoadRead + ?Sized, R: Rng + ?Sized>(
         &self,
         space: &S,
-        loads: &[u32],
+        loads: &L,
         candidates: &[usize],
         min_load: u32,
         tie: TieBreak,
@@ -368,14 +385,17 @@ impl Strategy {
     /// stream contract v2: with `k ≥ 2` tied candidates, one
     /// `gen_range(0..j)` draw per `j ∈ {2..=k}`, in candidate order; a
     /// unique minimum draws nothing.
-    fn random_tie<R: Rng + ?Sized>(
-        loads: &[u32],
+    fn random_tie<L: LoadRead + ?Sized, R: Rng + ?Sized>(
+        loads: &L,
         candidates: &[usize],
         min_load: u32,
         rng: &mut R,
     ) -> usize {
         // Fast path: a single candidate or a unique minimum.
-        let mut tied = candidates.iter().copied().filter(|&s| loads[s] == min_load);
+        let mut tied = candidates
+            .iter()
+            .copied()
+            .filter(|&s| loads.load(s) == min_load);
         let first = tied.next().expect("at least one candidate");
         let second = match tied.next() {
             None => return first,
@@ -397,14 +417,17 @@ impl Strategy {
     /// [`TieBreak::Random`]) — shared by the per-ball path and the
     /// cross-ball [`Strategy::place_from_owners`] path, so the two can
     /// never disagree.
-    fn deterministic_tie<S: Space>(
+    fn deterministic_tie<S: Space, L: LoadRead + ?Sized>(
         space: &S,
-        loads: &[u32],
+        loads: &L,
         candidates: &[usize],
         min_load: u32,
         tie: TieBreak,
     ) -> usize {
-        let mut tied = candidates.iter().copied().filter(|&s| loads[s] == min_load);
+        let mut tied = candidates
+            .iter()
+            .copied()
+            .filter(|&s| loads.load(s) == min_load);
         let first = tied.next().expect("at least one candidate");
         match tie {
             TieBreak::Random => unreachable!("random tie-break consumes randomness"),

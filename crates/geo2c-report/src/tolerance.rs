@@ -20,7 +20,10 @@
 //!   samples reconstructed from the distributions.
 //! * **Scalar metrics** compare exactly: they are deterministic
 //!   functions of the seed, so any difference is a real change, not
-//!   noise.
+//!   noise. The one carve-out is metrics whose key starts with `~`
+//!   (informational wall-clock measurements such as the scaling table's
+//!   `~balls_per_s`): machine-dependent by nature, they render in the
+//!   tables but never participate in the compare.
 //!
 //! A difference must exceed *both* the z threshold and a small absolute
 //! slack to count: the absolute slack keeps one-trial flickers in a
@@ -151,7 +154,17 @@ fn compare_cells(
     // trial distributions, there is no legitimate noise between a fresh
     // run and the committed expectation), so they compare exactly: the
     // JSON round-trip is lossless and thread count never changes them.
-    if fresh.metrics != expected.metrics {
+    // Metrics whose key starts with `~` are *informational* — wall-clock
+    // measurements (the scaling table's `~balls_per_s`) that legitimately
+    // differ between machines and runs — and are excluded on both sides.
+    let checked = |cell: &Cell| -> Vec<(String, crate::json::Json)> {
+        cell.metrics
+            .iter()
+            .filter(|(k, _)| !k.starts_with('~'))
+            .cloned()
+            .collect()
+    };
+    if checked(fresh) != checked(expected) {
         let describe = |cell: &Cell| {
             cell.metrics
                 .iter()
@@ -396,6 +409,40 @@ mod tests {
             "{diffs:?}"
         );
         assert!(diffs[0].to_string().contains("mean_hops"), "{diffs:?}");
+    }
+
+    #[test]
+    fn tilde_metrics_are_informational_and_never_compared() {
+        // `~`-prefixed metrics are wall-clock measurements: they differ
+        // between any two runs and must not fail the exact compare —
+        // whether they moved, appeared, or disappeared.
+        let cell = |rate: f64| {
+            Cell::new()
+                .coord("backing", Json::str("packed-nibble"))
+                .metric("bytes_per_bin", Json::num(0.5))
+                .metric("~balls_per_s", Json::num(rate))
+        };
+        let spec = ExperimentSpec::new("scaling", "t").trials(3).seed(0);
+        let mut a = ExperimentResult::new(spec.clone());
+        a.push(cell(41_000_000.0));
+        let mut b = ExperimentResult::new(spec.clone());
+        b.push(cell(37_500_000.0));
+        assert!(compare_results(&a, &b, &Tolerance::default()).is_empty());
+
+        // Missing on one side entirely: still not a discrepancy.
+        let mut c = ExperimentResult::new(spec);
+        c.push(
+            Cell::new()
+                .coord("backing", Json::str("packed-nibble"))
+                .metric("bytes_per_bin", Json::num(0.5)),
+        );
+        assert!(compare_results(&a, &c, &Tolerance::default()).is_empty());
+
+        // The deterministic metric beside it still compares exactly.
+        b.cells[0].metrics[0].1 = Json::num(1.0);
+        let diffs = compare_results(&a, &b, &Tolerance::default());
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].to_string().contains("bytes_per_bin"), "{diffs:?}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! least-loaded comparison — an arrival is shed as unavailable only when
 //! *every* one of its probes lands on a failed server.
 
+use geo2c_core::load::LoadState;
 use geo2c_core::sim::EventOwnerBlocks;
 use geo2c_core::space::Space;
 use geo2c_core::strategy::Strategy;
@@ -93,13 +94,20 @@ pub struct EngineState {
 
 /// The long-running placement engine. See the crate docs for the event
 /// model and the stream contract.
+///
+/// Generic over the [`LoadState`] backing of its live-load vector: the
+/// default `Vec<u32>` is the committed-results reference, and the packed
+/// backings of [`geo2c_core::load`] serve the same event stream
+/// byte-identically at a fraction of the memory
+/// ([`ServeEngine::with_load_state`]; pinned by the `packed_equivalence`
+/// property suite).
 #[derive(Debug, Clone)]
-pub struct ServeEngine<S: Space> {
+pub struct ServeEngine<S: Space, L: LoadState = Vec<u32>> {
     space: S,
     config: ServeConfig,
     lanes: EventLanes,
     blocks: EventOwnerBlocks,
-    loads: Vec<u32>,
+    loads: L,
     failed: Vec<bool>,
     /// Min-heap of `(departure event, server)`.
     departures: BinaryHeap<Reverse<(u64, u32)>>,
@@ -111,7 +119,8 @@ pub struct ServeEngine<S: Space> {
 }
 
 impl<S: Space> ServeEngine<S> {
-    /// A fresh engine over `space`, keyed by the lane `root`.
+    /// A fresh engine over `space`, keyed by the lane `root`, tracking
+    /// loads in the flat `Vec<u32>` reference backing.
     ///
     /// # Panics
     /// Panics if the strategy has no lane form (split scheme), if a
@@ -119,6 +128,21 @@ impl<S: Space> ServeEngine<S> {
     /// positive finite number.
     #[must_use]
     pub fn new(space: S, config: ServeConfig, root: u64) -> Self {
+        let n = space.num_servers();
+        Self::with_load_state(space, config, root, vec![0; n])
+    }
+}
+
+impl<S: Space, L: LoadState> ServeEngine<S, L> {
+    /// [`ServeEngine::new`] with an explicit all-zero [`LoadState`]
+    /// backing, e.g. [`geo2c_core::load::PackedLoads`] for large `n`.
+    ///
+    /// # Panics
+    /// As [`ServeEngine::new`], plus if `loads` is sized for a different
+    /// space or not all-zero (the engine's counters assume an empty
+    /// start).
+    #[must_use]
+    pub fn with_load_state(space: S, config: ServeConfig, root: u64, loads: L) -> Self {
         assert!(
             config.strategy.supports_cross_ball_batching(),
             "serving requires a lane-form strategy (not the split scheme)"
@@ -133,10 +157,19 @@ impl<S: Space> ServeEngine<S> {
             }
         }
         let n = space.num_servers();
+        assert_eq!(
+            loads.num_servers(),
+            n,
+            "load state sized for a different space"
+        );
+        assert!(
+            (0..n).all(|s| loads.load(s) == 0),
+            "load state must start empty"
+        );
         Self {
             blocks: EventOwnerBlocks::new(config.strategy.d()),
             lanes: EventLanes::new(root),
-            loads: vec![0; n],
+            loads,
             failed: vec![false; n],
             departures: BinaryHeap::new(),
             clock: 0,
@@ -164,7 +197,7 @@ impl<S: Space> ServeEngine<S> {
             if self.failed[server] {
                 continue; // session already evicted with its server
             }
-            self.loads[server] -= 1;
+            self.loads.dec(server);
             self.departed += 1;
         }
         let owners = self.blocks.owners(&self.space, &self.lanes, t);
@@ -172,19 +205,19 @@ impl<S: Space> ServeEngine<S> {
         let dest =
             self.config
                 .strategy
-                .place_from_owners(&self.space, &self.loads, owners, &mut tie);
+                .place_from_loads(&self.space, &self.loads, owners, &mut tie);
         if self.failed[dest] {
             self.shed += 1;
             return Placement::ShedUnavailable;
         }
         if let Some(cap) = self.config.capacity {
-            if self.loads[dest] >= cap {
+            if self.loads.load(dest) >= cap {
                 self.shed += 1;
                 return Placement::ShedCapacity(dest);
             }
         }
-        self.loads[dest] += 1;
-        self.peak_load = self.peak_load.max(self.loads[dest]);
+        let new_load = self.loads.bump(dest);
+        self.peak_load = self.peak_load.max(new_load);
         let life = self.sample_life(t);
         self.departures.push(Reverse((t + life, dest as u32)));
         Placement::Admitted(dest)
@@ -204,8 +237,8 @@ impl<S: Space> ServeEngine<S> {
         if self.failed[server] {
             return;
         }
-        self.evicted += u64::from(self.loads[server]);
-        self.loads[server] = FAILED_LOAD;
+        self.evicted += u64::from(self.loads.load(server));
+        self.loads.set(server, FAILED_LOAD);
         self.failed[server] = true;
     }
 
@@ -288,11 +321,11 @@ impl<S: Space> ServeEngine<S> {
 
     /// The loads of the live servers, in server order.
     pub fn live_loads(&self) -> impl Iterator<Item = u32> + '_ {
-        self.loads
+        self.failed
             .iter()
-            .zip(&self.failed)
+            .enumerate()
             .filter(|&(_, &f)| !f)
-            .map(|(&l, _)| l)
+            .map(|(s, _)| self.loads.load(s))
     }
 
     /// The substrate the engine routes on.
@@ -337,7 +370,7 @@ impl<S: Space> ServeEngine<S> {
             self.departures.iter().map(|&Reverse(pair)| pair).collect();
         departures.sort_unstable();
         EngineState {
-            loads: self.loads.clone(),
+            loads: self.loads.to_vec(),
             failed: self.failed.clone(),
             departures,
             counters: (self.clock, self.departed, self.shed, self.evicted),
