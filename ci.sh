@@ -35,6 +35,16 @@ say "load-state equivalence (packed/sharded == flat, offline + serving)"
 cargo test -q -p geo2c-core --test loadvec_equivalence
 cargo test -q -p geo2c-serve --test packed_equivalence
 
+# The resilience layer's chaos suite: fault plans replay byte-identically
+# (one-shot == chunked == resumed), arrivals are conserved under
+# arbitrary fail/recover churn, recovery restores availability, the
+# departure heap stays bounded (the leak fix's oracle), and
+# checkpoint/restore resumes byte-identically on flat, packed, and
+# sharded backings. Run by name so a failure is attributed to the fault
+# path rather than to a drifted expectation downstream.
+say "fault injection & recovery (chaos proptests incl. checkpoint/restore)"
+cargo test -q -p geo2c-serve --test fault_recovery
+
 say "docs (no warnings allowed)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
@@ -88,6 +98,13 @@ cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check
 # that every packed/sharded backing places identically to flat.
 say "serving + churn + scaling expectations (quick scale, --only subset)"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check --only serving,churn,scaling
+
+# The resilience and replication families are exact-compared too; their
+# own subset gate keeps the fault-injection numbers (availability, shed
+# split, retry rescues) pinned even when the full quick check is what
+# drifted — a resilience-only failure points straight at the fault path.
+say "resilience + replication expectations (quick scale, --only subset)"
+cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check --only resilience,replication
 
 # A freshly written quick-scale suite must accept itself under --check:
 # this round-trips the current specs (notably the resized paper-scale

@@ -1,23 +1,21 @@
-//! Experiment E17: replication × placement policy.
+//! Experiment E17: replication × placement policy — a thin CLI front
+//! end over [`geo2c_bench::experiments::replication`], which is the
+//! gated suite member behind `results/replication.json`.
 //!
 //! Combines successor-list replication (Chord/CFS reliability) with each
 //! placement policy and reports the three-way trade-off: storage load,
 //! post-failure availability, and balance. This is the "maintaining
-//! reliability" direction the paper's conclusion leaves open.
+//! reliability" direction the paper's conclusion leaves open. The
+//! numbers here are the same computation `./tables.sh` commits: one
+//! constructor, two entry points.
 //!
 //! ```text
 //! cargo run --release -p geo2c-bench --bin replication [--trials T] [--json PATH]
 //! ```
 
-use geo2c_bench::{banner, pow2_label, Cli};
-use geo2c_dht::chord::ChordRing;
-use geo2c_dht::placement::PlacementPolicy;
-use geo2c_dht::replication::{availability_after_failures, place_replicated};
+use geo2c_bench::{banner, experiments, pow2_label, Cli};
+use geo2c_core::experiment::SweepConfig;
 use geo2c_report::markdown::render_text;
-use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
-use geo2c_util::parallel::parallel_map;
-use geo2c_util::rng::StreamSeeder;
-use geo2c_util::stats::RunningStats;
 
 fn main() {
     let cli = Cli::parse(16, (10, 10), 12);
@@ -26,54 +24,18 @@ fn main() {
         &cli,
     );
     let n = 1usize << cli.max_exp;
-    let m = (16 * n) as u64;
-    let fail = 0.3;
-    let seeder = StreamSeeder::new(cli.seed).child("replication");
-
-    let spec = ExperimentSpec::new("replication", "E17: replication x placement trade-off")
-        .paper_ref("conclusion (reliability)")
-        .trials(cli.trials)
-        .seed(cli.seed)
-        .param("nodes", Json::from_usize(n))
-        .param("items", Json::from_u64(m))
-        .param("fail_fraction", Json::num(fail));
-    let mut result = ExperimentResult::new(spec);
-
-    for (name, policy) in [
-        ("consistent", PlacementPolicy::Consistent),
-        ("2-choice", PlacementPolicy::DChoice { d: 2 }),
-    ] {
-        for r in [1usize, 2, 3] {
-            let rows: Vec<(f64, f64)> = parallel_map(cli.trials, cli.threads, |trial| {
-                let mut rng = seeder.child(&format!("{name}/r{r}")).stream(trial as u64);
-                let ring = ChordRing::new(n, &mut rng);
-                let placement = place_replicated(&ring, policy, m, r);
-                let avail = availability_after_failures(&placement, n, fail, &mut rng);
-                (f64::from(placement.max_load()), avail.available)
-            });
-            let mut max_load = RunningStats::new();
-            let mut avail = RunningStats::new();
-            for (ml, av) in rows {
-                max_load.push(ml);
-                avail.push(av);
-            }
-            result.push(
-                Cell::new()
-                    .coord("scheme", Json::str(name))
-                    .coord("replicas", Json::from_usize(r))
-                    .metric("max_load_mean", Json::num(max_load.mean()))
-                    .metric("mean_load", Json::num(r as f64 * m as f64 / n as f64))
-                    .metric("availability_pct", Json::num(100.0 * avail.mean())),
-            );
-        }
-        eprintln!("--- {name} done ---");
-    }
+    let config = SweepConfig {
+        trials: cli.trials,
+        threads: cli.threads,
+        seed: cli.seed,
+    };
+    let result = experiments::replication(n, &config);
     println!("{}", render_text(&result));
     cli.write_results(std::slice::from_ref(&result));
     println!(
-        "n = {} nodes, m = {m} items, {:.0}% failures. Availability is set by r",
+        "n = {} nodes, m = {} items, 30% failures. Availability is set by r",
         pow2_label(n),
-        fail * 100.0
+        16 * n,
     );
     println!("(≈ 1 − fail^r); balance is set by the placement policy — the two");
     println!("mechanisms compose, which is the practical claim behind §1.1.");

@@ -139,7 +139,9 @@ fn run_suite(
     let chart = config(scale.chart_trials);
     let tab = config(scale.tab_trials);
     let serve = config(scale.serve_trials);
+    let resil = config(scale.resil_trials);
     let churn = config(scale.churn_trials);
+    let repl = config(scale.repl_trials);
     let scaling = config(scale.scaling_trials);
     let provenance_line = |label: &str, config: &SweepConfig| {
         let pairs: Vec<String> = config
@@ -151,14 +153,17 @@ fn run_suite(
     };
     eprintln!(
         "running the {} scale (ring n = {:?}, torus n = {:?}, dimension n = 2^{}, \
-         ring chart n = 2^{}, serving n = 2^{}, churn n = 2^{}, scaling n = 2^{})",
+         ring chart n = 2^{}, serving n = 2^{}, resilience n = 2^{}, churn n = 2^{}, \
+         replication n = 2^{}, scaling n = 2^{})",
         scale.name,
         scale.ring_sizes(),
         scale.torus_sizes(),
         scale.dim_exp,
         scale.chart_exp,
         scale.serve_exp,
+        scale.resil_exp,
         scale.churn_exp,
+        scale.repl_exp,
         scale.scaling_exp,
     );
     if let Some(ids) = only {
@@ -170,7 +175,9 @@ fn run_suite(
     provenance_line("ring_chart", &chart);
     provenance_line("tabulation", &tab);
     provenance_line("serving", &serve);
+    provenance_line("resilience", &resil);
     provenance_line("churn", &churn);
+    provenance_line("replication", &repl);
     provenance_line("scaling", &scaling);
     let mut results = Vec::new();
     if wanted("table1") {
@@ -194,8 +201,14 @@ fn run_suite(
     if wanted("serving") {
         results.push(experiments::serving(1usize << scale.serve_exp, &serve));
     }
+    if wanted("resilience") {
+        results.push(experiments::resilience(1usize << scale.resil_exp, &resil));
+    }
     if wanted("churn") {
         results.push(experiments::churn(1usize << scale.churn_exp, &churn));
+    }
+    if wanted("replication") {
+        results.push(experiments::replication(1usize << scale.repl_exp, &repl));
     }
     if wanted("scaling") {
         results.push(experiments::scaling(1usize << scale.scaling_exp, &scaling));

@@ -21,10 +21,12 @@ use geo2c_core::load::{LoadState as _, PackedLoads, ShardedLoads};
 use geo2c_core::sim::{run_trial, run_trial_into, run_trial_with_lanes};
 use geo2c_core::space::{KdTorusSpace, RingSpace, SpaceKind, UniformSpace};
 use geo2c_core::strategy::{Strategy, TieBreak};
+use geo2c_dht::chord::ChordRing;
 use geo2c_dht::churn::churn_experiment;
 use geo2c_dht::placement::PlacementPolicy;
+use geo2c_dht::replication::{availability_after_failures, place_replicated};
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
-use geo2c_serve::{ServeConfig, ServeEngine, SessionLife};
+use geo2c_serve::{FaultPlan, ServeConfig, ServeEngine, SessionLife};
 use geo2c_util::parallel::parallel_map;
 use geo2c_util::rng::{BallLanes, StreamSeeder, TabulationHash, TabulationLanes, Xoshiro256pp};
 use geo2c_util::stats::RunningStats;
@@ -33,7 +35,7 @@ use rand::RngCore as _;
 
 /// Spec ids of the experiments `run_tables` drives, in suite order —
 /// also the basenames of the committed files under `results/`.
-pub const SUITE_IDS: [&str; 9] = [
+pub const SUITE_IDS: [&str; 11] = [
     "table1",
     "table2",
     "table3",
@@ -41,7 +43,9 @@ pub const SUITE_IDS: [&str; 9] = [
     "ring_chart",
     "tabulation",
     "serving",
+    "resilience",
     "churn",
+    "replication",
     "scaling",
 ];
 
@@ -74,10 +78,18 @@ pub struct Scale {
     pub serve_exp: u32,
     /// Trials per serving scenario.
     pub serve_trials: usize,
+    /// `n = 2^k` exponent for the serving resilience experiment.
+    pub resil_exp: u32,
+    /// Trials per resilience cell.
+    pub resil_trials: usize,
     /// `n = 2^k` exponent for the DHT churn experiment.
     pub churn_exp: u32,
     /// Trials per churn cell.
     pub churn_trials: usize,
+    /// `n = 2^k` exponent for the replication trade-off experiment.
+    pub repl_exp: u32,
+    /// Trials per replication cell.
+    pub repl_trials: usize,
     /// `n = 2^k` exponent for the streaming-scale backing comparison.
     pub scaling_exp: u32,
     /// Trials per scaling cell.
@@ -99,8 +111,12 @@ pub const QUICK: Scale = Scale {
     tab_trials: 25,
     serve_exp: 8,
     serve_trials: 6,
+    resil_exp: 8,
+    resil_trials: 4,
     churn_exp: 8,
     churn_trials: 5,
+    repl_exp: 8,
+    repl_trials: 5,
     scaling_exp: 14,
     scaling_trials: 3,
 };
@@ -138,8 +154,15 @@ pub const REFERENCE: Scale = Scale {
     // a fraction of a percent.
     serve_exp: 10,
     serve_trials: 25,
+    // The resilience cells rerun the serving workload under correlated
+    // outages; the grid is wider (fail × d × retry budget) so fewer
+    // trials per cell keep the family's cost near the serving table's.
+    resil_exp: 10,
+    resil_trials: 15,
     churn_exp: 10,
     churn_trials: 20,
+    repl_exp: 10,
+    repl_trials: 20,
     // The streaming-scale backing comparison runs at 2^24 bins — the
     // paper's own largest ring n, and far past L2 for every backing —
     // so bytes/bin and balls/sec are measured where they matter. The
@@ -165,8 +188,12 @@ pub const FULL: Scale = Scale {
     tab_trials: 1000,
     serve_exp: 13,
     serve_trials: 100,
+    resil_exp: 13,
+    resil_trials: 60,
     churn_exp: 12,
     churn_trials: 100,
+    repl_exp: 12,
+    repl_trials: 100,
     scaling_exp: 26,
     scaling_trials: 5,
 };
@@ -584,6 +611,7 @@ pub fn serving(n: usize, config: &SweepConfig) -> ExperimentResult {
                     strategy: Strategy::d_choice(d),
                     capacity,
                     life: SessionLife::Exponential { mean: mean_life },
+                    retries: 0,
                 };
                 let mut engine = ServeEngine::new(space, cfg, rng.gen::<u64>());
                 engine.run(horizon);
@@ -621,6 +649,178 @@ pub fn serving(n: usize, config: &SweepConfig) -> ExperimentResult {
                 .dist(distribution),
         );
         progress(&format!("serving: d = {d}, capacity = {cap_label} done"));
+    }
+    result
+}
+
+/// Retry budgets the resilience grid sweeps: `r = 0` is the plain PR-6
+/// engine (the byte-identity control), `r ∈ {1, 2}` redraw that many
+/// fresh probe sets from the `RETRY_TAG` lane before shedding.
+pub const RESILIENCE_RETRIES: [u32; 3] = [0, 1, 2];
+
+/// The serving resilience family (`geo2c-serve` + [`FaultPlan`]):
+/// the serving workload under deterministic correlated outages.
+///
+/// Two kinds of cells, distinguished by the `phase` coordinate:
+///
+/// * **`steady`** — a contiguous region of the ring (10% or 30% of the
+///   servers — a geometrically correlated outage, since `RingSpace`
+///   sorts servers by position) is down for the whole run. The grid is
+///   failure fraction × d ∈ {2, 3} × retry budget
+///   ([`RESILIENCE_RETRIES`]), and the cell reports whole-run
+///   availability, the shed split (capacity vs unavailable), the
+///   fraction of arrivals rescued by retries, and the end-state live
+///   load profile.
+/// * **`pre-outage` / `outage` / `recovered`** — one transient
+///   scenario per retry budget at d = 2: the region crashes at `4n`,
+///   recovers at `8n`, and the run continues to `16n`
+///   ([`ServeEngine::run_with_faults`] applies the plan in chunks).
+///   Each phase cell reports the *per-phase* rates (counter deltas
+///   across the phase boundary) — the outage-and-recovery curve: shed
+///   spikes while the region is dark, then returns to the pre-outage
+///   baseline after recovery.
+///
+/// All randomness is laned: the fault schedule is part of the
+/// experiment spec (a [`FaultPlan`], not a random draw), the retry
+/// redraws come from each event's `RETRY_TAG` lane, and `r = 0` never
+/// touches that lane — so the `r = 0` column is byte-identical to the
+/// engine the committed `serving` table runs.
+#[must_use]
+pub fn resilience(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let mean_life = 4.0 * n as f64;
+    let horizon = 16 * n as u64;
+    let capacity = 6u32;
+    let spec = ExperimentSpec::new(
+        "resilience",
+        "Resilience: availability under correlated outages, recovery, and probe retries",
+    )
+    .paper_ref("§1.1 (online placement); conclusion (reliability)")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("space", Json::str("ring"))
+    .param("servers", Json::from_usize(n))
+    .param("events", Json::from_u64(horizon))
+    .param("mean_life", Json::num(mean_life))
+    .param("capacity", Json::from_u64(u64::from(capacity)))
+    .param("tie_break", Json::str("random"))
+    .param(
+        "retries",
+        Json::Arr(
+            RESILIENCE_RETRIES
+                .iter()
+                .map(|&r| Json::from_u64(u64::from(r)))
+                .collect(),
+        ),
+    );
+    let mut result = ExperimentResult::new(spec);
+    let fractions = [0.1f64, 0.3];
+    // One aggregate row: (shed_pct, unavail_pct, retry_admit_pct,
+    // availability_pct, max_load, p99_load).
+    type Row = (f64, f64, f64, f64, f64, f64);
+    let push_cell =
+        |result: &mut ExperimentResult, phase: &str, fail: f64, d: usize, r: u32, rows: &[Row]| {
+            let mut stats = [(); 6].map(|()| RunningStats::new());
+            for &(s, u, a, av, m, p) in rows {
+                for (slot, v) in stats.iter_mut().zip([s, u, a, av, m, p]) {
+                    slot.push(v);
+                }
+            }
+            result.push(
+                Cell::new()
+                    .coord("phase", Json::str(phase))
+                    .coord("fail_pct", Json::num(fail * 100.0))
+                    .coord("d", Json::from_usize(d))
+                    .coord("r", Json::from_u64(u64::from(r)))
+                    .metric("availability_pct", Json::num(stats[3].mean()))
+                    .metric("shed_pct", Json::num(stats[0].mean()))
+                    .metric("unavail_pct", Json::num(stats[1].mean()))
+                    .metric("retry_admit_pct", Json::num(stats[2].mean()))
+                    .metric("max_load", Json::num(stats[4].mean()))
+                    .metric("p99_load", Json::num(stats[5].mean())),
+            );
+        };
+    // Rates over a window of `events` arrivals, from counter deltas.
+    let window_row =
+        |engine: &ServeEngine<RingSpace, Vec<u32>>, base: (u64, u64, u64, u64)| -> Row {
+            let (arrivals0, cap0, unavail0, rescued0) = base;
+            let events = engine.arrivals() - arrivals0;
+            let pct = |x: u64| 100.0 * x as f64 / events as f64;
+            let shed_cap = engine.shed_capacity() - cap0;
+            let shed_unavail = engine.shed_unavailable() - unavail0;
+            let stats = engine.load_stats();
+            (
+                pct(shed_cap + shed_unavail),
+                pct(shed_unavail),
+                pct(engine.admitted_on_retry() - rescued0),
+                100.0 - pct(shed_cap + shed_unavail),
+                f64::from(stats.max),
+                f64::from(stats.p99),
+            )
+        };
+    let snap = |engine: &ServeEngine<RingSpace, Vec<u32>>| {
+        (
+            engine.arrivals(),
+            engine.shed_capacity(),
+            engine.shed_unavailable(),
+            engine.admitted_on_retry(),
+        )
+    };
+    let engine_config = |d: usize, r: u32| ServeConfig {
+        strategy: Strategy::d_choice(d),
+        capacity: Some(capacity),
+        life: SessionLife::Exponential { mean: mean_life },
+        retries: r,
+    };
+
+    // Steady cells: the region is dark for the entire run.
+    for &fail in &fractions {
+        let down = ((fail * n as f64).round() as usize).max(1);
+        for d in [2usize, 3] {
+            for r in RESILIENCE_RETRIES {
+                let label = format!("resilience/steady/fail{}/d{d}/r{r}", fail * 100.0);
+                let seeder = StreamSeeder::new(config.seed).child(&label);
+                let plan = FaultPlan::region_outage(n, 0, down, 0, None);
+                let rows: Vec<Row> = parallel_map(config.trials, config.threads, |trial| {
+                    let mut rng = seeder.stream(trial as u64);
+                    let space = RingSpace::random(n, &mut rng);
+                    let mut engine = ServeEngine::new(space, engine_config(d, r), rng.gen::<u64>());
+                    let base = snap(&engine);
+                    engine.run_with_faults(horizon, &plan);
+                    window_row(&engine, base)
+                });
+                push_cell(&mut result, "steady", fail, d, r, &rows);
+            }
+        }
+        progress(&format!(
+            "resilience: steady, fail = {}% done",
+            fail * 100.0
+        ));
+    }
+
+    // Transient cells: crash at 4n, recover at 8n, run to 16n; one cell
+    // per (phase, r) at d = 2 and the larger outage.
+    let fail = fractions[1];
+    let down = ((fail * n as f64).round() as usize).max(1);
+    let chunks = [4 * n as u64, 4 * n as u64, 8 * n as u64];
+    for r in RESILIENCE_RETRIES {
+        let label = format!("resilience/transient/fail{}/d2/r{r}", fail * 100.0);
+        let seeder = StreamSeeder::new(config.seed).child(&label);
+        let plan = FaultPlan::region_outage(n, 0, down, 4 * n as u64, Some(8 * n as u64));
+        let rows: Vec<[Row; 3]> = parallel_map(config.trials, config.threads, |trial| {
+            let mut rng = seeder.stream(trial as u64);
+            let space = RingSpace::random(n, &mut rng);
+            let mut engine = ServeEngine::new(space, engine_config(2, r), rng.gen::<u64>());
+            chunks.map(|events| {
+                let base = snap(&engine);
+                engine.run_with_faults(events, &plan);
+                window_row(&engine, base)
+            })
+        });
+        for (i, phase) in ["pre-outage", "outage", "recovered"].iter().enumerate() {
+            let phase_rows: Vec<Row> = rows.iter().map(|r| r[i]).collect();
+            push_cell(&mut result, phase, fail, 2, r, &phase_rows);
+        }
+        progress(&format!("resilience: transient, r = {r} done"));
     }
     result
 }
@@ -682,6 +882,65 @@ pub fn churn(n: usize, config: &SweepConfig) -> ExperimentResult {
             );
         }
         progress(&format!("churn: {name} done"));
+    }
+    result
+}
+
+/// The replication × placement trade-off (previously the stdout-only
+/// `replication` binary, folded into the gated suite): place `16n` items
+/// on an `n`-node Chord ring with `r` successor-list replicas under each
+/// placement policy, fail 30% of the nodes, and report the three-way
+/// trade-off — storage load (`max_load_mean`), the storage price
+/// (`mean_load = r·m/n`), and post-failure availability (≈ 1 − fail^r).
+/// Availability is set by `r` and balance by the placement policy; the
+/// two mechanisms compose, which is the practical claim behind §1.1.
+/// Metric-only cells, compared exactly by `--check`. The seeder paths
+/// are those of the former binary, so its historical numbers reproduce
+/// under the same seed and trial count.
+#[must_use]
+pub fn replication(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let m = (16 * n) as u64;
+    let fail = 0.3;
+    let seeder = StreamSeeder::new(config.seed).child("replication");
+    let spec = ExperimentSpec::new(
+        "replication",
+        "Replication: successor-list replicas x placement policy (items = 16n, 30% failures)",
+    )
+    .paper_ref("conclusion (reliability)")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("nodes", Json::from_usize(n))
+    .param("items", Json::from_u64(m))
+    .param("fail_fraction", Json::num(fail));
+    let mut result = ExperimentResult::new(spec);
+    for (name, policy) in [
+        ("consistent", PlacementPolicy::Consistent),
+        ("2-choice", PlacementPolicy::DChoice { d: 2 }),
+    ] {
+        for r in [1usize, 2, 3] {
+            let rows: Vec<(f64, f64)> = parallel_map(config.trials, config.threads, |trial| {
+                let mut rng = seeder.child(&format!("{name}/r{r}")).stream(trial as u64);
+                let ring = ChordRing::new(n, &mut rng);
+                let placement = place_replicated(&ring, policy, m, r);
+                let avail = availability_after_failures(&placement, n, fail, &mut rng);
+                (f64::from(placement.max_load()), avail.available)
+            });
+            let mut max_load = RunningStats::new();
+            let mut avail = RunningStats::new();
+            for (ml, av) in rows {
+                max_load.push(ml);
+                avail.push(av);
+            }
+            result.push(
+                Cell::new()
+                    .coord("scheme", Json::str(name))
+                    .coord("replicas", Json::from_usize(r))
+                    .metric("max_load_mean", Json::num(max_load.mean()))
+                    .metric("mean_load", Json::num(r as f64 * m as f64 / n as f64))
+                    .metric("availability_pct", Json::num(100.0 * avail.mean())),
+            );
+        }
+        progress(&format!("replication: {name} done"));
     }
     result
 }
@@ -846,10 +1105,11 @@ of CPU) and writes `results/full/`.\n\n",
     out.push_str(
         "Each cell shows the distribution of the **maximum load** over the trials, \
 in the paper's `value: percent` format, with the distribution mean beneath. \
-The serving, churn, and streaming-scale tables at the end instead report \
-scalar metric columns (means over the trials, compared *exactly* by `--check` — \
-they are deterministic in the seed); the serving distribution column \
-aggregates the end-state per-server loads across all trials. Metric columns \
+The serving, resilience, churn, replication, and streaming-scale tables at the \
+end instead report scalar metric columns (means over the trials, compared \
+*exactly* by `--check` — they are deterministic in the seed); the serving \
+distribution column aggregates the end-state per-server loads across all \
+trials. Metric columns \
 whose name starts with `~` (the scaling table's `~balls_per_s`) are \
 *informational* — wall-clock measurements that vary by machine — and are \
 excluded from `--check`'s exact compare.\n\n",
@@ -871,7 +1131,7 @@ excluded from `--check`'s exact compare.\n\n",
     }
     // The metric-bearing experiments render flat (one row per cell,
     // scalar columns + the aggregated load distribution where present).
-    for id in ["serving", "churn", "scaling"] {
+    for id in ["serving", "resilience", "churn", "replication", "scaling"] {
         if let Some(result) = set.experiment(id) {
             out.push_str(&render_markdown(result));
             out.push('\n');
@@ -902,6 +1162,22 @@ evidence that the distribution *law* is unchanged and only the stream \
 changed. (Dahlgaard et al., SODA 2016, give the theory backdrop: \
 two-choices max load is robust to far weaker randomness than either \
 stream, which the `tabulation` table above tests directly.)\n\n\
+The serving engine adds two lane families to the same contract. An \
+arrival whose primary placement would shed redraws up to `r` fresh probe \
+sets (probes *and* tie-breaks) from the event's \
+`SplitMix64::mixed(root, event, RETRY_TAG)` lane — consumed only on the \
+would-shed path, so the `r = 0` engine never touches it and the serving \
+table above is byte-identical whether or not retries exist in the build. \
+Fault schedules are deterministic data, not hidden randomness: a \
+`geo2c_serve::FaultPlan` pins every crash/recovery to an arrival-event \
+timestamp (the resilience table's region outages are plan literals), and \
+randomized schedules draw fault `i`'s crash time, victim, and downtime \
+from `SplitMix64::mixed(root, i, FAULT_TAG)` — one more replayable lane, \
+decorrelated from every probe/tie/life/retry stream. The chaos suite \
+(`geo2c-serve/tests/fault_recovery.rs`) pins the consequences: chunked, \
+resumed, and checkpoint/restored runs under a plan are byte-identical to \
+the one-shot run, and arrivals are conserved across arbitrary \
+fail/recover churn.\n\n\
 ## Performance methodology\n\n\
 The numbers above are *distributions*; the speed that makes them cheap to \
 regenerate is tracked separately under [`results/bench/`](results/bench/):\n\n\
@@ -1002,8 +1278,12 @@ mod tests {
             assert!(pair[0].dim_exp <= pair[1].dim_exp);
             assert!(pair[0].serve_exp <= pair[1].serve_exp);
             assert!(pair[0].serve_trials <= pair[1].serve_trials);
+            assert!(pair[0].resil_exp <= pair[1].resil_exp);
+            assert!(pair[0].resil_trials <= pair[1].resil_trials);
             assert!(pair[0].churn_exp <= pair[1].churn_exp);
             assert!(pair[0].churn_trials <= pair[1].churn_trials);
+            assert!(pair[0].repl_exp <= pair[1].repl_exp);
+            assert!(pair[0].repl_trials <= pair[1].repl_trials);
             assert!(pair[0].scaling_exp <= pair[1].scaling_exp);
             assert!(pair[0].scaling_trials <= pair[1].scaling_trials);
         }
@@ -1166,6 +1446,111 @@ mod tests {
     }
 
     #[test]
+    fn resilience_covers_the_steady_grid_and_the_transient_curve() {
+        let n = 64;
+        let config = tiny_config();
+        let result = resilience(n, &config);
+        assert_eq!(result.spec.id, "resilience");
+        // Steady: 2 fractions × d ∈ {2, 3} × 3 retry budgets; transient:
+        // 3 phases × 3 retry budgets. All metric-only.
+        assert_eq!(result.cells.len(), 12 + 9);
+        let metric = |cell: &Cell, key: &str| {
+            cell.metrics
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap_or_else(|| panic!("missing metric {key}"))
+        };
+        let coord = |cell: &Cell, key: &str| {
+            cell.coords
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing coord {key}"))
+        };
+        for cell in &result.cells {
+            assert!(cell.distribution.is_none());
+            // The books must balance within every cell: admitted +
+            // shed = 100% of arrivals, and the unavailable sheds are a
+            // subset of all sheds.
+            let shed = metric(cell, "shed_pct");
+            assert!((metric(cell, "availability_pct") + shed - 100.0).abs() < 1e-9);
+            assert!(metric(cell, "unavail_pct") <= shed + 1e-9);
+            assert!(metric(cell, "max_load") >= metric(cell, "p99_load"));
+            // r = 0 never draws the retry lane, so it can rescue nothing.
+            if coord(cell, "r").as_u64() == Some(0) {
+                assert_eq!(metric(cell, "retry_admit_pct"), 0.0);
+            }
+        }
+        // A 30% outage at d = 2 sheds unavailable arrivals; retries
+        // strictly help at the same fault plan and stream.
+        let steady = |r: u64| {
+            result
+                .cells
+                .iter()
+                .find(|c| {
+                    coord(c, "phase").as_str() == Some("steady")
+                        && coord(c, "fail_pct").as_f64() == Some(30.0)
+                        && coord(c, "d").as_u64() == Some(2)
+                        && coord(c, "r").as_u64() == Some(r)
+                })
+                .expect("steady cell")
+        };
+        assert!(metric(steady(0), "unavail_pct") > 0.0);
+        assert!(metric(steady(2), "shed_pct") < metric(steady(0), "shed_pct"));
+        assert!(metric(steady(2), "retry_admit_pct") > 0.0);
+        // The transient curve: shedding spikes during the outage and
+        // falls back after recovery, at every retry budget.
+        let transient = |phase: &str, r: u64| {
+            result
+                .cells
+                .iter()
+                .find(|c| {
+                    coord(c, "phase").as_str() == Some(phase) && coord(c, "r").as_u64() == Some(r)
+                })
+                .expect("transient cell")
+        };
+        for r in [0u64, 1, 2] {
+            let outage = metric(transient("outage", r), "shed_pct");
+            assert!(outage > metric(transient("pre-outage", r), "shed_pct"));
+            assert!(outage > metric(transient("recovered", r), "shed_pct"));
+        }
+        // Deterministic in the seed: exact metric replay.
+        assert_eq!(resilience(n, &config), result);
+    }
+
+    #[test]
+    fn replication_matches_the_former_binary_cell_grid() {
+        let config = tiny_config();
+        let result = replication(32, &config);
+        assert_eq!(result.spec.id, "replication");
+        // 2 schemes × r ∈ {1, 2, 3}, metric-only cells.
+        assert_eq!(result.cells.len(), 6);
+        let metric = |cell: &Cell, key: &str| {
+            cell.metrics
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap_or_else(|| panic!("missing metric {key}"))
+        };
+        for cell in &result.cells {
+            assert!(cell.distribution.is_none());
+            assert!(metric(cell, "availability_pct") > 0.0);
+            assert!(metric(cell, "max_load_mean") >= metric(cell, "mean_load") / 2.0);
+        }
+        assert_eq!(result.cells[0].label(), "scheme=\"consistent\", replicas=1");
+        // More replicas buy availability (≈ 1 − 0.3^r) under either
+        // placement policy: r = 3 beats r = 1 by a wide margin.
+        for scheme_cells in result.cells.chunks(3) {
+            assert!(
+                metric(&scheme_cells[2], "availability_pct")
+                    > metric(&scheme_cells[0], "availability_pct")
+            );
+        }
+        assert_eq!(replication(32, &config), result);
+    }
+
+    #[test]
     fn churn_matches_the_former_binary_cell_grid() {
         let config = tiny_config();
         let result = churn(16, &config);
@@ -1259,7 +1644,9 @@ mod tests {
         set.push(ring_chart(32, &config));
         set.push(tabulation(32, &config));
         set.push(serving(32, &config));
+        set.push(resilience(64, &config));
         set.push(churn(16, &config));
+        set.push(replication(16, &config));
         set.push(scaling(64, &config));
         let md = experiments_markdown(&set);
         assert!(md.starts_with("# EXPERIMENTS"));
@@ -1271,7 +1658,9 @@ mod tests {
             "## Diminishing returns",
             "## Weak hashing",
             "## Online serving",
+            "## Resilience",
             "## Churn",
+            "## Replication",
             "## Streaming scale",
             "## RNG stream contract v2",
             "## Performance methodology",
@@ -1279,6 +1668,16 @@ mod tests {
         ] {
             assert!(md.contains(heading), "missing {heading}");
         }
+        // The resilience section must land between serving and churn
+        // (suite order), and the methodology note must name both tags.
+        let pos = |needle: &str| {
+            md.find(needle)
+                .unwrap_or_else(|| panic!("missing {needle}"))
+        };
+        assert!(pos("## Online serving") < pos("## Resilience"));
+        assert!(pos("## Resilience") < pos("## Churn"));
+        assert!(pos("## Churn") < pos("## Replication"));
+        assert!(md.contains("RETRY_TAG") && md.contains("FAULT_TAG"));
         assert!(md.contains("`./tables.sh --check`"));
         assert!(md.contains("seed (`3`)"));
         // Byte-identical regeneration: the git revision must not leak in

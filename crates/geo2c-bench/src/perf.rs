@@ -25,7 +25,7 @@ use geo2c_core::space::{KdTorusSpace, RingSpace, TorusSpace, UniformSpace};
 use geo2c_core::strategy::{Strategy, TieBreak};
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_ring::RingPoint;
-use geo2c_serve::{ServeConfig, ServeEngine, SessionLife};
+use geo2c_serve::{FaultPlan, ServeConfig, ServeEngine, SessionLife};
 use geo2c_torus::kd::{KdPoint, KdSites};
 use geo2c_torus::TorusPoint;
 use geo2c_util::rng::{BallLanes, Xoshiro256pp};
@@ -112,6 +112,11 @@ enum BenchKind {
     /// exponential departures (mean life n) on a fixed ring space —
     /// the heap-draining, admission-controlled variant of `TrialRing`.
     TrialServe { d: usize },
+    /// The `TrialServe` workload under a region outage: a quarter of the
+    /// ring crashes at `n` events and recovers at `3n`, with a retry
+    /// budget of 1 — the fault-application, eager-purge, and retry-lane
+    /// overheads on top of `serving_d2_random`.
+    TrialServeFaults { d: usize },
     /// One full laned trial on uniform bins against an alternative
     /// load-state backing (`run_trial_into`): the `TrialUniform` workload
     /// with the flat `Vec<u32>` swapped for a packed/sharded backing.
@@ -249,12 +254,36 @@ impl BenchDef {
                     strategy: Strategy::d_choice(d),
                     capacity: None,
                     life: SessionLife::Exponential { mean: n as f64 },
+                    retries: 0,
                 };
                 let events = self.elems;
                 let root = rng.next_u64();
                 time_with(window, repeats, || {
                     let mut engine = ServeEngine::new(space.clone(), config, root);
                     engine.run(events);
+                    engine.peak_load()
+                })
+            }
+            BenchKind::TrialServeFaults { d } => {
+                let space = RingSpace::random(n, &mut rng);
+                let config = ServeConfig {
+                    strategy: Strategy::d_choice(d),
+                    capacity: None,
+                    life: SessionLife::Exponential { mean: n as f64 },
+                    retries: 1,
+                };
+                let events = self.elems;
+                let plan = FaultPlan::region_outage(
+                    n,
+                    0,
+                    (n / 4).max(1),
+                    events / 4,
+                    Some(3 * events / 4),
+                );
+                let root = rng.next_u64();
+                time_with(window, repeats, || {
+                    let mut engine = ServeEngine::new(space.clone(), config, root);
+                    engine.run_with_faults(events, &plan);
                     engine.peak_load()
                 })
             }
@@ -446,6 +475,16 @@ impl BenchScale {
                 elems: 4u64 << self.trial_serve_exp,
                 kind: BenchKind::TrialServe { d: 2 },
             },
+            // The same serving workload under a region outage + retry
+            // budget, so the resilience layer's overhead diffs directly
+            // against serving_d2_random.
+            BenchDef {
+                group: "trial",
+                name: "serving_faults_d2",
+                exp: self.trial_serve_exp,
+                elems: 4u64 << self.trial_serve_exp,
+                kind: BenchKind::TrialServeFaults { d: 2 },
+            },
         ]
     }
 }
@@ -631,6 +670,7 @@ mod tests {
         assert!(ids.contains(&"trial/kd3_d2_random/2^13".to_string()));
         assert!(ids.contains(&"trial/kd3_d2_left/2^13".to_string()));
         assert!(ids.contains(&"trial/serving_d2_random/2^14".to_string()));
+        assert!(ids.contains(&"trial/serving_faults_d2/2^14".to_string()));
         assert!(ids.contains(&"trial/scaling_flat/2^20".to_string()));
         assert!(ids.contains(&"trial/scaling_packed/2^20".to_string()));
         assert!(ids.contains(&"trial/scaling_sharded/2^20".to_string()));

@@ -38,6 +38,20 @@ fn quick_run_produces_parseable_result_sets_and_check_works() {
         match id {
             "dimension" => {}
             "churn" => assert!(cell.distribution.is_none(), "churn cells are metric-only"),
+            "replication" => assert!(
+                cell.distribution.is_none(),
+                "replication cells are metric-only"
+            ),
+            "resilience" => {
+                assert!(
+                    cell.distribution.is_none(),
+                    "resilience cells are metric-only"
+                );
+                assert!(
+                    cell.metrics.iter().any(|(k, _)| k == "availability_pct"),
+                    "resilience cells carry the availability metric"
+                );
+            }
             "scaling" => {
                 assert!(cell.distribution.is_none(), "scaling cells are metric-only");
                 // The wall-clock throughput column must be present (it
@@ -159,7 +173,9 @@ fn quick_expectations_in_the_repository_match_the_current_scale() {
             "ring_chart" => scale.chart_trials,
             "tabulation" => scale.tab_trials,
             "serving" => scale.serve_trials,
+            "resilience" => scale.resil_trials,
             "churn" => scale.churn_trials,
+            "replication" => scale.repl_trials,
             "scaling" => scale.scaling_trials,
             _ => scale.ring_trials,
         };

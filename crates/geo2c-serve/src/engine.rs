@@ -1,13 +1,18 @@
-//! The event loop: arrivals, departures, failures, admission control.
+//! The event loop: arrivals, departures, failures, recovery, admission
+//! control.
 //!
 //! Time is measured in *arrival events*: [`ServeEngine::step`] is one
 //! arrival, and a session admitted at event `t` with lifetime `l`
-//! departs at the start of event `t + l`. Server failures are permanent
-//! ([`ServeEngine::fail_server`]): a failed server's sessions are
-//! evicted, its pending departures are lazily discarded, and its load is
-//! pinned at a sentinel so that any live probed server always wins the
-//! least-loaded comparison — an arrival is shed as unavailable only when
-//! *every* one of its probes lands on a failed server.
+//! departs at the start of event `t + l`. A failed server
+//! ([`ServeEngine::fail_server`]) has its sessions evicted, its pending
+//! departure entries purged eagerly from the heap, and its load pinned
+//! at a sentinel so that any live probed server always wins the
+//! least-loaded comparison; [`ServeEngine::recover_server`] clears the
+//! sentinel and re-admits the server to placement at load zero. An
+//! arrival whose probes all land on failed or at-capacity servers may
+//! redraw up to [`ServeConfig::retries`] fresh probe sets from its
+//! private retry lane before it is finally shed (see
+//! [`crate::fault`] for scheduling faults deterministically).
 
 use geo2c_core::load::LoadState;
 use geo2c_core::sim::EventOwnerBlocks;
@@ -47,16 +52,25 @@ pub struct ServeConfig {
     pub capacity: Option<u32>,
     /// Session lifetime model.
     pub life: SessionLife,
+    /// Probe-retry budget `r`: when every primary probe is failed or at
+    /// capacity, redraw up to `r` fresh `d`-probe sets from the event's
+    /// private [`RETRY_TAG`](geo2c_util::rng::RETRY_TAG) lane before
+    /// shedding. `0` never touches the retry lane, replaying the
+    /// retry-free engine byte-identically.
+    pub retries: u32,
 }
 
 /// What [`ServeEngine::step`] did with its arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
-    /// The session was admitted to this server.
+    /// The session was admitted to this server (on the primary probes or
+    /// on a retry attempt — [`ServeEngine::admitted_on_retry`] splits
+    /// the two).
     Admitted(usize),
-    /// The least-loaded probed server was at capacity; shed.
+    /// The least-loaded probed server was at capacity on the final
+    /// attempt; shed.
     ShedCapacity(usize),
-    /// Every probed server had failed; shed.
+    /// Every probed server had failed on the final attempt; shed.
     ShedUnavailable,
 }
 
@@ -73,21 +87,54 @@ pub struct LoadStats {
     pub live_servers: usize,
 }
 
+/// The engine's session-flow counters, named so equality tests cannot
+/// silently pass on transposed fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Arrival events processed.
+    pub arrivals: u64,
+    /// Sessions that ran to completion and departed.
+    pub departed: u64,
+    /// Arrivals rejected by admission control (capacity or unavailable).
+    pub shed: u64,
+    /// Sessions killed by server failures.
+    pub evicted: u64,
+}
+
+/// Per-outcome accounting for the shed/retry paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Sheds whose final attempt found a live server at capacity.
+    pub shed_capacity: u64,
+    /// Sheds whose final attempt landed every probe on a failed server.
+    pub shed_unavailable: u64,
+    /// Arrivals admitted on a retry attempt (primary probes exhausted).
+    pub admitted_on_retry: u64,
+    /// Retry histogram: `by_attempt[j]` arrivals were admitted on retry
+    /// attempt `j + 1`. Length equals [`ServeConfig::retries`].
+    pub by_attempt: Vec<u64>,
+}
+
 /// A complete, comparable image of the engine's mutable state — the unit
 /// of the replay-prefix byte-identity contract: two engines with equal
 /// construction inputs that have processed the same event prefix (and
-/// the same failure schedule) have equal `EngineState`s.
+/// the same fault schedule) have equal `EngineState`s. Also the
+/// checkpoint format: [`ServeEngine::restore`] rebuilds an engine that
+/// continues byte-identically to one that never stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineState {
     /// Per-server loads; failed servers hold the sentinel.
     pub loads: Vec<u32>,
     /// Per-server failure flags.
     pub failed: Vec<bool>,
-    /// Outstanding departures as sorted `(event, server)` pairs
-    /// (entries for failed servers linger until lazily discarded).
+    /// Outstanding departures as sorted `(event, server)` pairs. Every
+    /// entry references a live server: a failing server's entries are
+    /// purged eagerly with its sessions.
     pub departures: Vec<(u64, u32)>,
-    /// `(arrivals, departed, shed, evicted)`.
-    pub counters: (u64, u64, u64, u64),
+    /// Session-flow counters.
+    pub counters: Counters,
+    /// Shed-split and retry accounting.
+    pub retry: RetryStats,
     /// Highest load any server reached while live.
     pub peak_load: u32,
 }
@@ -113,9 +160,19 @@ pub struct ServeEngine<S: Space, L: LoadState = Vec<u32>> {
     departures: BinaryHeap<Reverse<(u64, u32)>>,
     clock: u64,
     departed: u64,
-    shed: u64,
+    shed_capacity: u64,
+    shed_unavailable: u64,
     evicted: u64,
+    admitted_on_retry: u64,
+    /// `retry_by_attempt[j]` admissions on retry attempt `j + 1`.
+    retry_by_attempt: Vec<u64>,
     peak_load: u32,
+}
+
+/// Why an attempt's destination cannot admit.
+enum ShedKind {
+    Capacity(usize),
+    Unavailable,
 }
 
 impl<S: Space> ServeEngine<S> {
@@ -130,6 +187,20 @@ impl<S: Space> ServeEngine<S> {
     pub fn new(space: S, config: ServeConfig, root: u64) -> Self {
         let n = space.num_servers();
         Self::with_load_state(space, config, root, vec![0; n])
+    }
+
+    /// Rebuilds an engine from a checkpoint taken with
+    /// [`ServeEngine::state`], on the flat reference backing. The
+    /// restored engine continues byte-identically to one that processed
+    /// the whole stream uninterrupted, provided `space`, `config`, and
+    /// `root` equal the checkpointed engine's construction inputs.
+    ///
+    /// # Panics
+    /// As [`ServeEngine::restore_with_load_state`].
+    #[must_use]
+    pub fn restore(space: S, config: ServeConfig, root: u64, state: &EngineState) -> Self {
+        let n = space.num_servers();
+        Self::restore_with_load_state(space, config, root, state, vec![0; n])
     }
 }
 
@@ -174,17 +245,81 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
             departures: BinaryHeap::new(),
             clock: 0,
             departed: 0,
-            shed: 0,
+            shed_capacity: 0,
+            shed_unavailable: 0,
             evicted: 0,
+            admitted_on_retry: 0,
+            retry_by_attempt: vec![0; config.retries as usize],
             peak_load: 0,
             space,
             config,
         }
     }
 
+    /// [`ServeEngine::restore`] with an explicit all-zero [`LoadState`]
+    /// backing (the checkpointed loads are written into it).
+    ///
+    /// # Panics
+    /// As [`ServeEngine::with_load_state`], plus if the checkpoint is
+    /// sized for a different space, was taken under a different retry
+    /// budget, is internally inconsistent (shed counter differing from
+    /// its capacity/unavailable split, a failed server not holding the
+    /// sentinel), or carries a departure entry on a failed server.
+    #[must_use]
+    pub fn restore_with_load_state(
+        space: S,
+        config: ServeConfig,
+        root: u64,
+        state: &EngineState,
+        loads: L,
+    ) -> Self {
+        let mut engine = Self::with_load_state(space, config, root, loads);
+        let n = engine.space.num_servers();
+        assert_eq!(state.loads.len(), n, "checkpoint sized for another space");
+        assert_eq!(state.failed.len(), n, "checkpoint sized for another space");
+        assert_eq!(
+            state.retry.by_attempt.len(),
+            config.retries as usize,
+            "checkpoint taken under a different retry budget"
+        );
+        assert_eq!(
+            state.counters.shed,
+            state.retry.shed_capacity + state.retry.shed_unavailable,
+            "shed counter must equal its capacity/unavailable split"
+        );
+        for (s, (&load, &down)) in state.loads.iter().zip(&state.failed).enumerate() {
+            if down {
+                assert_eq!(load, FAILED_LOAD, "failed server without sentinel");
+            }
+            if load != 0 {
+                engine.loads.set(s, load);
+            }
+        }
+        engine.failed.copy_from_slice(&state.failed);
+        for &(when, server) in &state.departures {
+            let s = server as usize;
+            assert!(s < n, "departure entry outside the space");
+            assert!(!state.failed[s], "departure entry on a failed server");
+            engine.departures.push(Reverse((when, server)));
+        }
+        engine.clock = state.counters.arrivals;
+        engine.departed = state.counters.departed;
+        engine.evicted = state.counters.evicted;
+        engine.shed_capacity = state.retry.shed_capacity;
+        engine.shed_unavailable = state.retry.shed_unavailable;
+        engine.admitted_on_retry = state.retry.admitted_on_retry;
+        engine
+            .retry_by_attempt
+            .copy_from_slice(&state.retry.by_attempt);
+        engine.peak_load = state.peak_load;
+        engine
+    }
+
     /// Processes one arrival event: sessions due to depart leave first,
     /// then the arrival probes `d` owners on its private lanes and is
-    /// admitted to the least loaded — or shed by admission control.
+    /// admitted to the least loaded — or, once the primary probes and up
+    /// to [`ServeConfig::retries`] redrawn probe sets are exhausted,
+    /// shed by admission control.
     pub fn step(&mut self) -> Placement {
         let t = self.clock;
         self.clock += 1;
@@ -194,9 +329,7 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
             }
             self.departures.pop();
             let server = server as usize;
-            if self.failed[server] {
-                continue; // session already evicted with its server
-            }
+            debug_assert!(!self.failed[server], "failed entries are purged eagerly");
             self.loads.dec(server);
             self.departed += 1;
         }
@@ -206,16 +339,63 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
             self.config
                 .strategy
                 .place_from_loads(&self.space, &self.loads, owners, &mut tie);
+        let mut verdict = match self.shed_verdict(dest) {
+            None => return self.admit(dest, t),
+            Some(kind) => kind,
+        };
+        // Primary probes exhausted: redraw fresh probe sets from the
+        // event's private retry lane. Attempt j draws its d probes and
+        // any tie randomness sequentially from that one lane, so the
+        // happy path (and a zero budget) never touches it.
+        if self.config.retries > 0 {
+            let mut retry = self.lanes.retry(t);
+            let mut redrawn = vec![0usize; self.config.strategy.d()];
+            for attempt in 1..=self.config.retries {
+                self.space.sample_owners_into(&mut retry, &mut redrawn);
+                let dest = self.config.strategy.place_from_loads(
+                    &self.space,
+                    &self.loads,
+                    &redrawn,
+                    &mut retry,
+                );
+                match self.shed_verdict(dest) {
+                    None => {
+                        self.admitted_on_retry += 1;
+                        self.retry_by_attempt[(attempt - 1) as usize] += 1;
+                        return self.admit(dest, t);
+                    }
+                    Some(kind) => verdict = kind,
+                }
+            }
+        }
+        // Shed, classified by the final attempt's destination.
+        match verdict {
+            ShedKind::Capacity(dest) => {
+                self.shed_capacity += 1;
+                Placement::ShedCapacity(dest)
+            }
+            ShedKind::Unavailable => {
+                self.shed_unavailable += 1;
+                Placement::ShedUnavailable
+            }
+        }
+    }
+
+    /// Why `dest` cannot admit, or `None` if it can.
+    fn shed_verdict(&self, dest: usize) -> Option<ShedKind> {
         if self.failed[dest] {
-            self.shed += 1;
-            return Placement::ShedUnavailable;
+            return Some(ShedKind::Unavailable);
         }
         if let Some(cap) = self.config.capacity {
             if self.loads.load(dest) >= cap {
-                self.shed += 1;
-                return Placement::ShedCapacity(dest);
+                return Some(ShedKind::Capacity(dest));
             }
         }
+        None
+    }
+
+    /// Admits event `t`'s session to `dest` and schedules its departure.
+    fn admit(&mut self, dest: usize, t: u64) -> Placement {
         let new_load = self.loads.bump(dest);
         self.peak_load = self.peak_load.max(new_load);
         let life = self.sample_life(t);
@@ -230,9 +410,10 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
         }
     }
 
-    /// Permanently fails `server`: its sessions are evicted, its load is
-    /// pinned at the sentinel, and future probes that land on it lose to
-    /// any live alternative. Idempotent.
+    /// Fails `server`: its sessions are evicted, its pending departure
+    /// entries are purged from the heap, its load is pinned at the
+    /// sentinel, and future probes that land on it lose to any live
+    /// alternative (until [`ServeEngine::recover_server`]). Idempotent.
     pub fn fail_server(&mut self, server: usize) {
         if self.failed[server] {
             return;
@@ -240,6 +421,31 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
         self.evicted += u64::from(self.loads.load(server));
         self.loads.set(server, FAILED_LOAD);
         self.failed[server] = true;
+        self.purge_departures(server);
+    }
+
+    /// Recovers a failed `server`: clears the sentinel and re-admits it
+    /// to placement at load zero (its evicted sessions are gone for
+    /// good). No-op on a live server.
+    pub fn recover_server(&mut self, server: usize) {
+        if !self.failed[server] {
+            return;
+        }
+        self.failed[server] = false;
+        self.loads.set(server, 0);
+    }
+
+    /// Drops every pending departure entry of `server` (its sessions
+    /// were just evicted). Rebuilds the heap only when entries exist.
+    fn purge_departures(&mut self, server: usize) {
+        let s = server as u32;
+        if self.departures.iter().any(|&Reverse((_, srv))| srv == s) {
+            let kept: Vec<_> = std::mem::take(&mut self.departures)
+                .into_iter()
+                .filter(|&Reverse((_, srv))| srv != s)
+                .collect();
+            self.departures = kept.into();
+        }
     }
 
     /// The event `t`'s session lifetime, drawn on its private life lane.
@@ -275,7 +481,32 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
     /// Arrivals rejected by admission control (capacity or unavailable).
     #[must_use]
     pub fn shed(&self) -> u64 {
-        self.shed
+        self.shed_capacity + self.shed_unavailable
+    }
+
+    /// Sheds whose final attempt found a live server at capacity.
+    #[must_use]
+    pub fn shed_capacity(&self) -> u64 {
+        self.shed_capacity
+    }
+
+    /// Sheds whose final attempt landed every probe on a failed server.
+    #[must_use]
+    pub fn shed_unavailable(&self) -> u64 {
+        self.shed_unavailable
+    }
+
+    /// Arrivals admitted on a retry attempt (primary probes exhausted).
+    #[must_use]
+    pub fn admitted_on_retry(&self) -> u64 {
+        self.admitted_on_retry
+    }
+
+    /// Retry histogram: entry `j` counts admissions on retry attempt
+    /// `j + 1`. Length equals [`ServeConfig::retries`].
+    #[must_use]
+    pub fn retry_by_attempt(&self) -> &[u64] {
+        &self.retry_by_attempt
     }
 
     /// Sessions killed by server failures.
@@ -287,7 +518,7 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
     /// Arrivals admitted: `arrivals − shed`.
     #[must_use]
     pub fn admitted(&self) -> u64 {
-        self.clock - self.shed
+        self.clock - self.shed()
     }
 
     /// Sessions currently occupying a live server:
@@ -303,7 +534,7 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
         if self.clock == 0 {
             0.0
         } else {
-            self.shed as f64 / self.clock as f64
+            self.shed() as f64 / self.clock as f64
         }
     }
 
@@ -363,7 +594,8 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
         }
     }
 
-    /// A comparable image of the full mutable state (replay tests).
+    /// A comparable image of the full mutable state (replay tests), and
+    /// the checkpoint format [`ServeEngine::restore`] accepts.
     #[must_use]
     pub fn state(&self) -> EngineState {
         let mut departures: Vec<(u64, u32)> =
@@ -373,7 +605,18 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
             loads: self.loads.to_vec(),
             failed: self.failed.clone(),
             departures,
-            counters: (self.clock, self.departed, self.shed, self.evicted),
+            counters: Counters {
+                arrivals: self.clock,
+                departed: self.departed,
+                shed: self.shed(),
+                evicted: self.evicted,
+            },
+            retry: RetryStats {
+                shed_capacity: self.shed_capacity,
+                shed_unavailable: self.shed_unavailable,
+                admitted_on_retry: self.admitted_on_retry,
+                by_attempt: self.retry_by_attempt.clone(),
+            },
             peak_load: self.peak_load,
         }
     }
@@ -390,6 +633,7 @@ mod tests {
             strategy: Strategy::two_choice(),
             capacity,
             life,
+            retries: 0,
         }
     }
 
@@ -465,6 +709,7 @@ mod tests {
             strategy: Strategy::d_choice(8),
             capacity: None,
             life: SessionLife::Fixed(1_000_000),
+            retries: 0,
         };
         let mut engine = ServeEngine::new(space, cfg, 5);
         engine.fail_server(0);
@@ -521,9 +766,153 @@ mod tests {
                 strategy: Strategy::voecking(2),
                 capacity: None,
                 life: SessionLife::Fixed(1),
+                retries: 0,
             };
             ServeEngine::new(space, cfg, 0)
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn failing_a_server_purges_its_departure_entries() {
+        let space = UniformSpace::new(4);
+        let mut engine = ServeEngine::new(space, config(None, SessionLife::Fixed(1_000)), 8);
+        engine.run(64);
+        let before = engine.state();
+        assert!(
+            before.departures.iter().any(|&(_, s)| s == 2),
+            "seed must route sessions to server 2"
+        );
+        engine.fail_server(2);
+        let after = engine.state();
+        assert!(after.departures.iter().all(|&(_, s)| s != 2), "purged");
+        assert_eq!(
+            after.departures.len() as u64,
+            engine.in_service(),
+            "exactly one heap entry per in-service session"
+        );
+    }
+
+    #[test]
+    fn recovery_readmits_at_load_zero_and_is_a_noop_on_live_servers() {
+        let space = UniformSpace::new(2);
+        let cfg = ServeConfig {
+            strategy: Strategy::d_choice(8),
+            capacity: None,
+            life: SessionLife::Fixed(1_000_000),
+            retries: 0,
+        };
+        let mut engine = ServeEngine::new(space, cfg, 5);
+        engine.fail_server(0); // d = 8 covers both servers: all load on 1
+        engine.run(10);
+        engine.fail_server(1);
+        assert_eq!(engine.evicted(), 10);
+        assert_eq!(engine.step(), Placement::ShedUnavailable);
+        engine.recover_server(1);
+        assert!(!engine.is_failed(1));
+        assert_eq!(engine.state().loads[1], 0, "recovered at load zero");
+        // Server 0 is still down, so placements flow back to 1.
+        assert!(matches!(engine.step(), Placement::Admitted(1)));
+        // No-op on a live server: state is untouched.
+        let before = engine.state();
+        engine.recover_server(1);
+        assert_eq!(engine.state(), before);
+    }
+
+    #[test]
+    fn fully_failed_cluster_sheds_unavailable_despite_retries() {
+        let space = UniformSpace::new(4);
+        let mut cfg = config(None, SessionLife::Fixed(9));
+        cfg.retries = 3;
+        let mut engine = ServeEngine::new(space, cfg, 1);
+        for s in 0..4 {
+            engine.fail_server(s);
+        }
+        for _ in 0..10 {
+            assert_eq!(engine.step(), Placement::ShedUnavailable);
+        }
+        assert_eq!(engine.shed_unavailable(), 10);
+        assert_eq!(engine.shed_capacity(), 0);
+        assert_eq!(engine.admitted_on_retry(), 0);
+        assert_eq!(engine.retry_by_attempt(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn capacity_sheds_stay_capacity_sheds_on_the_retry_path() {
+        // Every server live but at capacity 0: all retry attempts find
+        // live-but-full destinations, so the shed stays ShedCapacity and
+        // the two shed counters never mix.
+        let space = UniformSpace::new(4);
+        let mut cfg = config(Some(0), SessionLife::Fixed(5));
+        cfg.retries = 2;
+        let mut engine = ServeEngine::new(space, cfg, 3);
+        for _ in 0..25 {
+            assert!(matches!(engine.step(), Placement::ShedCapacity(_)));
+        }
+        assert_eq!(engine.shed_capacity(), 25);
+        assert_eq!(engine.shed_unavailable(), 0);
+    }
+
+    #[test]
+    fn retries_rescue_arrivals_whose_primary_probes_all_failed() {
+        // d = 1 on a 2-server space with server 0 failed: roughly half
+        // of the primary probes land on the failed server, and a retry
+        // budget of 8 redraws until server 1 turns up — so nearly every
+        // arrival is admitted, many of them on the retry path.
+        let space = UniformSpace::new(2);
+        let cfg = ServeConfig {
+            strategy: Strategy::d_choice(1),
+            capacity: None,
+            life: SessionLife::Fixed(1_000_000),
+            retries: 8,
+        };
+        let mut engine = ServeEngine::new(space, cfg, 77);
+        engine.fail_server(0);
+        engine.run(200);
+        assert!(engine.admitted_on_retry() > 30, "retries must rescue");
+        assert_eq!(
+            engine.retry_by_attempt().iter().sum::<u64>(),
+            engine.admitted_on_retry(),
+            "histogram sums to the rescue count"
+        );
+        assert!(
+            engine.shed() < 5,
+            "P(9 straight probes on the failed half) is ~2^-9 per event"
+        );
+        // Zero-budget control on the same root: the primary lanes are
+        // untouched by retries, so primary placements agree event for
+        // event — every rescued arrival here was a shed there.
+        let mut control =
+            ServeEngine::new(UniformSpace::new(2), ServeConfig { retries: 0, ..cfg }, 77);
+        control.fail_server(0);
+        control.run(200);
+        // With d = 1, no capacity, and no departures in 200 events the
+        // primary outcome of every event is identical across budgets, so
+        // the controls' sheds split exactly into rescued + still-shed.
+        assert_eq!(control.shed(), engine.shed() + engine.admitted_on_retry());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically() {
+        let mut rng = Xoshiro256pp::from_u64(23);
+        let space = RingSpace::random(16, &mut rng);
+        let mut cfg = config(Some(4), SessionLife::Exponential { mean: 30.0 });
+        cfg.retries = 1;
+        let mut full = ServeEngine::new(space.clone(), cfg, 900);
+        let mut first = ServeEngine::new(space.clone(), cfg, 900);
+        first.run(300);
+        first.fail_server(5);
+        first.run(100);
+        full.run(300);
+        full.fail_server(5);
+        full.run(100);
+        let checkpoint = first.state();
+        let mut resumed = ServeEngine::restore(space, cfg, 900, &checkpoint);
+        assert_eq!(resumed.state(), checkpoint, "restore is lossless");
+        resumed.recover_server(5);
+        full.recover_server(5);
+        resumed.run(400);
+        full.run(400);
+        assert_eq!(resumed.state(), full.state());
     }
 }

@@ -13,16 +13,28 @@
 //!
 //! **RNG stream contract v2 for event streams.** The engine is keyed by
 //! one `u64` root. Event `t` draws its `d` probe locations from its
-//! private probe lane, resolves load ties on its private tie lane, and
-//! samples its session lifetime on its private *life* lane
-//! ([`geo2c_util::rng::EventLanes`]). Because every lane is a pure
-//! function of `(root, t)`, the engine state after any prefix of the
-//! stream is byte-identical no matter how the run is chunked, paused, or
-//! resumed — and the engine can pre-draw probe owners for a whole block
-//! of future arrivals ([`geo2c_core::sim::EventOwnerBlocks`]) while
-//! departures interleave between the per-arrival resolutions, exactly
-//! equivalent to the one-event-at-a-time process. The
-//! `tests/steady_state.rs` property suite pins both equivalences.
+//! private probe lane, resolves load ties on its private tie lane,
+//! samples its session lifetime on its private *life* lane, and — only
+//! when every primary probe is failed or at capacity — redraws up to
+//! [`engine::ServeConfig::retries`] fresh probe sets from its private
+//! *retry* lane ([`geo2c_util::rng::EventLanes`]). Because every lane is
+//! a pure function of `(root, t)`, the engine state after any prefix of
+//! the stream is byte-identical no matter how the run is chunked,
+//! paused, or resumed — and the engine can pre-draw probe owners for a
+//! whole block of future arrivals
+//! ([`geo2c_core::sim::EventOwnerBlocks`]) while departures interleave
+//! between the per-arrival resolutions, exactly equivalent to the
+//! one-event-at-a-time process. The `tests/steady_state.rs` property
+//! suite pins both equivalences.
+//!
+//! **Faults and recovery.** Servers crash ([`engine::ServeEngine::fail_server`])
+//! and come back ([`engine::ServeEngine::recover_server`]); the
+//! [`fault`] module schedules such events deterministically on the
+//! `FAULT_TAG` lane so a whole outage scenario replays byte-identically,
+//! and [`engine::ServeEngine::restore`] resumes a checkpointed engine as
+//! if it had never stopped. The `tests/fault_recovery.rs` chaos suite
+//! pins prefix replay, conservation, recovery, and checkpoint/restore
+//! under arbitrary fault schedules.
 //!
 //! ```
 //! use geo2c_core::{space::RingSpace, strategy::Strategy};
@@ -35,6 +47,7 @@
 //!     strategy: Strategy::two_choice(),
 //!     capacity: Some(8),
 //!     life: SessionLife::Exponential { mean: 256.0 },
+//!     retries: 0,
 //! };
 //! let mut engine = ServeEngine::new(space, config, 42);
 //! engine.run(4096);
@@ -50,5 +63,9 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod fault;
 
-pub use engine::{EngineState, LoadStats, Placement, ServeConfig, ServeEngine, SessionLife};
+pub use engine::{
+    Counters, EngineState, LoadStats, Placement, RetryStats, ServeConfig, ServeEngine, SessionLife,
+};
+pub use fault::{FaultAction, FaultPlan};

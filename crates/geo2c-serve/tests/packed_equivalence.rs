@@ -24,7 +24,10 @@ use proptest::prelude::*;
 use proptest::strategy::Strategy as _;
 use rand::RngCore;
 
-type FailSchedule = Vec<(u64, usize)>;
+/// `(event, server, recover)`: fail — or, when `recover` is set,
+/// recover — `server` just before `event` is processed. Recover entries
+/// on live servers are no-ops, which the generator exploits freely.
+type FailSchedule = Vec<(u64, usize, bool)>;
 
 /// `(kind, ttl, mean)` → a [`SessionLife`] (the shim proptest has no
 /// `prop_oneof!`, so variant selection is an explicit generated flag).
@@ -72,10 +75,15 @@ fn check_backing<S: Space + Clone, L: LoadState>(
     let mut flat = ServeEngine::new(space.clone(), config, root);
     let mut packed = ServeEngine::with_load_state(space.clone(), config, root, loads);
     for t in 0..events {
-        for &(when, server) in schedule {
+        for &(when, server, recover) in schedule {
             if when == t {
-                flat.fail_server(server);
-                packed.fail_server(server);
+                if recover {
+                    flat.recover_server(server);
+                    packed.recover_server(server);
+                } else {
+                    flat.fail_server(server);
+                    packed.fail_server(server);
+                }
             }
         }
         let a = flat.step();
@@ -121,14 +129,18 @@ proptest! {
         d in 1usize..4,
         capacity in capacities(),
         life in lives(),
-        schedule in proptest::collection::vec((0u64..300, 0usize..40), 0..4),
+        retries in 0u32..3,
+        schedule in proptest::collection::vec((0u64..300, 0usize..40, 0u8..2), 0..6),
     ) {
         let mut rng = Xoshiro256pp::from_u64(seed ^ 0x9ACC);
         let space = RingSpace::random(n, &mut rng);
         let root = rng.next_u64();
-        let schedule: FailSchedule =
-            schedule.into_iter().filter(|&(_, s)| s < n).collect();
-        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life };
+        let schedule: FailSchedule = schedule
+            .into_iter()
+            .filter(|&(_, s, _)| s < n)
+            .map(|(when, s, kind)| (when, s, kind == 1))
+            .collect();
+        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life, retries };
         check_backing(&space, config, root, events, &schedule,
             PackedLoads::nibble(n), "packed-nibble");
         check_backing(&space, config, root, events, &schedule,
@@ -154,6 +166,7 @@ proptest! {
             strategy: Strategy::two_choice(),
             capacity: None,
             life,
+            retries: 0,
         };
         check_backing(&space, config, root, events, &Vec::new(),
             PackedLoads::nibble(n), "packed-nibble");

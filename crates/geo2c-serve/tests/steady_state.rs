@@ -16,13 +16,16 @@
 //!    in aligned blocks (`EventOwnerBlocks`); a from-scratch reference
 //!    that draws each event's owners singly from its probe lane,
 //!    resolves ties by its own reservoir on the tie lane, samples
-//!    lifetimes on the life lane, and keeps departures in a sorted list
-//!    (no heap) must produce the identical state trajectory.
+//!    lifetimes on the life lane, redraws shed-bound arrivals singly
+//!    from the retry lane, and keeps departures in a sorted list (no
+//!    heap) must produce the identical state trajectory.
 
 use geo2c_core::space::{RingSpace, Space, UniformSpace};
 use geo2c_core::strategy::Strategy;
-use geo2c_serve::engine::{EngineState, Placement, ServeConfig, ServeEngine, SessionLife};
-use geo2c_util::rng::{EventLanes, LaneSource, Xoshiro256pp};
+use geo2c_serve::engine::{
+    Counters, EngineState, Placement, RetryStats, ServeConfig, ServeEngine, SessionLife,
+};
+use geo2c_util::rng::{EventLanes, LaneSource, SplitMix64, Xoshiro256pp};
 use proptest::prelude::*;
 use proptest::strategy::Strategy as _;
 use rand::{Rng, RngCore};
@@ -73,31 +76,39 @@ struct Reference {
     d: usize,
     capacity: Option<u32>,
     life: SessionLife,
+    retries: u32,
     loads: Vec<u32>,
     failed: Vec<bool>,
     /// Outstanding departures, kept sorted ascending by (event, server).
     pending: Vec<(u64, u32)>,
     clock: u64,
     departed: u64,
-    shed: u64,
+    shed_capacity: u64,
+    shed_unavailable: u64,
     evicted: u64,
+    admitted_on_retry: u64,
+    by_attempt: Vec<u64>,
     peak: u32,
 }
 
 impl Reference {
-    fn new(n: usize, d: usize, capacity: Option<u32>, life: SessionLife, root: u64) -> Self {
+    fn new(n: usize, config: ServeConfig, root: u64) -> Self {
         Self {
             lanes: EventLanes::new(root),
-            d,
-            capacity,
-            life,
+            d: config.strategy.d(),
+            capacity: config.capacity,
+            life: config.life,
+            retries: config.retries,
             loads: vec![0; n],
             failed: vec![false; n],
             pending: Vec::new(),
             clock: 0,
             departed: 0,
-            shed: 0,
+            shed_capacity: 0,
+            shed_unavailable: 0,
             evicted: 0,
+            admitted_on_retry: 0,
+            by_attempt: vec![0; config.retries as usize],
             peak: 0,
         }
     }
@@ -107,7 +118,40 @@ impl Reference {
             self.evicted += u64::from(self.loads[server]);
             self.loads[server] = u32::MAX;
             self.failed[server] = true;
+            // Eager purge, mirroring the engine's heap discipline.
+            self.pending.retain(|&(_, s)| s as usize != server);
         }
+    }
+
+    /// From-scratch reservoir over the min-load owners, in scan order,
+    /// consuming one `gen_range` per tied candidate past the first.
+    fn choose(&self, owners: &[usize], rng: &mut SplitMix64) -> usize {
+        let min_load = owners.iter().map(|&s| self.loads[s]).min().expect("d >= 1");
+        let tied: Vec<usize> = owners
+            .iter()
+            .copied()
+            .filter(|&s| self.loads[s] == min_load)
+            .collect();
+        let mut dest = tied[0];
+        for (extra, &s) in tied[1..].iter().enumerate() {
+            if rng.gen_range(0..extra + 2) == 0 {
+                dest = s;
+            }
+        }
+        dest
+    }
+
+    /// Whether `dest` sheds, and if so whether as unavailable (`true`).
+    fn sheds(&self, dest: usize) -> Option<bool> {
+        if self.failed[dest] {
+            return Some(true);
+        }
+        if let Some(cap) = self.capacity {
+            if self.loads[dest] >= cap {
+                return Some(false);
+            }
+        }
+        None
     }
 
     fn step<S: Space>(&mut self, space: &S) {
@@ -118,9 +162,6 @@ impl Reference {
                 break;
             }
             self.pending.remove(0);
-            if self.failed[server as usize] {
-                continue;
-            }
             self.loads[server as usize] -= 1;
             self.departed += 1;
         }
@@ -128,29 +169,43 @@ impl Reference {
         let owners: Vec<usize> = (0..self.d)
             .map(|_| space.sample_owner(&mut probe))
             .collect();
-        let min_load = owners.iter().map(|&s| self.loads[s]).min().expect("d >= 1");
-        // From-scratch reservoir over the tied owners, in scan order.
-        let tied: Vec<usize> = owners
-            .iter()
-            .copied()
-            .filter(|&s| self.loads[s] == min_load)
-            .collect();
         let mut tie_rng = self.lanes.tie(t);
-        let mut dest = tied[0];
-        for (extra, &s) in tied[1..].iter().enumerate() {
-            if tie_rng.gen_range(0..extra + 2) == 0 {
-                dest = s;
+        let dest = self.choose(&owners, &mut tie_rng);
+        let mut verdict = self.sheds(dest);
+        let mut admitted = dest;
+        let mut rescue_attempt = None;
+        if verdict.is_some() && self.retries > 0 {
+            // Retry: attempt j draws d fresh owners and its tie draws
+            // sequentially from the event's single retry lane.
+            let mut retry = self.lanes.retry(t);
+            for attempt in 1..=self.retries {
+                let owners: Vec<usize> = (0..self.d)
+                    .map(|_| space.sample_owner(&mut retry))
+                    .collect();
+                let dest = self.choose(&owners, &mut retry);
+                verdict = self.sheds(dest);
+                if verdict.is_none() {
+                    admitted = dest;
+                    rescue_attempt = Some(attempt);
+                    break;
+                }
             }
         }
-        if self.failed[dest] {
-            self.shed += 1;
-            return;
-        }
-        if let Some(cap) = self.capacity {
-            if self.loads[dest] >= cap {
-                self.shed += 1;
+        match verdict {
+            Some(true) => {
+                self.shed_unavailable += 1;
                 return;
             }
+            Some(false) => {
+                self.shed_capacity += 1;
+                return;
+            }
+            None => {}
+        }
+        let dest = admitted;
+        if let Some(attempt) = rescue_attempt {
+            self.admitted_on_retry += 1;
+            self.by_attempt[(attempt - 1) as usize] += 1;
         }
         self.loads[dest] += 1;
         self.peak = self.peak.max(self.loads[dest]);
@@ -177,7 +232,18 @@ impl Reference {
             loads: self.loads.clone(),
             failed: self.failed.clone(),
             departures: self.pending.clone(),
-            counters: (self.clock, self.departed, self.shed, self.evicted),
+            counters: Counters {
+                arrivals: self.clock,
+                departed: self.departed,
+                shed: self.shed_capacity + self.shed_unavailable,
+                evicted: self.evicted,
+            },
+            retry: RetryStats {
+                shed_capacity: self.shed_capacity,
+                shed_unavailable: self.shed_unavailable,
+                admitted_on_retry: self.admitted_on_retry,
+                by_attempt: self.by_attempt.clone(),
+            },
             peak_load: self.peak,
         }
     }
@@ -210,13 +276,14 @@ proptest! {
         d in 1usize..4,
         capacity in capacities(),
         life in lives(),
+        retries in 0u32..3,
         schedule in schedules(400, 48),
     ) {
         let mut rng = Xoshiro256pp::from_u64(seed ^ 0xC0DE);
         let space = RingSpace::random(n, &mut rng);
         let schedule: FailSchedule =
             schedule.into_iter().filter(|&(_, s)| s < n).collect();
-        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life };
+        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life, retries };
         let mut engine = ServeEngine::new(space, config, rng.next_u64());
         run_with_failures(&mut engine, events, &schedule);
         check_conservation(&engine, capacity);
@@ -235,6 +302,7 @@ proptest! {
         d in 1usize..4,
         capacity in capacities(),
         life in lives(),
+        retries in 0u32..3,
         schedule in schedules(400, 40),
     ) {
         let mut rng = Xoshiro256pp::from_u64(seed ^ 0xBEEF);
@@ -242,7 +310,7 @@ proptest! {
         let root = rng.next_u64();
         let schedule: FailSchedule =
             schedule.into_iter().filter(|&(_, s)| s < n).collect();
-        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life };
+        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life, retries };
 
         // One-shot run of the full p + q stream.
         let mut oneshot = ServeEngine::new(space.clone(), config, root);
@@ -272,6 +340,7 @@ proptest! {
         d in 1usize..4,
         capacity in capacities(),
         life in lives(),
+        retries in 0u32..3,
         schedule in schedules(300, 40),
     ) {
         let mut rng = Xoshiro256pp::from_u64(seed ^ 0xFACE);
@@ -279,9 +348,9 @@ proptest! {
         let root = rng.next_u64();
         let schedule: FailSchedule =
             schedule.into_iter().filter(|&(_, s)| s < n).collect();
-        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life };
+        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life, retries };
         let mut engine = ServeEngine::new(space.clone(), config, root);
-        let mut reference = Reference::new(n, d, capacity, life, root);
+        let mut reference = Reference::new(n, config, root);
         for t in 0..events {
             for &(when, server) in &schedule {
                 if when == t {
@@ -309,6 +378,7 @@ fn shed_arrivals_leave_no_trace_in_the_load_state() {
         strategy: Strategy::two_choice(),
         capacity: Some(1),
         life: SessionLife::Fixed(1_000),
+        retries: 0,
     };
     let mut engine = ServeEngine::new(space, config, 9);
     let mut sheds = 0u64;

@@ -297,6 +297,22 @@ pub const TIE_TAG: u64 = 0xE703_7ED1_A0B4_28DB;
 /// engine's event streams; see [`EventLanes`]).
 pub const LIFE_TAG: u64 = 0x8CB9_2BA7_2F3D_8DD7;
 
+/// Domain-separation tag for fault-schedule lanes: fault event `i` of a
+/// randomized fault plan draws its crash time, victim, and downtime from
+/// `SplitMix64::mixed(root, i, FAULT_TAG)`, so a fault schedule is a
+/// pure function of its root and replays byte-identically with the
+/// event stream it interleaves into.
+pub const FAULT_TAG: u64 = 0x1F8B_08D9_66A3_553B;
+
+/// Domain-separation tag for probe-*retry* lanes (the serving engine's
+/// graceful-degradation path; see [`EventLanes::retry`]): when every
+/// primary probe of event `e` is failed or at capacity, retry attempt
+/// `j` redraws its probes (and any tie randomness) sequentially from
+/// the event's private retry lane — never from the primary probe/tie
+/// lanes, so a retry budget of zero leaves the primary streams
+/// untouched and replays the retry-free engine byte-identically.
+pub const RETRY_TAG: u64 = 0x53C5_BF3D_9AE1_6D2D;
+
 /// A source of per-ball generator lanes: the abstraction the insertion
 /// engine draws through under stream contract v2.
 ///
@@ -389,20 +405,24 @@ impl LaneSource for BallLanes {
 }
 
 /// Per-event lanes for open-ended serving streams: the [`BallLanes`]
-/// probe/tie pair plus a third, session-*lifetime* lane per event under
-/// [`LIFE_TAG`].
+/// probe/tie pair plus a session-*lifetime* lane per event under
+/// [`LIFE_TAG`] and a probe-*retry* lane per event under [`RETRY_TAG`].
 ///
 /// Event `e` of a stream rooted at `root` draws its probe coordinates
 /// from [`SplitMix64::mixed`]`(root, e, PROBE_TAG)`, resolves routing
-/// ties on the [`TIE_TAG`] lane, and draws its session lifetime on the
-/// [`LIFE_TAG`] lane — three mutually decorrelated streams per event,
-/// none shared with any other event. That is what makes serving runs
-/// *prefix-replayable*: the state after the first `p` events is a pure
-/// function of `(root, p)`, no matter how many events follow or how the
-/// engine batches its probe draws.
+/// ties on the [`TIE_TAG`] lane, draws its session lifetime on the
+/// [`LIFE_TAG`] lane, and — only when every primary probe is failed or
+/// at capacity — redraws fresh probe sets on the [`RETRY_TAG`] lane:
+/// four mutually decorrelated streams per event, none shared with any
+/// other event. That is what makes serving runs *prefix-replayable*:
+/// the state after the first `p` events is a pure function of
+/// `(root, p)` (plus the fault schedule applied so far), no matter how
+/// many events follow or how the engine batches its probe draws. The
+/// retry lane is untouched on the happy path, so a retry budget of zero
+/// replays the retry-free engine byte-identically.
 ///
 /// ```
-/// use geo2c_util::rng::{EventLanes, LaneSource, SplitMix64, LIFE_TAG, PROBE_TAG};
+/// use geo2c_util::rng::{EventLanes, LaneSource, SplitMix64, LIFE_TAG, PROBE_TAG, RETRY_TAG};
 /// use rand::RngCore;
 ///
 /// let lanes = EventLanes::new(7);
@@ -411,16 +431,21 @@ impl LaneSource for BallLanes {
 ///     lanes.probe(3).next_u64(),
 ///     SplitMix64::mixed(7, 3, PROBE_TAG).next_u64(),
 /// );
-/// // … and the lifetime lane is the same keying under LIFE_TAG.
+/// // … and the lifetime/retry lanes are the same keying under their tags.
 /// assert_eq!(
 ///     lanes.life(3).next_u64(),
 ///     SplitMix64::mixed(7, 3, LIFE_TAG).next_u64(),
+/// );
+/// assert_eq!(
+///     lanes.retry(3).next_u64(),
+///     SplitMix64::mixed(7, 3, RETRY_TAG).next_u64(),
 /// );
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventLanes {
     balls: BallLanes,
     life_root: u64,
+    retry_root: u64,
     base: u64,
 }
 
@@ -431,6 +456,7 @@ impl EventLanes {
         Self {
             balls: BallLanes::new(root),
             life_root: mix(root ^ LIFE_TAG),
+            retry_root: mix(root ^ RETRY_TAG),
             base: 0,
         }
     }
@@ -440,6 +466,16 @@ impl EventLanes {
     #[must_use]
     pub fn life(&self, event: u64) -> SplitMix64 {
         BallLanes::lane(self.life_root, self.base.wrapping_add(event))
+    }
+
+    /// The probe-retry lane for event `event`: retry attempt `j` draws
+    /// its probe set (and any tie randomness) *sequentially* from this
+    /// single per-event lane, so consumption depends only on how many
+    /// attempts the event needed — never on other events.
+    #[inline]
+    #[must_use]
+    pub fn retry(&self, event: u64) -> SplitMix64 {
+        BallLanes::lane(self.retry_root, self.base.wrapping_add(event))
     }
 }
 
@@ -460,6 +496,7 @@ impl LaneSource for EventLanes {
         Self {
             balls: self.balls.block(first_event),
             life_root: self.life_root,
+            retry_root: self.retry_root,
             base: self.base.wrapping_add(first_event),
         }
     }
@@ -744,18 +781,28 @@ mod tests {
         for (root, lane) in [(0u64, 0u64), (42, 0), (42, 1), (7, u64::MAX)] {
             assert_eq!(vector(root, lane, PROBE_TAG), manual(root, lane, PROBE_TAG));
             assert_eq!(vector(root, lane, TIE_TAG), manual(root, lane, TIE_TAG));
+            assert_eq!(vector(root, lane, FAULT_TAG), manual(root, lane, FAULT_TAG));
+            assert_eq!(vector(root, lane, RETRY_TAG), manual(root, lane, RETRY_TAG));
         }
         // Frozen absolute values (independently computed from the
         // definition): recomputed == committed.
-        let frozen: [(u64, u64, u64, u64); 2] = [
+        let frozen: [(u64, u64, u64, u64); 4] = [
             (0, 0, PROBE_TAG, 13102172009130172927),
             (42, 1, TIE_TAG, 12934604033053490546),
+            (0, 0, FAULT_TAG, 1420821127466699168),
+            (42, 1, RETRY_TAG, 1939868151124495579),
         ];
         for (root, lane, tag, value) in frozen {
             assert_eq!(vector(root, lane, tag), value);
         }
-        // Domain separation: probe and tie lanes of the same ball differ.
-        assert_ne!(vector(5, 9, PROBE_TAG), vector(5, 9, TIE_TAG));
+        // Domain separation: the four tags give four distinct lanes for
+        // the same (root, lane) pair.
+        let tags = [PROBE_TAG, TIE_TAG, FAULT_TAG, RETRY_TAG];
+        for (i, &a) in tags.iter().enumerate() {
+            for &b in &tags[i + 1..] {
+                assert_ne!(vector(5, 9, a), vector(5, 9, b));
+            }
+        }
     }
 
     #[test]
@@ -779,7 +826,7 @@ mod tests {
     }
 
     #[test]
-    fn event_lanes_extend_ball_lanes_with_a_lifetime_lane() {
+    fn event_lanes_extend_ball_lanes_with_lifetime_and_retry_lanes() {
         let lanes = EventLanes::new(321);
         let balls = BallLanes::new(321);
         for event in [0u64, 1, 63, 64, 9999] {
@@ -790,14 +837,29 @@ mod tests {
                 SplitMix64::mixed(321, event, LIFE_TAG).next(),
                 "life lane {event}"
             );
-            // The three lanes of one event are mutually distinct streams.
-            assert_ne!(lanes.life(event).next(), lanes.probe(event).next());
-            assert_ne!(lanes.life(event).next(), lanes.tie(event).next());
+            assert_eq!(
+                lanes.retry(event).next(),
+                SplitMix64::mixed(321, event, RETRY_TAG).next(),
+                "retry lane {event}"
+            );
+            // The four lanes of one event are mutually distinct streams.
+            let outs = [
+                lanes.probe(event).next(),
+                lanes.tie(event).next(),
+                lanes.life(event).next(),
+                lanes.retry(event).next(),
+            ];
+            for (i, &a) in outs.iter().enumerate() {
+                for &b in &outs[i + 1..] {
+                    assert_ne!(a, b, "lane collision at event {event}");
+                }
+            }
         }
-        // Shifted views address the same lanes, life lane included.
+        // Shifted views address the same lanes, life/retry lanes included.
         let block = lanes.block(64).block(3);
         assert_eq!(block.probe(2).next(), lanes.probe(69).next());
         assert_eq!(block.life(2).next(), lanes.life(69).next());
+        assert_eq!(block.retry(2).next(), lanes.retry(69).next());
     }
 
     #[test]
