@@ -45,6 +45,14 @@ cargo test -q -p geo2c-serve --test packed_equivalence
 say "fault injection & recovery (chaos proptests incl. checkpoint/restore)"
 cargo test -q -p geo2c-serve --test fault_recovery
 
+# The timing wheel replaced the departure heap on the serving hot path;
+# the heap stays on as the oracle. The wheel must be observationally
+# equal to it under arbitrary op scripts (queue level) and produce
+# byte-identical engine checkpoints under faults (engine level). Run by
+# name so a failure is attributed to the scheduler swap itself.
+say "departure wheel vs heap oracle (queue-level + engine-level proptests)"
+cargo test -q -p geo2c-serve --test wheel_oracle
+
 say "docs (no warnings allowed)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
@@ -84,6 +92,16 @@ cargo run --release -q -p geo2c-bench --bin run_benches -- \
   --diff results/bench/baseline.json results/bench/before_pr7.json \
   --min-speedup 0.95 --only ring_d2_random,torus_d2_random,kd3_d2_random
 
+# The PR-9 scheduler swap's headline claim, pinned the same way: the
+# committed baseline must show >= 1.5x on the serving trials over the
+# committed pre-wheel archive (heap scheduler + one-event-at-a-time
+# loop). File comparison only — it fails only if someone regenerates
+# baseline.json on a change that gives the wheel's speedup back.
+say "committed speedup evidence (baseline.json >= 1.5x before_pr9.json on trial/serving_*)"
+cargo run --release -q -p geo2c-bench --bin run_benches -- \
+  --diff results/bench/baseline.json results/bench/before_pr9.json \
+  --min-speedup 1.5 --only serving_d2_random,serving_faults_d2
+
 say "EXPERIMENTS.md renders byte-identically from the committed results/*.json"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --render
 
@@ -105,6 +123,13 @@ cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check --only
 # drifted — a resilience-only failure points straight at the fault path.
 say "resilience + replication expectations (quick scale, --only subset)"
 cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check --only resilience,replication
+
+# The heavily-loaded (m != n) family joined the gated suite in PR-9
+# (previously an ungated orphan binary); its cells are exact-compared
+# scalar metrics plus a max-load distribution, so its own subset gate
+# keeps the §2-remark-3 numbers pinned and attributable.
+say "heavily-loaded expectations (quick scale, --only subset)"
+cargo run --release -q -p geo2c-bench --bin run_tables -- --quick --check --only heavy
 
 # A freshly written quick-scale suite must accept itself under --check:
 # this round-trips the current specs (notably the resized paper-scale

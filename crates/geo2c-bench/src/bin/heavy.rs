@@ -1,56 +1,33 @@
-//! Experiment E9: the `m ≠ n` remark (§2, remark 3).
+//! Experiment E9: the `m ≠ n` remark (§2, remark 3) — a thin CLI front
+//! end over [`geo2c_bench::experiments::heavy`], which is the gated
+//! suite member behind `results/heavy.json`.
 //!
-//! With `m` balls and `n` bins the paper states the two-choice maximum is
-//! `O(m/n) + O(log log n / log d)` w.h.p. This binary sweeps the ratio
-//! `m/n ∈ {1/4, 1, 4, 16}` on the ring and the uniform baseline and
-//! reports mean max load, the `m/n` floor, and the measured slack.
+//! With `m` balls and `n` bins the paper states the two-choice maximum
+//! is `O(m/n) + O(log log n / log d)` w.h.p. This binary sweeps the
+//! ratio `m/n ∈ {1/4, 1, 4, 16}` on the ring and the uniform baseline
+//! and reports mean max load, the `m/n` floor, and the measured slack.
+//! The numbers here are the same computation `./tables.sh` commits: one
+//! constructor, two entry points.
 //!
 //! ```text
 //! cargo run -p geo2c-bench --release --bin heavy [--max-exp K] [--json PATH]
 //! ```
 
-use geo2c_bench::{banner, pow2_label, Cli};
-use geo2c_core::experiment::heavy_load_sweep;
-use geo2c_core::space::SpaceKind;
-use geo2c_core::strategy::Strategy;
+use geo2c_bench::{banner, experiments, pow2_label, Cli};
+use geo2c_core::experiment::SweepConfig;
 use geo2c_core::theory::two_choice_band;
 use geo2c_report::markdown::render_text;
-use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 
 fn main() {
     let cli = Cli::parse(100, (12, 12), 16);
     banner("E9: heavily-loaded case (m != n), d = 2", &cli);
-    let config = cli.sweep_config();
     let n = 1usize << cli.max_exp;
-    let ms = [n / 4, n, 4 * n, 16 * n];
-
-    let spec = ExperimentSpec::new("heavy", "E9: heavily-loaded case (m != n, d = 2)")
-        .paper_ref("§2 remark 3")
-        .trials(cli.trials)
-        .seed(cli.seed)
-        .param("n", Json::from_usize(n))
-        .param("d", Json::from_usize(2))
-        .param(
-            "m",
-            Json::Arr(ms.iter().map(|&m| Json::from_usize(m)).collect()),
-        );
-    let mut result = ExperimentResult::new(spec);
-
-    for kind in [SpaceKind::Uniform, SpaceKind::Ring] {
-        let rows = heavy_load_sweep(kind, Strategy::two_choice(), n, &ms, &config);
-        for row in rows {
-            result.push(
-                Cell::new()
-                    .coord("space", Json::str(kind.name()))
-                    .coord("m", Json::from_usize(row.m))
-                    .metric("m_over_n", Json::num(row.average_load))
-                    .metric("mean_max", Json::num(row.mean_max))
-                    .metric("slack", Json::num(row.mean_max - row.average_load))
-                    .dist(row.distribution),
-            );
-        }
-        eprintln!("--- {} done ---", kind.name());
-    }
+    let config = SweepConfig {
+        trials: cli.trials,
+        threads: cli.threads,
+        seed: cli.seed,
+    };
+    let result = experiments::heavy(n, &config);
     println!("{}", render_text(&result));
     cli.write_results(std::slice::from_ref(&result));
     println!(

@@ -5,7 +5,7 @@
 //! ```text
 //! run_benches [--quick] [--check] [--tolerance PCT] [--seed S]
 //!             [--dir DIR] [--out PATH] [--against PATH] [--archive [LABEL]]
-//!             [--repeats N] [--window-ms MS]
+//!             [--only SUBSTR[,SUBSTR]] [--repeats N] [--window-ms MS]
 //! run_benches --diff AFTER.json BEFORE.json [--min-speedup R --only SUBSTR[,SUBSTR]]
 //! ```
 //!
@@ -30,6 +30,10 @@
 //!   the highest committed `before_prN.json`), so each PR's "before"
 //!   lands in its own file and the trajectory of archives stays
 //!   comparable instead of a rolling `before.json` being overwritten.
+//! * `--only SUBSTR[,SUBSTR]` *(run mode)* — run only the benches whose
+//!   id contains a pattern. A filtered run is a subset, so it must name
+//!   its own destination with `--out` — it never overwrites a committed
+//!   baseline or archive. For iterating on one hot path.
 //! * `--diff A B` — no benches run: load two persisted runs and print
 //!   the per-bench speedup of `A` over `B` (e.g. the committed
 //!   `baseline.json` over `before_pr5.json`). With `--min-speedup R`
@@ -38,7 +42,9 @@
 //!   exit status is non-zero — this is how ci.sh pins a perf PR's
 //!   headline claim to the committed evidence.
 
-use geo2c_bench::perf::{self, fmt_ns, pair_benches, run_bench_suite, BenchScale, FULL, QUICK};
+use geo2c_bench::perf::{
+    self, fmt_ns, pair_benches, run_bench_suite_only, BenchScale, FULL, QUICK,
+};
 use geo2c_report::{ExperimentResult, Provenance, ResultSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -133,7 +139,7 @@ fn parse_args() -> Args {
             other => panic!(
                 "unknown flag '{other}'\nusage: run_benches [--quick] [--check] \
                  [--tolerance PCT] [--seed S] [--dir DIR] [--out PATH] [--against PATH] \
-                 [--archive [LABEL]] [--repeats N] [--window-ms MS] \
+                 [--archive [LABEL]] [--only SUBSTR[,SUBSTR]] [--repeats N] [--window-ms MS] \
                  | --diff AFTER BEFORE [--min-speedup R --only SUBSTR[,SUBSTR]]"
             ),
         }
@@ -150,6 +156,15 @@ fn parse_args() -> Args {
         !(args.archive.is_some() && args.out.is_some()),
         "--archive names its own output (before_<LABEL>.json); drop --out"
     );
+    // A filtered measurement is a subset of the suite: letting it land in
+    // baseline/archive/check paths would shrink the committed coverage.
+    if args.only.is_some() && args.diff.is_none() {
+        assert!(
+            !args.check && args.archive.is_none() && args.out.is_some(),
+            "--only runs a subset; write it to an explicit --out \
+             (not a baseline, archive, or --check)"
+        );
+    }
     args
 }
 
@@ -259,12 +274,7 @@ fn diff(
         "bench", "before", "after", "speedup"
     );
     // `--only` takes a comma-separated list of id substrings.
-    let matches_only = |id: &str| match only {
-        None => true,
-        Some(patterns) => patterns
-            .split(',')
-            .any(|pat| !pat.is_empty() && id.contains(pat)),
-    };
+    let matches_only = |id: &str| perf::matches_only(id, only);
     let mut failures = Vec::new();
     for p in &pairs {
         let gated = matches_only(&p.id);
@@ -414,11 +424,12 @@ fn main() -> ExitCode {
         "running the {} bench scale (seed {}, {} repeats of {} ms windows)",
         args.scale.name, args.seed, args.repeats, args.window_ms
     );
-    let fresh = run_bench_suite(
+    let fresh = run_bench_suite_only(
         args.scale,
         args.seed,
         std::time::Duration::from_millis(args.window_ms),
         args.repeats,
+        args.only.as_deref(),
     );
 
     if let Some((committed, baseline_file)) = committed {

@@ -138,6 +138,7 @@ fn run_suite(
     let dim = config(scale.dim_trials);
     let chart = config(scale.chart_trials);
     let tab = config(scale.tab_trials);
+    let heavy = config(scale.heavy_trials);
     let serve = config(scale.serve_trials);
     let resil = config(scale.resil_trials);
     let churn = config(scale.churn_trials);
@@ -153,13 +154,14 @@ fn run_suite(
     };
     eprintln!(
         "running the {} scale (ring n = {:?}, torus n = {:?}, dimension n = 2^{}, \
-         ring chart n = 2^{}, serving n = 2^{}, resilience n = 2^{}, churn n = 2^{}, \
-         replication n = 2^{}, scaling n = 2^{})",
+         ring chart n = 2^{}, heavy n = 2^{}, serving n = 2^{}, resilience n = 2^{}, \
+         churn n = 2^{}, replication n = 2^{}, scaling n = 2^{})",
         scale.name,
         scale.ring_sizes(),
         scale.torus_sizes(),
         scale.dim_exp,
         scale.chart_exp,
+        scale.heavy_exp,
         scale.serve_exp,
         scale.resil_exp,
         scale.churn_exp,
@@ -174,6 +176,7 @@ fn run_suite(
     provenance_line("dimension", &dim);
     provenance_line("ring_chart", &chart);
     provenance_line("tabulation", &tab);
+    provenance_line("heavy", &heavy);
     provenance_line("serving", &serve);
     provenance_line("resilience", &resil);
     provenance_line("churn", &churn);
@@ -197,6 +200,9 @@ fn run_suite(
     }
     if wanted("tabulation") {
         results.push(experiments::tabulation(1usize << scale.tab_exp, &tab));
+    }
+    if wanted("heavy") {
+        results.push(experiments::heavy(1usize << scale.heavy_exp, &heavy));
     }
     if wanted("serving") {
         results.push(experiments::serving(1usize << scale.serve_exp, &serve));

@@ -16,7 +16,9 @@
 //! `full` (the paper's own 1000-trial sweep — hours of CPU; run it
 //! deliberately).
 
-use geo2c_core::experiment::{sweep_kind, sweep_max_load, MaxLoadCell, SweepConfig};
+use geo2c_core::experiment::{
+    heavy_load_sweep, sweep_kind, sweep_max_load, MaxLoadCell, SweepConfig,
+};
 use geo2c_core::load::{LoadState as _, PackedLoads, ShardedLoads};
 use geo2c_core::sim::{run_trial, run_trial_into, run_trial_with_lanes};
 use geo2c_core::space::{KdTorusSpace, RingSpace, SpaceKind, UniformSpace};
@@ -35,13 +37,14 @@ use rand::RngCore as _;
 
 /// Spec ids of the experiments `run_tables` drives, in suite order —
 /// also the basenames of the committed files under `results/`.
-pub const SUITE_IDS: [&str; 11] = [
+pub const SUITE_IDS: [&str; 12] = [
     "table1",
     "table2",
     "table3",
     "dimension",
     "ring_chart",
     "tabulation",
+    "heavy",
     "serving",
     "resilience",
     "churn",
@@ -74,6 +77,10 @@ pub struct Scale {
     pub tab_exp: u32,
     /// Trials per tabulation-comparison cell.
     pub tab_trials: usize,
+    /// `n = 2^k` exponent for the heavily-loaded (`m ≠ n`) sweep.
+    pub heavy_exp: u32,
+    /// Trials per heavily-loaded cell.
+    pub heavy_trials: usize,
     /// `n = 2^k` exponent for the online-serving steady state.
     pub serve_exp: u32,
     /// Trials per serving scenario.
@@ -109,6 +116,8 @@ pub const QUICK: Scale = Scale {
     chart_trials: 10,
     tab_exp: 9,
     tab_trials: 25,
+    heavy_exp: 8,
+    heavy_trials: 10,
     serve_exp: 8,
     serve_trials: 6,
     resil_exp: 8,
@@ -148,6 +157,11 @@ pub const REFERENCE: Scale = Scale {
     // 2^10 servers × 200 trials answers it for pennies of CPU.
     tab_exp: 10,
     tab_trials: 200,
+    // The m/n ratio sweep runs 21.25n balls per trial pair of spaces;
+    // 2^12 servers × 60 trials keeps the whole family around a second
+    // while the slack column stabilizes to a few hundredths.
+    heavy_exp: 12,
+    heavy_trials: 60,
     // The serving steady state churns 16n sessions through n servers per
     // trial; 2^10 servers × 25 trials per scenario keeps it well under
     // the table sweeps' cost while the shed-rate columns stay stable to
@@ -186,6 +200,8 @@ pub const FULL: Scale = Scale {
     chart_trials: 200,
     tab_exp: 12,
     tab_trials: 1000,
+    heavy_exp: 16,
+    heavy_trials: 200,
     serve_exp: 13,
     serve_trials: 100,
     resil_exp: 13,
@@ -553,6 +569,52 @@ pub fn tabulation(n: usize, config: &SweepConfig) -> ExperimentResult {
             });
         }
         progress(&format!("tabulation: {sampler} done"));
+    }
+    result
+}
+
+/// The two substrates the `heavy` experiment sweeps, in cell order: the
+/// classical uniform baseline and the paper's ring.
+pub const HEAVY_SPACES: [SpaceKind; 2] = [SpaceKind::Uniform, SpaceKind::Ring];
+
+/// The heavily-loaded case (§2 remark 3): with `m` balls and `n` bins
+/// the two-choice maximum is `m/n + O(log log n / log d)` w.h.p., so the
+/// *slack* above the `m/n` floor should stay `O(log log n)` as the ratio
+/// `m/n ∈ {1/4, 1, 4, 16}` grows — it may even shrink, since absolute
+/// loads smooth out. Each cell reports the mean max load, the exact
+/// `m/n` floor, the measured slack, and the max-load distribution, on
+/// both the ring and the uniform baseline.
+#[must_use]
+pub fn heavy(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let ms = [n / 4, n, 4 * n, 16 * n];
+    let spec = ExperimentSpec::new(
+        "heavy",
+        "Heavily loaded: two-choice max load as m/n grows (d = 2)",
+    )
+    .paper_ref("§2 remark 3")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("n", Json::from_usize(n))
+    .param("d", Json::from_usize(2))
+    .param(
+        "m",
+        Json::Arr(ms.iter().map(|&m| Json::from_usize(m)).collect()),
+    );
+    let mut result = ExperimentResult::new(spec);
+    for kind in HEAVY_SPACES {
+        let rows = heavy_load_sweep(kind, Strategy::two_choice(), n, &ms, config);
+        for row in rows {
+            result.push(
+                Cell::new()
+                    .coord("space", Json::str(kind.name()))
+                    .coord("m", Json::from_usize(row.m))
+                    .metric("m_over_n", Json::num(row.average_load))
+                    .metric("mean_max", Json::num(row.mean_max))
+                    .metric("slack", Json::num(row.mean_max - row.average_load))
+                    .dist(row.distribution),
+            );
+        }
+        progress(&format!("heavy: {} done", kind.name()));
     }
     result
 }
@@ -1105,8 +1167,8 @@ of CPU) and writes `results/full/`.\n\n",
     out.push_str(
         "Each cell shows the distribution of the **maximum load** over the trials, \
 in the paper's `value: percent` format, with the distribution mean beneath. \
-The serving, resilience, churn, replication, and streaming-scale tables at the \
-end instead report scalar metric columns (means over the trials, compared \
+The heavily-loaded, serving, resilience, churn, replication, and streaming-scale \
+tables at the end instead report scalar metric columns (means over the trials, compared \
 *exactly* by `--check` — they are deterministic in the seed); the serving \
 distribution column aggregates the end-state per-server loads across all \
 trials. Metric columns \
@@ -1131,7 +1193,14 @@ excluded from `--check`'s exact compare.\n\n",
     }
     // The metric-bearing experiments render flat (one row per cell,
     // scalar columns + the aggregated load distribution where present).
-    for id in ["serving", "resilience", "churn", "replication", "scaling"] {
+    for id in [
+        "heavy",
+        "serving",
+        "resilience",
+        "churn",
+        "replication",
+        "scaling",
+    ] {
         if let Some(result) = set.experiment(id) {
             out.push_str(&render_markdown(result));
             out.push('\n');
@@ -1183,9 +1252,12 @@ The numbers above are *distributions*; the speed that makes them cheap to \
 regenerate is tracked separately under [`results/bench/`](results/bench/):\n\n\
 * **Run:** `cargo run --release -p geo2c-bench --bin run_benches` times the \
 hot-path suite (owner lookups on the ring, the torus, and the K-torus for \
-K ∈ {3, 4}, plus end-to-end random-tie-break `run_trial` insertions on \
-each geometry — `trial/*_random` — and the arc-left ablation \
-`trial/kd3_d2_left`) with the criterion shim's technique — adaptive \
+K ∈ {3, 4}, the least-of-`d` load-read micro-benches \
+`substrate/min_load_{flat,packed}`, end-to-end random-tie-break \
+`run_trial` insertions on each geometry — `trial/*_random` — the \
+arc-left ablation `trial/kd3_d2_left`, and the serving-engine steady \
+state and faulted-run trials `trial/serving_*`) with the criterion \
+shim's technique — adaptive \
 ~20 ms windows, best of N (`--repeats N`, default 3), ns/iter — and \
 writes `results/bench/baseline.json` (`--quick` for the CI scale, \
 `results/bench/quick.json`). Each file is a normal \
@@ -1200,7 +1272,10 @@ never fail; a bench appearing or disappearing always does.\n\
 speedups, and `--min-speedup R --only SUBSTR,SUBSTR` turns the diff into \
 a gate. Pre-optimization measurements are archived per PR by \
 `run_benches --archive [LABEL]` as `results/bench/before_<LABEL>.json` \
-(auto-numbered `before_prN.json` without a label): `before_pr7.json` \
+(auto-numbered `before_prN.json` without a label): `before_pr9.json` \
+holds the captures just before the timing-wheel departure scheduler and \
+the batched serving loop (1.5×+/8× on the serving steady-state/faulted \
+trials — see below), `before_pr7.json` \
 holds the captures just before the packed/sharded load-state layer \
 (its gate is *no slower*, not faster — see below), `before_pr5.json` \
 the captures just before the contract-v2 lane engine \
@@ -1237,7 +1312,25 @@ shard-independence is what a multi-core build would exploit; only the \
 determinism, not the concurrency win, is claimable here. Every backing \
 replays the same RNG streams as the flat vector, so the committed tables \
 are unchanged by construction; the `trial/scaling_*` benches and the \
-`before_pr7.json` diff pin the *no slower* half of the claim.\n\n",
+`before_pr7.json` diff pin the *no slower* half of the claim.\n\n\
+### Scheduling: the departure timing wheel\n\n\
+The serving engine's departure deadlines live in a two-level hierarchical \
+timing wheel (`geo2c_serve::wheel::DepartureWheel`, 2 × 1024 slots plus \
+an overflow list): O(1) schedule, O(due) drain, and — when a server \
+crashes — an O(1) *lazy purge* that bumps the server's epoch so its \
+stale entries are dropped as the drain reaches them, instead of \
+rebuilding the queue. The event loop batches arrivals in 64-event \
+blocks, pre-drawing each block's probe owners before resolving it \
+(`geo2c_core::sim::EventOwnerBlocks`). Both changes are invisible to the \
+numbers above: under stream contract v2 same-deadline departures \
+commute, so the wheel-backed engine is byte-equal to the binary-heap \
+engine it replaced — the heap stays on as `wheel::HeapQueue`, the oracle \
+of the `wheel_oracle` proptest suite (queue-level lockstep scripts plus \
+whole-engine checkpoint equality under faults), and `ci.sh` pins the \
+speedup itself as committed evidence: `baseline.json` must show ≥ 1.5× \
+over `before_pr9.json` on `trial/serving_d2_random` and \
+`trial/serving_faults_d2` (the faulted trial gains the most — the old \
+heap held every purged server's dead entries until their deadlines).\n\n",
     );
     out.push_str(
         "## Reading the JSON\n\n\
@@ -1643,6 +1736,7 @@ mod tests {
         set.push(dimension(32, &config));
         set.push(ring_chart(32, &config));
         set.push(tabulation(32, &config));
+        set.push(heavy(32, &config));
         set.push(serving(32, &config));
         set.push(resilience(64, &config));
         set.push(churn(16, &config));
@@ -1657,6 +1751,7 @@ mod tests {
             "## Higher dimensions",
             "## Diminishing returns",
             "## Weak hashing",
+            "## Heavily loaded",
             "## Online serving",
             "## Resilience",
             "## Churn",
@@ -1665,6 +1760,7 @@ mod tests {
             "## RNG stream contract v2",
             "## Performance methodology",
             "### Memory: packed and sharded load states",
+            "### Scheduling: the departure timing wheel",
         ] {
             assert!(md.contains(heading), "missing {heading}");
         }
@@ -1674,6 +1770,7 @@ mod tests {
             md.find(needle)
                 .unwrap_or_else(|| panic!("missing {needle}"))
         };
+        assert!(pos("## Heavily loaded") < pos("## Online serving"));
         assert!(pos("## Online serving") < pos("## Resilience"));
         assert!(pos("## Resilience") < pos("## Churn"));
         assert!(pos("## Churn") < pos("## Replication"));

@@ -19,7 +19,7 @@
 //! Driven by the `run_benches` binary; see the "Performance methodology"
 //! section of the README for the workflow and the regression gate.
 
-use geo2c_core::load::{PackedLoads, ShardedLoads};
+use geo2c_core::load::{LoadRead, LoadState, PackedLoads, ShardedLoads};
 use geo2c_core::sim::{run_trial, run_trial_into};
 use geo2c_core::space::{KdTorusSpace, RingSpace, TorusSpace, UniformSpace};
 use geo2c_core::strategy::{Strategy, TieBreak};
@@ -96,6 +96,11 @@ enum BenchKind {
     TorusOwner,
     /// Batch of nearest-site lookups on the `K`-torus (`K` ∈ {3, 4}).
     KdOwner { k: usize },
+    /// Batch of [`geo2c_core::load::LoadRead::min_load_of`] least-of-d
+    /// resolutions over a populated load vector — [`MIN_LOAD_D`] probes
+    /// per query, wide enough to exercise the full unrolled lane-gather
+    /// fold — against the flat or the nibble-packed backing.
+    MinLoad { packed: bool },
     /// One full `run_trial` (m = n insertions) on a fixed ring space.
     TrialRing { d: usize },
     /// One full `run_trial` on a fixed torus space.
@@ -121,6 +126,19 @@ enum BenchKind {
     /// load-state backing (`run_trial_into`): the `TrialUniform` workload
     /// with the flat `Vec<u32>` swapped for a packed/sharded backing.
     TrialScaling { d: usize, backing: ScalingBacking },
+}
+
+/// Probes per `min_load_of` query in the [`BenchKind::MinLoad`] benches:
+/// one full lane-gather block, the widest unrolled path.
+const MIN_LOAD_D: usize = 8;
+
+/// One batch of least-of-d resolutions, monomorphized per backing so the
+/// bench times the real (inlined) fast path, not a vtable.
+fn min_load_queries<S: LoadRead>(state: &S, probes: &[usize]) -> u64 {
+    probes
+        .chunks_exact(MIN_LOAD_D)
+        .map(|q| u64::from(state.min_load_of(q)))
+        .sum::<u64>()
 }
 
 /// Which load-state backing a `TrialScaling` bench drives. `Flat` runs
@@ -213,6 +231,25 @@ impl BenchDef {
                 4 => kd_owner_bench::<4>(n, self.elems, &mut rng, window, repeats),
                 other => panic!("no K = {other} owner bench instantiated"),
             },
+            BenchKind::MinLoad { packed } => {
+                // Loads stay below the nibble ceiling so both backings
+                // resolve the identical vector.
+                let loads: Vec<u32> = (0..n).map(|_| (rng.next_u64() % 15) as u32).collect();
+                let probes: Vec<usize> = (0..self.elems as usize * MIN_LOAD_D)
+                    .map(|_| (rng.next_u64() % n as u64) as usize)
+                    .collect();
+                if packed {
+                    let mut state = PackedLoads::nibble(n);
+                    for (s, &l) in loads.iter().enumerate() {
+                        if l != 0 {
+                            state.set(s, l);
+                        }
+                    }
+                    time_with(window, repeats, || min_load_queries(&state, &probes))
+                } else {
+                    time_with(window, repeats, || min_load_queries(&loads, &probes))
+                }
+            }
             BenchKind::TrialRing { d } => {
                 let space = RingSpace::random(n, &mut rng);
                 let strategy = Strategy::d_choice(d);
@@ -401,6 +438,24 @@ impl BenchScale {
                 elems: self.queries,
                 kind: BenchKind::KdOwner { k: 4 },
             },
+            // The least-of-d resolver in isolation, flat vs nibble-packed
+            // (the ROADMAP "SIMD-width compare" item, measured): 8-wide
+            // `min_load_of` queries over a populated load vector at the
+            // big-trial n.
+            BenchDef {
+                group: "substrate",
+                name: "min_load_flat",
+                exp: self.trial_ring_exp,
+                elems: self.queries,
+                kind: BenchKind::MinLoad { packed: false },
+            },
+            BenchDef {
+                group: "substrate",
+                name: "min_load_packed",
+                exp: self.trial_ring_exp,
+                elems: self.queries,
+                kind: BenchKind::MinLoad { packed: true },
+            },
             BenchDef {
                 group: "trial",
                 name: "ring_d2_random",
@@ -489,6 +544,19 @@ impl BenchScale {
     }
 }
 
+/// Whether a bench id matches a comma-separated substring filter
+/// (`None` matches everything) — the `--only` semantics shared by the
+/// diff gate and the run mode.
+#[must_use]
+pub fn matches_only(id: &str, only: Option<&str>) -> bool {
+    match only {
+        None => true,
+        Some(patterns) => patterns
+            .split(',')
+            .any(|pat| !pat.is_empty() && id.contains(pat)),
+    }
+}
+
 /// Runs the suite at `scale` and packages it as an [`ExperimentResult`]
 /// (spec id `"bench"`), one cell per benchmark with `ns_per_iter`,
 /// `elems_per_s`, and `iters` metrics.
@@ -499,7 +567,25 @@ pub fn run_bench_suite(
     window: Duration,
     repeats: usize,
 ) -> ExperimentResult {
-    let suite = scale.suite();
+    run_bench_suite_only(scale, seed, window, repeats, None)
+}
+
+/// [`run_bench_suite`] restricted to the benches whose id matches the
+/// comma-separated `only` filter — for iterating on one hot path (and
+/// for subset `--check`s) without paying for the whole suite.
+#[must_use]
+pub fn run_bench_suite_only(
+    scale: &BenchScale,
+    seed: u64,
+    window: Duration,
+    repeats: usize,
+    only: Option<&str>,
+) -> ExperimentResult {
+    let suite: Vec<BenchDef> = scale
+        .suite()
+        .into_iter()
+        .filter(|b| matches_only(&b.id(), only))
+        .collect();
     let spec = ExperimentSpec::new(
         "bench",
         "Hot-path micro-benchmarks (criterion-shim-style ns/iter)",
@@ -667,6 +753,8 @@ mod tests {
         assert!(ids.contains(&"trial/torus_d2_random/2^16".to_string()));
         assert!(ids.contains(&"substrate/kd3_owner/2^16".to_string()));
         assert!(ids.contains(&"substrate/kd4_owner/2^16".to_string()));
+        assert!(ids.contains(&"substrate/min_load_flat/2^20".to_string()));
+        assert!(ids.contains(&"substrate/min_load_packed/2^20".to_string()));
         assert!(ids.contains(&"trial/kd3_d2_random/2^13".to_string()));
         assert!(ids.contains(&"trial/kd3_d2_left/2^13".to_string()));
         assert!(ids.contains(&"trial/serving_d2_random/2^14".to_string()));

@@ -172,6 +172,7 @@ fn quick_expectations_in_the_repository_match_the_current_scale() {
             "dimension" => scale.dim_trials,
             "ring_chart" => scale.chart_trials,
             "tabulation" => scale.tab_trials,
+            "heavy" => scale.heavy_trials,
             "serving" => scale.serve_trials,
             "resilience" => scale.resil_trials,
             "churn" => scale.churn_trials,

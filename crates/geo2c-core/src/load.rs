@@ -37,7 +37,8 @@ pub trait LoadRead {
     fn load(&self, server: usize) -> u32;
 
     /// `min(load(s) for s in servers)` — the least-loaded-of-`d` scan.
-    /// Packed backings override this with a register-wide lane compare.
+    /// Flat and packed backings override this with a branchless unrolled
+    /// / register-wide lane compare; the default loop is the reference.
     ///
     /// Returns `u32::MAX` for an empty slice (the fold identity).
     fn min_load_of(&self, servers: &[usize]) -> u32 {
@@ -92,6 +93,39 @@ impl LoadRead for [u32] {
     fn load(&self, server: usize) -> u32 {
         self[server]
     }
+
+    /// Branchless unrolled least-of-`d`: the common probe counts
+    /// (`d ≤ 4`) compile to a pure `min` tree — no loop counter, no
+    /// loop-carried dependency — and larger sets gather into
+    /// `MIN_LANES`-wide blocks that fold pairwise, mirroring the
+    /// packed backings' lane compare. The length dispatch is one
+    /// perfectly-predicted jump per call (a strategy's `d` never
+    /// changes mid-stream).
+    #[inline]
+    fn min_load_of(&self, servers: &[usize]) -> u32 {
+        match *servers {
+            [] => u32::MAX,
+            [a] => self[a],
+            [a, b] => self[a].min(self[b]),
+            [a, b, c] => self[a].min(self[b]).min(self[c]),
+            [a, b, c, d] => self[a].min(self[b]).min(self[c].min(self[d])),
+            _ => {
+                let mut min = u32::MAX;
+                for chunk in servers.chunks(MIN_LANES) {
+                    let mut lanes = [u32::MAX; MIN_LANES];
+                    for (lane, &s) in lanes.iter_mut().zip(chunk) {
+                        *lane = self[s];
+                    }
+                    let fold = lanes[0]
+                        .min(lanes[1])
+                        .min(lanes[2].min(lanes[3]))
+                        .min(lanes[4].min(lanes[5]).min(lanes[6].min(lanes[7])));
+                    min = min.min(fold);
+                }
+                min
+            }
+        }
+    }
 }
 
 impl LoadState for [u32] {
@@ -131,6 +165,11 @@ impl<const N: usize> LoadRead for [u32; N] {
     fn load(&self, server: usize) -> u32 {
         self[server]
     }
+
+    #[inline]
+    fn min_load_of(&self, servers: &[usize]) -> u32 {
+        self.as_slice().min_load_of(servers)
+    }
 }
 
 impl LoadRead for Vec<u32> {
@@ -142,6 +181,11 @@ impl LoadRead for Vec<u32> {
     #[inline]
     fn load(&self, server: usize) -> u32 {
         self[server]
+    }
+
+    #[inline]
+    fn min_load_of(&self, servers: &[usize]) -> u32 {
+        self.as_slice().min_load_of(servers)
     }
 }
 

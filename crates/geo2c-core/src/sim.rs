@@ -221,6 +221,20 @@ impl EventOwnerBlocks {
         let offset = (event - start) as usize * self.d;
         &self.buf[offset..offset + self.d]
     }
+
+    /// Events per aligned block — the cross-ball batch width shared with
+    /// [`run_trial`]'s insertion loop.
+    pub const BLOCK_EVENTS: u64 = BALL_BLOCK as u64;
+
+    /// The full aligned owner block containing `event`
+    /// ([`EventOwnerBlocks::BLOCK_EVENTS`]` * d` owners, event-major),
+    /// materialised on first touch: the warming-sweep companion to
+    /// [`EventOwnerBlocks::owners`], for callers that want to touch a
+    /// block's load entries before resolving its events one at a time.
+    pub fn block<S: Space, L: LaneSource>(&mut self, space: &S, lanes: &L, event: u64) -> &[usize] {
+        let _ = self.owners(space, lanes, event);
+        &self.buf
+    }
 }
 
 /// [`run_trial`] on an explicit [`LaneSource`] instead of the default

@@ -5,7 +5,8 @@
 //! arrival, and a session admitted at event `t` with lifetime `l`
 //! departs at the start of event `t + l`. A failed server
 //! ([`ServeEngine::fail_server`]) has its sessions evicted, its pending
-//! departure entries purged eagerly from the heap, and its load pinned
+//! departure entries purged from the schedule (the wheel does this
+//! lazily by bumping the server's epoch), and its load pinned
 //! at a sentinel so that any live probed server always wins the
 //! least-loaded comparison; [`ServeEngine::recover_server`] clears the
 //! sentinel and re-admits the server to placement at load zero. An
@@ -14,14 +15,14 @@
 //! private retry lane before it is finally shed (see
 //! [`crate::fault`] for scheduling faults deterministically).
 
+use crate::wheel::{DepartureQueue, DepartureWheel};
 use geo2c_core::load::LoadState;
 use geo2c_core::sim::EventOwnerBlocks;
 use geo2c_core::space::Space;
 use geo2c_core::strategy::Strategy;
+use geo2c_util::hist::Histogram;
 use geo2c_util::rng::{EventLanes, LaneSource as _};
 use rand::RngCore as _;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Load sentinel marking a failed server: live loads are bounded far
 /// below this, so a live probe always beats a failed one.
@@ -129,7 +130,7 @@ pub struct EngineState {
     pub failed: Vec<bool>,
     /// Outstanding departures as sorted `(event, server)` pairs. Every
     /// entry references a live server: a failing server's entries are
-    /// purged eagerly with its sessions.
+    /// purged with its sessions (and never appear in a checkpoint).
     pub departures: Vec<(u64, u32)>,
     /// Session-flow counters.
     pub counters: Counters,
@@ -147,17 +148,20 @@ pub struct EngineState {
 /// backings of [`geo2c_core::load`] serve the same event stream
 /// byte-identically at a fraction of the memory
 /// ([`ServeEngine::with_load_state`]; pinned by the `packed_equivalence`
-/// property suite).
+/// property suite). Also generic over the [`DepartureQueue`] scheduler:
+/// the default [`DepartureWheel`] is the production timing wheel, and
+/// [`crate::wheel::HeapQueue`] is the binary-heap oracle the
+/// `wheel_oracle` property suite drives the same streams through.
 #[derive(Debug, Clone)]
-pub struct ServeEngine<S: Space, L: LoadState = Vec<u32>> {
+pub struct ServeEngine<S: Space, L: LoadState = Vec<u32>, Q: DepartureQueue = DepartureWheel> {
     space: S,
     config: ServeConfig,
     lanes: EventLanes,
     blocks: EventOwnerBlocks,
     loads: L,
     failed: Vec<bool>,
-    /// Min-heap of `(departure event, server)`.
-    departures: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Pending `(departure event, server)` entries.
+    departures: Q,
     clock: u64,
     departed: u64,
     shed_capacity: u64,
@@ -167,6 +171,8 @@ pub struct ServeEngine<S: Space, L: LoadState = Vec<u32>> {
     /// `retry_by_attempt[j]` admissions on retry attempt `j + 1`.
     retry_by_attempt: Vec<u64>,
     peak_load: u32,
+    /// Reusable probe buffer for the retry path (d entries).
+    retry_scratch: Vec<usize>,
 }
 
 /// Why an attempt's destination cannot admit.
@@ -214,6 +220,37 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
     /// start).
     #[must_use]
     pub fn with_load_state(space: S, config: ServeConfig, root: u64, loads: L) -> Self {
+        Self::with_scheduler(space, config, root, loads)
+    }
+
+    /// [`ServeEngine::restore`] with an explicit all-zero [`LoadState`]
+    /// backing (the checkpointed loads are written into it).
+    ///
+    /// # Panics
+    /// As [`ServeEngine::restore_with_scheduler`].
+    #[must_use]
+    pub fn restore_with_load_state(
+        space: S,
+        config: ServeConfig,
+        root: u64,
+        state: &EngineState,
+        loads: L,
+    ) -> Self {
+        Self::restore_with_scheduler(space, config, root, state, loads)
+    }
+}
+
+impl<S: Space, L: LoadState, Q: DepartureQueue> ServeEngine<S, L, Q> {
+    /// [`ServeEngine::with_load_state`] with an explicit
+    /// [`DepartureQueue`] implementation — how the `wheel_oracle` suite
+    /// runs whole engines on the [`crate::wheel::HeapQueue`] oracle.
+    ///
+    /// # Panics
+    /// As [`ServeEngine::new`], plus if `loads` is sized for a different
+    /// space or not all-zero (the engine's counters assume an empty
+    /// start).
+    #[must_use]
+    pub fn with_scheduler(space: S, config: ServeConfig, root: u64, loads: L) -> Self {
         assert!(
             config.strategy.supports_cross_ball_batching(),
             "serving requires a lane-form strategy (not the split scheme)"
@@ -242,7 +279,7 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
             lanes: EventLanes::new(root),
             loads,
             failed: vec![false; n],
-            departures: BinaryHeap::new(),
+            departures: Q::with_origin(n, 0),
             clock: 0,
             departed: 0,
             shed_capacity: 0,
@@ -251,29 +288,31 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
             admitted_on_retry: 0,
             retry_by_attempt: vec![0; config.retries as usize],
             peak_load: 0,
+            retry_scratch: vec![0; config.strategy.d()],
             space,
             config,
         }
     }
 
-    /// [`ServeEngine::restore`] with an explicit all-zero [`LoadState`]
-    /// backing (the checkpointed loads are written into it).
+    /// [`ServeEngine::restore_with_load_state`] with an explicit
+    /// [`DepartureQueue`] implementation.
     ///
     /// # Panics
     /// As [`ServeEngine::with_load_state`], plus if the checkpoint is
     /// sized for a different space, was taken under a different retry
     /// budget, is internally inconsistent (shed counter differing from
     /// its capacity/unavailable split, a failed server not holding the
-    /// sentinel), or carries a departure entry on a failed server.
+    /// sentinel), or carries a departure entry on a failed server or one
+    /// already due before the checkpoint clock.
     #[must_use]
-    pub fn restore_with_load_state(
+    pub fn restore_with_scheduler(
         space: S,
         config: ServeConfig,
         root: u64,
         state: &EngineState,
         loads: L,
     ) -> Self {
-        let mut engine = Self::with_load_state(space, config, root, loads);
+        let mut engine = Self::with_scheduler(space, config, root, loads);
         let n = engine.space.num_servers();
         assert_eq!(state.loads.len(), n, "checkpoint sized for another space");
         assert_eq!(state.failed.len(), n, "checkpoint sized for another space");
@@ -296,11 +335,19 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
             }
         }
         engine.failed.copy_from_slice(&state.failed);
+        // Re-key the queue to the checkpoint clock before re-filing:
+        // every outstanding deadline is ≥ arrivals (earlier ones already
+        // drained), and a wheel origined mid-stream files by delta.
+        engine.departures = Q::with_origin(n, state.counters.arrivals);
         for &(when, server) in &state.departures {
             let s = server as usize;
             assert!(s < n, "departure entry outside the space");
             assert!(!state.failed[s], "departure entry on a failed server");
-            engine.departures.push(Reverse((when, server)));
+            assert!(
+                when >= state.counters.arrivals,
+                "departure entry already due before the checkpoint clock"
+            );
+            engine.departures.schedule(when, server);
         }
         engine.clock = state.counters.arrivals;
         engine.departed = state.counters.departed;
@@ -323,15 +370,16 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
     pub fn step(&mut self) -> Placement {
         let t = self.clock;
         self.clock += 1;
-        while let Some(&Reverse((when, server))) = self.departures.peek() {
-            if when > t {
-                break;
-            }
-            self.departures.pop();
-            let server = server as usize;
-            debug_assert!(!self.failed[server], "failed entries are purged eagerly");
-            self.loads.dec(server);
-            self.departed += 1;
+        {
+            let loads = &mut self.loads;
+            let failed = &self.failed;
+            let departed = &mut self.departed;
+            self.departures.drain_due(t, |server| {
+                let server = server as usize;
+                debug_assert!(!failed[server], "purged entries never reach the drain");
+                loads.dec(server);
+                *departed += 1;
+            });
         }
         let owners = self.blocks.owners(&self.space, &self.lanes, t);
         let mut tie = self.lanes.tie(t);
@@ -349,13 +397,13 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
         // happy path (and a zero budget) never touches it.
         if self.config.retries > 0 {
             let mut retry = self.lanes.retry(t);
-            let mut redrawn = vec![0usize; self.config.strategy.d()];
             for attempt in 1..=self.config.retries {
-                self.space.sample_owners_into(&mut retry, &mut redrawn);
+                self.space
+                    .sample_owners_into(&mut retry, &mut self.retry_scratch);
                 let dest = self.config.strategy.place_from_loads(
                     &self.space,
                     &self.loads,
-                    &redrawn,
+                    &self.retry_scratch,
                     &mut retry,
                 );
                 match self.shed_verdict(dest) {
@@ -399,21 +447,45 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
         let new_load = self.loads.bump(dest);
         self.peak_load = self.peak_load.max(new_load);
         let life = self.sample_life(t);
-        self.departures.push(Reverse((t + life, dest as u32)));
+        self.departures.schedule(t + life, dest as u32);
         Placement::Admitted(dest)
     }
 
-    /// Runs `events` arrival events.
+    /// Runs `events` arrival events, batched along the 64-event aligned
+    /// [`EventOwnerBlocks`] the owner pre-draw already materializes: each
+    /// run sweeps a load-warming pass over the block's owners (the
+    /// `insert_balls_lanes` idiom — read-only, so the stream is
+    /// untouched) before stepping through its drain-then-place events.
+    /// Byte-identical to calling [`ServeEngine::step`] `events` times.
     pub fn run(&mut self, events: u64) {
-        for _ in 0..events {
-            self.step();
+        let end = self.clock + events;
+        while self.clock < end {
+            let block = EventOwnerBlocks::BLOCK_EVENTS;
+            let start = self.clock - self.clock % block;
+            let run_end = (start + block).min(end);
+            let d = self.blocks.d();
+            let lo = (self.clock - start) as usize * d;
+            let hi = (run_end - start) as usize * d;
+            let owners = self.blocks.block(&self.space, &self.lanes, self.clock);
+            let mut warm = 0u32;
+            for &owner in &owners[lo..hi] {
+                warm = warm.wrapping_add(self.loads.warm(owner));
+            }
+            std::hint::black_box(warm);
+            let steps = run_end - self.clock;
+            for _ in 0..steps {
+                self.step();
+            }
         }
     }
 
     /// Fails `server`: its sessions are evicted, its pending departure
-    /// entries are purged from the heap, its load is pinned at the
-    /// sentinel, and future probes that land on it lose to any live
-    /// alternative (until [`ServeEngine::recover_server`]). Idempotent.
+    /// entries are purged from the queue (the wheel bumps the server's
+    /// epoch — O(1), not a rebuild — and drops the stale entries as the
+    /// drain reaches them), its load is pinned at the sentinel, and
+    /// future probes that land
+    /// on it lose to any live alternative (until
+    /// [`ServeEngine::recover_server`]). Idempotent.
     pub fn fail_server(&mut self, server: usize) {
         if self.failed[server] {
             return;
@@ -421,7 +493,7 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
         self.evicted += u64::from(self.loads.load(server));
         self.loads.set(server, FAILED_LOAD);
         self.failed[server] = true;
-        self.purge_departures(server);
+        self.departures.purge_server(server as u32);
     }
 
     /// Recovers a failed `server`: clears the sentinel and re-admits it
@@ -433,19 +505,6 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
         }
         self.failed[server] = false;
         self.loads.set(server, 0);
-    }
-
-    /// Drops every pending departure entry of `server` (its sessions
-    /// were just evicted). Rebuilds the heap only when entries exist.
-    fn purge_departures(&mut self, server: usize) {
-        let s = server as u32;
-        if self.departures.iter().any(|&Reverse((_, srv))| srv == s) {
-            let kept: Vec<_> = std::mem::take(&mut self.departures)
-                .into_iter()
-                .filter(|&Reverse((_, srv))| srv != s)
-                .collect();
-            self.departures = kept.into();
-        }
     }
 
     /// The event `t`'s session lifetime, drawn on its private life lane.
@@ -571,12 +630,20 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
         &self.config
     }
 
-    /// Point-in-time statistics over the live loads.
+    /// Point-in-time statistics over the live loads: one counting pass
+    /// into a dense [`Histogram`] (live loads are bounded by
+    /// [`ServeEngine::peak_load`], so the bucket array is tiny) instead
+    /// of the old clone-and-sort — no O(n log n), and the max/p99/mean
+    /// read straight off the counts. The mean is *exactly* the
+    /// sorted-sum mean: both are integer sums below 2^53, each exactly
+    /// representable in an `f64`.
     #[must_use]
     pub fn load_stats(&self) -> LoadStats {
-        let mut live: Vec<u32> = self.live_loads().collect();
-        live.sort_unstable();
-        let k = live.len();
+        let mut hist = Histogram::with_max(self.peak_load);
+        for load in self.live_loads() {
+            hist.record(load);
+        }
+        let k = hist.total();
         if k == 0 {
             return LoadStats {
                 max: 0,
@@ -585,12 +652,12 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
                 live_servers: 0,
             };
         }
-        let p99_index = ((k as f64 * 0.99).ceil() as usize).max(1) - 1;
+        let p99_index = ((k as f64 * 0.99).ceil() as u64).max(1) - 1;
         LoadStats {
-            max: live[k - 1],
-            p99: live[p99_index],
-            mean: live.iter().map(|&l| f64::from(l)).sum::<f64>() / k as f64,
-            live_servers: k,
+            max: hist.max(),
+            p99: hist.value_at_sorted_index(p99_index),
+            mean: hist.sum() as f64 / k as f64,
+            live_servers: k as usize,
         }
     }
 
@@ -598,9 +665,7 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
     /// the checkpoint format [`ServeEngine::restore`] accepts.
     #[must_use]
     pub fn state(&self) -> EngineState {
-        let mut departures: Vec<(u64, u32)> =
-            self.departures.iter().map(|&Reverse(pair)| pair).collect();
-        departures.sort_unstable();
+        let departures = self.departures.entries();
         EngineState {
             loads: self.loads.to_vec(),
             failed: self.failed.clone(),

@@ -22,6 +22,7 @@
 //! geometrically correlated rather than a scattered sample.
 
 use crate::engine::ServeEngine;
+use crate::wheel::DepartureQueue;
 use geo2c_core::load::LoadState;
 use geo2c_core::space::Space;
 use geo2c_util::rng::{SplitMix64, FAULT_TAG};
@@ -143,18 +144,23 @@ impl FaultPlan {
     }
 }
 
-impl<S: Space, L: LoadState> ServeEngine<S, L> {
+impl<S: Space, L: LoadState, Q: DepartureQueue> ServeEngine<S, L, Q> {
     /// Runs `events` arrival events, applying every [`FaultPlan`] action
     /// scheduled in `[clock, clock + events)` immediately before its
     /// event. Actions scheduled before the current clock are skipped (a
     /// resumed engine already applied them in an earlier chunk); actions
     /// at or beyond the end of this chunk stay pending for the next one
     /// — so running a plan in chunks is byte-identical to one long run.
+    ///
+    /// Between consecutive fault instants the engine runs fault-free, so
+    /// each gap goes through the batched [`ServeEngine::run`] loop (owner
+    /// blocks + warming sweep) rather than stepping event by event.
     pub fn run_with_faults(&mut self, events: u64, plan: &FaultPlan) {
         let end = self.arrivals() + events;
         let schedule = plan.events();
         let mut cursor = schedule.partition_point(|&(at, _)| at < self.arrivals());
-        for t in self.arrivals()..end {
+        while self.arrivals() < end {
+            let t = self.arrivals();
             while let Some(&(at, action)) = schedule.get(cursor) {
                 if at > t {
                     break;
@@ -165,7 +171,12 @@ impl<S: Space, L: LoadState> ServeEngine<S, L> {
                 }
                 cursor += 1;
             }
-            self.step();
+            // Every action at or before `t` is applied, so the stretch
+            // up to the next scheduled instant is fault-free: batch it.
+            let next_fault = schedule.get(cursor).map_or(u64::MAX, |&(at, _)| at);
+            let run_to = end.min(next_fault);
+            debug_assert!(run_to > t, "actions at t were just applied");
+            self.run(run_to - t);
         }
     }
 }

@@ -27,6 +27,13 @@
 //! one-event-at-a-time process. The `tests/steady_state.rs` property
 //! suite pins both equivalences.
 //!
+//! **Scheduling.** Departure deadlines live in a hierarchical timing
+//! wheel ([`wheel::DepartureWheel`]): O(1) schedule, O(due) drain, and
+//! O(1) epoch-based lazy purge when a server fails. The engine is
+//! generic over the [`wheel::DepartureQueue`] trait, and the binary
+//! heap the wheel replaced stays on as [`wheel::HeapQueue`], the oracle
+//! the `tests/wheel_oracle.rs` property suite proves the wheel against.
+//!
 //! **Faults and recovery.** Servers crash ([`engine::ServeEngine::fail_server`])
 //! and come back ([`engine::ServeEngine::recover_server`]); the
 //! [`fault`] module schedules such events deterministically on the
@@ -64,8 +71,10 @@
 
 pub mod engine;
 pub mod fault;
+pub mod wheel;
 
 pub use engine::{
     Counters, EngineState, LoadStats, Placement, RetryStats, ServeConfig, ServeEngine, SessionLife,
 };
 pub use fault::{FaultAction, FaultPlan};
+pub use wheel::{DepartureQueue, DepartureWheel, HeapQueue};

@@ -24,6 +24,7 @@ use geo2c_core::space::{RingSpace, UniformSpace};
 use geo2c_core::strategy::Strategy;
 use geo2c_serve::engine::{Placement, ServeConfig, ServeEngine, SessionLife};
 use geo2c_serve::fault::{FaultAction, FaultPlan};
+use geo2c_serve::wheel::HeapQueue;
 use geo2c_util::rng::Xoshiro256pp;
 use proptest::prelude::*;
 use proptest::strategy::Strategy as _;
@@ -183,10 +184,19 @@ proptest! {
         prop_assert_eq!(flat.state(), uninterrupted.state(), "flat resume diverged");
 
         let mut packed = ServeEngine::restore_with_load_state(
-            space.clone(), config, root, &checkpoint, PackedLoads::byte(n));
-        prop_assert_eq!(packed.state(), checkpoint, "packed restore must be lossless");
+            space.clone(), config, root, &checkpoint.clone(), PackedLoads::byte(n));
+        prop_assert_eq!(packed.state(), checkpoint.clone(), "packed restore must be lossless");
         packed.run_with_faults(q, &plan);
         prop_assert_eq!(packed.state(), uninterrupted.state(), "packed resume diverged");
+
+        // The wheel path is not special: restoring onto the heap-backed
+        // scheduler resumes the same bytes (same check the wheel_oracle
+        // suite makes from the queue side).
+        let mut on_heap = ServeEngine::<_, Vec<u32>, HeapQueue>::restore_with_scheduler(
+            space, config, root, &checkpoint, vec![0; n]);
+        prop_assert_eq!(on_heap.state(), checkpoint, "heap restore must be lossless");
+        on_heap.run_with_faults(q, &plan);
+        prop_assert_eq!(on_heap.state(), uninterrupted.state(), "heap resume diverged");
     }
 }
 

@@ -5,6 +5,11 @@
 //! 5 : 11.8%, 6 : 0.1%". [`Counter`] collects such distributions and renders
 //! them in exactly that form, so the `geo2c-bench` table binaries can print
 //! output that is line-for-line comparable with the paper.
+//!
+//! [`Histogram`] is the hot-path sibling: a dense `Vec<u64>` of counts
+//! indexed by value, for order statistics (max, percentiles, mean) over
+//! value ranges the two-choices bound keeps tiny — one counting pass, no
+//! sort, no per-sample allocation.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -145,6 +150,128 @@ impl Counter {
     }
 }
 
+/// A dense frequency histogram over small `u32` values.
+///
+/// Buckets are a flat `Vec<u64>` indexed by value, so recording is one
+/// increment and every order statistic is a single forward scan of the
+/// counts. Made for distributions whose support is tiny relative to the
+/// sample count — live server loads under the power-of-d bound, where a
+/// full sort per sample point is pure waste. Memory is
+/// O(largest recorded value); do not feed it sentinel-sized values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[v]` observations of value `v`.
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty histogram pre-sized to record values up to `max_value`
+    /// without reallocating.
+    #[must_use]
+    pub fn with_max(max_value: u32) -> Self {
+        Self {
+            buckets: vec![0; max_value as usize + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one observation of `value`, growing the bucket array if
+    /// the value exceeds the pre-sized range.
+    pub fn record(&mut self, value: u32) {
+        let v = value as usize;
+        if v >= self.buckets.len() {
+            self.buckets.resize(v + 1, 0);
+        }
+        self.buckets[v] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of observations of exactly `value`.
+    #[must_use]
+    pub fn count(&self, value: u32) -> u64 {
+        self.buckets.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Largest recorded value (`0` if empty).
+    #[must_use]
+    pub fn max(&self) -> u32 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |v| v as u32)
+    }
+
+    /// Sum of all observations. Exact while below `u64` range — with
+    /// integer observations this makes `sum() / total()` bit-identical
+    /// to the mean of the sorted sample (both are the same integer sum).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum()
+    }
+
+    /// Mean of the observations (`0` if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / self.total as f64
+        }
+    }
+
+    /// The value that would sit at `index` in the sorted sample — the
+    /// percentile primitive: the smallest value whose cumulative count
+    /// exceeds `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= total()`.
+    #[must_use]
+    pub fn value_at_sorted_index(&self, index: u64) -> u32 {
+        assert!(index < self.total, "sorted index out of range");
+        let mut seen = 0u64;
+        for (v, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > index {
+                return v as u32;
+            }
+        }
+        unreachable!("cumulative counts sum to total");
+    }
+}
+
+impl FromIterator<u32> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
 impl FromIterator<u64> for Counter {
     fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
         let mut c = Counter::new();
@@ -242,5 +369,52 @@ mod tests {
         c.add_n(5, 0);
         assert_eq!(c.total(), 0);
         assert_eq!(c.count(5), 0);
+    }
+
+    #[test]
+    fn histogram_order_statistics_match_the_sorted_sample() {
+        let sample = [4u32, 0, 7, 4, 4, 2, 7, 1, 0, 3];
+        let hist: Histogram = sample.iter().copied().collect();
+        let mut sorted = sample.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(hist.total(), sample.len() as u64);
+        assert_eq!(hist.max(), *sorted.last().unwrap());
+        assert_eq!(hist.count(4), 3);
+        assert_eq!(hist.count(99), 0);
+        for (i, &v) in sorted.iter().enumerate() {
+            assert_eq!(hist.value_at_sorted_index(i as u64), v);
+        }
+        let sum: u64 = sample.iter().map(|&v| u64::from(v)).sum();
+        assert_eq!(hist.sum(), sum);
+        assert!((hist.mean() - sum as f64 / 10.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_grows_past_its_presized_range() {
+        let mut hist = Histogram::with_max(3);
+        hist.record(2);
+        hist.record(9);
+        assert_eq!(hist.max(), 9);
+        assert_eq!(hist.total(), 2);
+        assert_eq!(hist.value_at_sorted_index(1), 9);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let hist = Histogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.sum(), 0);
+        assert_eq!(hist.mean(), 0.0);
+        let also = Histogram::with_max(8);
+        assert!(also.is_empty());
+        assert_eq!(also.max(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted index out of range")]
+    fn histogram_sorted_index_bounds_are_checked() {
+        let hist: Histogram = [1u32].iter().copied().collect();
+        let _ = hist.value_at_sorted_index(1);
     }
 }
