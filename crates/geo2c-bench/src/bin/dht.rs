@@ -6,113 +6,36 @@
 //! paper's proposal). Reports max/mean/σ of the per-server load and the
 //! lookup-hop cost of each configuration.
 //!
+//! The computation lives in [`geo2c_bench::experiments::dht`], which is
+//! also a member of the gated `run_tables` suite (committed expectations
+//! under `results/dht.json`); this binary is the ad-hoc CLI front end
+//! for other sizes and seeds.
+//!
 //! ```text
 //! cargo run -p geo2c-bench --release --bin dht [--trials T] [--max-exp K] [--json PATH]
 //! ```
 
-use geo2c_bench::{banner, pow2_label, Cli};
-use geo2c_dht::chord::ChordRing;
-use geo2c_dht::placement::{evaluate, PlacementPolicy};
+use geo2c_bench::{banner, experiments, pow2_label, Cli};
+use geo2c_core::experiment::SweepConfig;
 use geo2c_report::markdown::render_text;
-use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
-use geo2c_util::parallel::parallel_map;
-use geo2c_util::rng::StreamSeeder;
-use geo2c_util::stats::RunningStats;
-
-struct Config {
-    name: &'static str,
-    virtual_servers: usize,
-    policy: PlacementPolicy,
-}
 
 fn main() {
     let cli = Cli::parse(20, (10, 10), 14);
     banner("E11: Chord DHT load balance (items = 16 x nodes)", &cli);
     let n = 1usize << cli.max_exp;
-    let m = (16 * n) as u64;
     let v = (n as f64).log2().ceil() as usize;
-    let lookup_samples = 2000;
-
-    let configs = [
-        Config {
-            name: "consistent",
-            virtual_servers: 1,
-            policy: PlacementPolicy::Consistent,
-        },
-        Config {
-            name: "virtual(log n)",
-            virtual_servers: v,
-            policy: PlacementPolicy::Consistent,
-        },
-        Config {
-            name: "2-choice",
-            virtual_servers: 1,
-            policy: PlacementPolicy::DChoice { d: 2 },
-        },
-        Config {
-            name: "4-choice",
-            virtual_servers: 1,
-            policy: PlacementPolicy::DChoice { d: 4 },
-        },
-    ];
-
-    let spec = ExperimentSpec::new("dht", "E11: Chord DHT load balance by placement scheme")
-        .paper_ref("§1.1")
-        .trials(cli.trials)
-        .seed(cli.seed)
-        .param("nodes", Json::from_usize(n))
-        .param("items", Json::from_u64(m))
-        .param("virtual_servers", Json::from_usize(v))
-        .param("lookup_samples", Json::from_usize(lookup_samples));
-    let mut result = ExperimentResult::new(spec);
-
-    let seeder = StreamSeeder::new(cli.seed).child("dht");
-    for config in &configs {
-        // Each trial: fresh ring + placement + sampled lookups.
-        let rows: Vec<(f64, f64, f64, u32, f64)> = parallel_map(cli.trials, cli.threads, |trial| {
-            let mut rng = seeder.child(config.name).stream(trial as u64);
-            let ring = ChordRing::with_virtual_servers(n, config.virtual_servers, &mut rng);
-            let report = evaluate(&ring, config.policy, m, lookup_samples, &mut rng);
-            let lookup = report.lookup.expect("lookups sampled");
-            (
-                f64::from(report.load.max),
-                report.load.stddev,
-                lookup.mean_hops,
-                lookup.max_hops,
-                lookup.redirect_rate,
-            )
-        });
-        let mut max_load = RunningStats::new();
-        let mut sigma = RunningStats::new();
-        let mut hops = RunningStats::new();
-        let mut max_hops = 0u32;
-        let mut redirect = RunningStats::new();
-        for (ml, sd, mh, xh, rr) in rows {
-            max_load.push(ml);
-            sigma.push(sd);
-            hops.push(mh);
-            max_hops = max_hops.max(xh);
-            redirect.push(rr);
-        }
-        // Finger-table state per physical node: 64 entries per virtual node.
-        let state = config.virtual_servers * 64;
-        result.push(
-            Cell::new()
-                .coord("scheme", Json::str(config.name))
-                .metric("max_load_mean", Json::num(max_load.mean()))
-                .metric("load_sigma", Json::num(sigma.mean()))
-                .metric("mean_hops", Json::num(hops.mean()))
-                .metric("max_hops", Json::num(max_hops))
-                .metric("redirect_pct", Json::num(100.0 * redirect.mean()))
-                .metric("fingers_per_node", Json::from_usize(state)),
-        );
-        eprintln!("--- {} done ---", config.name);
-    }
+    let config = SweepConfig {
+        trials: cli.trials,
+        threads: cli.threads,
+        seed: cli.seed,
+    };
+    let result = experiments::dht(n, &config);
     println!("{}", render_text(&result));
     cli.write_results(std::slice::from_ref(&result));
     println!(
-        "n = {} physical nodes, m = {m} items, v = {v} virtual servers.",
-        pow2_label(n)
+        "n = {} physical nodes, m = {} items, v = {v} virtual servers.",
+        pow2_label(n),
+        16 * n
     );
     println!("Expect: 2-choice max load ~= virtual-server max load with 1/{v} the");
     println!("routing state, at the cost of ~1 extra lookup hop (redirect).");

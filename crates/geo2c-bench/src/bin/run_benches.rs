@@ -7,6 +7,7 @@
 //!             [--dir DIR] [--out PATH] [--against PATH] [--archive [LABEL]]
 //!             [--only SUBSTR[,SUBSTR]] [--repeats N] [--window-ms MS]
 //! run_benches --diff AFTER.json BEFORE.json [--min-speedup R --only SUBSTR[,SUBSTR]]
+//! run_benches --ratio FILE.json NUM_NAME DEN_NAME MAX
 //! ```
 //!
 //! `--repeats` / `--window-ms` override the measurement methodology
@@ -41,6 +42,13 @@
 //!   (default: all pairs) must show a speedup of at least `R`, or the
 //!   exit status is non-zero — this is how ci.sh pins a perf PR's
 //!   headline claim to the committed evidence.
+//! * `--ratio FILE NUM DEN MAX` — no benches run: a *cross-bench* gate
+//!   within one persisted run. The bench named `NUM` must show at most
+//!   `MAX` times the ns/iter of the bench named `DEN` (names are the
+//!   `name` coordinate, e.g. `serving_d2_journaled`). Because both sides
+//!   were measured back-to-back on the same host, the ratio is
+//!   machine-independent evidence — this is how ci.sh bounds the
+//!   journaling overhead against the plain serving trial.
 
 use geo2c_bench::perf::{
     self, fmt_ns, pair_benches, run_bench_suite_only, BenchScale, FULL, QUICK,
@@ -58,6 +66,7 @@ struct Args {
     out: Option<PathBuf>,
     against: Option<PathBuf>,
     diff: Option<(PathBuf, PathBuf)>,
+    ratio: Option<(PathBuf, String, String, f64)>,
     archive: Option<Option<String>>,
     min_speedup: Option<f64>,
     only: Option<String>,
@@ -75,6 +84,7 @@ fn parse_args() -> Args {
         out: None,
         against: None,
         diff: None,
+        ratio: None,
         archive: None,
         min_speedup: None,
         only: None,
@@ -106,6 +116,14 @@ fn parse_args() -> Args {
                 let a = PathBuf::from(take(&argv, &mut i, "--diff"));
                 let b = PathBuf::from(take(&argv, &mut i, "--diff"));
                 args.diff = Some((a, b));
+            }
+            "--ratio" => {
+                let file = PathBuf::from(take(&argv, &mut i, "--ratio"));
+                let num = take(&argv, &mut i, "--ratio");
+                let den = take(&argv, &mut i, "--ratio");
+                let max: f64 = take(&argv, &mut i, "--ratio").parse().expect("max ratio");
+                assert!(max > 0.0, "--ratio limit must be positive");
+                args.ratio = Some((file, num, den, max));
             }
             "--archive" => {
                 // The label is optional: consume the next token only if it
@@ -140,7 +158,8 @@ fn parse_args() -> Args {
                 "unknown flag '{other}'\nusage: run_benches [--quick] [--check] \
                  [--tolerance PCT] [--seed S] [--dir DIR] [--out PATH] [--against PATH] \
                  [--archive [LABEL]] [--only SUBSTR[,SUBSTR]] [--repeats N] [--window-ms MS] \
-                 | --diff AFTER BEFORE [--min-speedup R --only SUBSTR[,SUBSTR]]"
+                 | --diff AFTER BEFORE [--min-speedup R --only SUBSTR[,SUBSTR]] \
+                 | --ratio FILE NUM_NAME DEN_NAME MAX"
             ),
         }
         i += 1;
@@ -337,6 +356,53 @@ fn diff(
     ExitCode::SUCCESS
 }
 
+/// The `--ratio` cross-bench gate: within one persisted run, the bench
+/// named `num` must cost at most `max` times the ns/iter of the bench
+/// named `den`. Both sides come from the same back-to-back measurement,
+/// so the bound holds machine-independently.
+fn ratio(path: &Path, num: &str, den: &str, max: f64) -> ExitCode {
+    let result = match load_bench(path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let find = |name: &str| {
+        let mut hits = result.cells.iter().filter(|c| {
+            c.coords
+                .iter()
+                .any(|(k, v)| k == "name" && v.as_str() == Some(name))
+        });
+        let first = hits.next();
+        assert!(
+            hits.next().is_none(),
+            "bench name {name:?} is ambiguous in {}",
+            path.display()
+        );
+        first.and_then(|c| perf::metric_f64(c, "ns_per_iter"))
+    };
+    let (Some(num_ns), Some(den_ns)) = (find(num), find(den)) else {
+        eprintln!(
+            "ratio gate FAILED: {} must hold both benches {num:?} and {den:?}",
+            path.display()
+        );
+        return ExitCode::from(2);
+    };
+    let observed = num_ns / den_ns;
+    if observed <= max {
+        println!(
+            "ratio gate OK: {num} is {observed:.3}x {den} (limit {max}x) in {}",
+            path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "ratio gate FAILED: {num} is {observed:.3}x {den}, over the {max}x limit in {} — \
+             the overhead grew; fix it or re-justify the bound",
+            path.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn check(
     fresh: &ExperimentResult,
     committed: &ExperimentResult,
@@ -402,6 +468,9 @@ fn main() -> ExitCode {
     let args = parse_args();
     if let Some((after, before)) = &args.diff {
         return diff(after, before, args.min_speedup, args.only.as_deref());
+    }
+    if let Some((file, num, den, max)) = &args.ratio {
+        return ratio(file, num, den, *max);
     }
 
     // Fail fast on a missing/corrupt baseline before the measurement run.

@@ -143,7 +143,9 @@ fn run_suite(
     let resil = config(scale.resil_trials);
     let churn = config(scale.churn_trials);
     let repl = config(scale.repl_trials);
+    let dht = config(scale.dht_trials);
     let scaling = config(scale.scaling_trials);
+    let durability = config(scale.durability_trials);
     let provenance_line = |label: &str, config: &SweepConfig| {
         let pairs: Vec<String> = config
             .describe()
@@ -155,7 +157,8 @@ fn run_suite(
     eprintln!(
         "running the {} scale (ring n = {:?}, torus n = {:?}, dimension n = 2^{}, \
          ring chart n = 2^{}, heavy n = 2^{}, serving n = 2^{}, resilience n = 2^{}, \
-         churn n = 2^{}, replication n = 2^{}, scaling n = 2^{})",
+         churn n = 2^{}, replication n = 2^{}, dht n = 2^{}, scaling n = 2^{}, \
+         durability n = 2^{})",
         scale.name,
         scale.ring_sizes(),
         scale.torus_sizes(),
@@ -166,7 +169,9 @@ fn run_suite(
         scale.resil_exp,
         scale.churn_exp,
         scale.repl_exp,
+        scale.dht_exp,
         scale.scaling_exp,
+        scale.durability_exp,
     );
     if let Some(ids) = only {
         eprintln!("  only: {}", ids.join(", "));
@@ -181,7 +186,9 @@ fn run_suite(
     provenance_line("resilience", &resil);
     provenance_line("churn", &churn);
     provenance_line("replication", &repl);
+    provenance_line("dht", &dht);
     provenance_line("scaling", &scaling);
+    provenance_line("durability", &durability);
     let mut results = Vec::new();
     if wanted("table1") {
         results.push(experiments::table1(&scale.ring_sizes(), &ring));
@@ -216,8 +223,17 @@ fn run_suite(
     if wanted("replication") {
         results.push(experiments::replication(1usize << scale.repl_exp, &repl));
     }
+    if wanted("dht") {
+        results.push(experiments::dht(1usize << scale.dht_exp, &dht));
+    }
     if wanted("scaling") {
         results.push(experiments::scaling(1usize << scale.scaling_exp, &scaling));
+    }
+    if wanted("durability") {
+        results.push(experiments::durability(
+            1usize << scale.durability_exp,
+            &durability,
+        ));
     }
     results
 }

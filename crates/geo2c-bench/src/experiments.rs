@@ -25,10 +25,14 @@ use geo2c_core::space::{KdTorusSpace, RingSpace, SpaceKind, UniformSpace};
 use geo2c_core::strategy::{Strategy, TieBreak};
 use geo2c_dht::chord::ChordRing;
 use geo2c_dht::churn::churn_experiment;
-use geo2c_dht::placement::PlacementPolicy;
+use geo2c_dht::placement::{evaluate, PlacementPolicy};
 use geo2c_dht::replication::{availability_after_failures, place_replicated};
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
-use geo2c_serve::{FaultPlan, ServeConfig, ServeEngine, SessionLife};
+use geo2c_serve::{
+    DepartureWheel, DurableEngine, FaultPlan, Recovery, Resumed, ServeConfig, ServeEngine,
+    SessionLife,
+};
+use geo2c_util::frame::Header;
 use geo2c_util::parallel::parallel_map;
 use geo2c_util::rng::{BallLanes, StreamSeeder, TabulationHash, TabulationLanes, Xoshiro256pp};
 use geo2c_util::stats::RunningStats;
@@ -37,7 +41,7 @@ use rand::RngCore as _;
 
 /// Spec ids of the experiments `run_tables` drives, in suite order —
 /// also the basenames of the committed files under `results/`.
-pub const SUITE_IDS: [&str; 12] = [
+pub const SUITE_IDS: [&str; 14] = [
     "table1",
     "table2",
     "table3",
@@ -49,7 +53,9 @@ pub const SUITE_IDS: [&str; 12] = [
     "resilience",
     "churn",
     "replication",
+    "dht",
     "scaling",
+    "durability",
 ];
 
 /// A named parameter set for the table suite.
@@ -97,10 +103,18 @@ pub struct Scale {
     pub repl_exp: u32,
     /// Trials per replication cell.
     pub repl_trials: usize,
+    /// `n = 2^k` exponent (physical nodes) for the Chord DHT comparison.
+    pub dht_exp: u32,
+    /// Trials per DHT placement-scheme cell.
+    pub dht_trials: usize,
     /// `n = 2^k` exponent for the streaming-scale backing comparison.
     pub scaling_exp: u32,
     /// Trials per scaling cell.
     pub scaling_trials: usize,
+    /// `n = 2^k` exponent for the durability recovery-cost experiment.
+    pub durability_exp: u32,
+    /// Trials per durability checkpoint-interval cell.
+    pub durability_trials: usize,
 }
 
 /// CI / smoke-test scale: regenerates in seconds, even unoptimized.
@@ -126,8 +140,12 @@ pub const QUICK: Scale = Scale {
     churn_trials: 5,
     repl_exp: 8,
     repl_trials: 5,
+    dht_exp: 8,
+    dht_trials: 5,
     scaling_exp: 14,
     scaling_trials: 3,
+    durability_exp: 8,
+    durability_trials: 3,
 };
 
 /// The committed-expectation scale behind `EXPERIMENTS.md` (~1.5
@@ -177,6 +195,12 @@ pub const REFERENCE: Scale = Scale {
     churn_trials: 20,
     repl_exp: 10,
     repl_trials: 20,
+    // The Chord comparison places 16n items per trial and samples 2000
+    // lookups per configuration; 2^10 physical nodes × 20 trials keeps
+    // the family at the churn/replication cost while the max-load and
+    // hop-count means settle to a fraction of a unit.
+    dht_exp: 10,
+    dht_trials: 20,
     // The streaming-scale backing comparison runs at 2^24 bins — the
     // paper's own largest ring n, and far past L2 for every backing —
     // so bytes/bin and balls/sec are measured where they matter. The
@@ -184,6 +208,13 @@ pub const REFERENCE: Scale = Scale {
     // the suite budget.
     scaling_exp: 24,
     scaling_trials: 3,
+    // Each durability trial runs the serving workload three times (the
+    // uninterrupted reference, the journaled run up to the crash, and
+    // the recovery replay), touching the filesystem for checkpoints and
+    // journal frames; 2^10 servers × 10 trials per checkpoint interval
+    // keeps the family around the serving table's cost.
+    durability_exp: 10,
+    durability_trials: 10,
 };
 
 /// The paper's own scale (1000 trials, `n` up to `2^24` / `2^20`).
@@ -210,8 +241,12 @@ pub const FULL: Scale = Scale {
     churn_trials: 100,
     repl_exp: 12,
     repl_trials: 100,
+    dht_exp: 14,
+    dht_trials: 100,
     scaling_exp: 26,
     scaling_trials: 5,
+    durability_exp: 12,
+    durability_trials: 30,
 };
 
 impl Scale {
@@ -1007,6 +1042,81 @@ pub fn replication(n: usize, config: &SweepConfig) -> ExperimentResult {
     result
 }
 
+/// The §1.1 Chord application (previously the stdout-only `dht` binary,
+/// folded into the gated suite): place `16n` items on an `n`-node
+/// Chord-style DHT under the three ways to balance item load — plain
+/// consistent hashing, `v = ⌈log₂ n⌉` virtual servers (Chord's own
+/// mitigation), and `d`-choice placement with redirection pointers (the
+/// paper's proposal) — and report max/mean/σ of the per-server load plus
+/// the lookup-hop cost of each configuration. Metric-only cells,
+/// compared exactly by `--check`. The seeder paths are those of the
+/// former binary, so its historical numbers reproduce under the same
+/// seed and trial count.
+#[must_use]
+pub fn dht(n: usize, config: &SweepConfig) -> ExperimentResult {
+    let m = (16 * n) as u64;
+    let v = (n as f64).log2().ceil() as usize;
+    let lookup_samples = 2000;
+    let seeder = StreamSeeder::new(config.seed).child("dht");
+    let spec = ExperimentSpec::new("dht", "E11: Chord DHT load balance by placement scheme")
+        .paper_ref("§1.1")
+        .trials(config.trials)
+        .seed(config.seed)
+        .param("nodes", Json::from_usize(n))
+        .param("items", Json::from_u64(m))
+        .param("virtual_servers", Json::from_usize(v))
+        .param("lookup_samples", Json::from_usize(lookup_samples));
+    let mut result = ExperimentResult::new(spec);
+    for (name, virtual_servers, policy) in [
+        ("consistent", 1usize, PlacementPolicy::Consistent),
+        ("virtual(log n)", v, PlacementPolicy::Consistent),
+        ("2-choice", 1, PlacementPolicy::DChoice { d: 2 }),
+        ("4-choice", 1, PlacementPolicy::DChoice { d: 4 }),
+    ] {
+        // Each trial: fresh ring + placement + sampled lookups.
+        let rows: Vec<(f64, f64, f64, u32, f64)> =
+            parallel_map(config.trials, config.threads, |trial| {
+                let mut rng = seeder.child(name).stream(trial as u64);
+                let ring = ChordRing::with_virtual_servers(n, virtual_servers, &mut rng);
+                let report = evaluate(&ring, policy, m, lookup_samples, &mut rng);
+                let lookup = report.lookup.expect("lookups sampled");
+                (
+                    f64::from(report.load.max),
+                    report.load.stddev,
+                    lookup.mean_hops,
+                    lookup.max_hops,
+                    lookup.redirect_rate,
+                )
+            });
+        let mut max_load = RunningStats::new();
+        let mut sigma = RunningStats::new();
+        let mut hops = RunningStats::new();
+        let mut max_hops = 0u32;
+        let mut redirect = RunningStats::new();
+        for (ml, sd, mh, xh, rr) in rows {
+            max_load.push(ml);
+            sigma.push(sd);
+            hops.push(mh);
+            max_hops = max_hops.max(xh);
+            redirect.push(rr);
+        }
+        // Finger-table state per physical node: 64 entries per virtual node.
+        let state = virtual_servers * 64;
+        result.push(
+            Cell::new()
+                .coord("scheme", Json::str(name))
+                .metric("max_load_mean", Json::num(max_load.mean()))
+                .metric("load_sigma", Json::num(sigma.mean()))
+                .metric("mean_hops", Json::num(hops.mean()))
+                .metric("max_hops", Json::num(max_hops))
+                .metric("redirect_pct", Json::num(100.0 * redirect.mean()))
+                .metric("fingers_per_node", Json::from_usize(state)),
+        );
+        progress(&format!("dht: {name} done"));
+    }
+    result
+}
+
 /// The load-state backings the `scaling` experiment compares, in cell
 /// order: the flat `Vec<u32>` reference, the two packed widths, and the
 /// sharded default (independently allocated 64 KB byte shards).
@@ -1123,6 +1233,137 @@ pub fn scaling(n: usize, config: &SweepConfig) -> ExperimentResult {
     result
 }
 
+/// The checkpoint intervals (events between durable checkpoints) the
+/// `durability` experiment sweeps, in cell order.
+pub const DURABILITY_INTERVALS: [u64; 3] = [64, 256, 1024];
+
+/// The durability recovery-cost experiment: run the serving workload
+/// under the journal discipline (`geo2c_serve::DurableEngine`), crash it
+/// at a deterministically drawn event with a deterministically drawn
+/// torn journal tail, resume through `geo2c_serve::Recovery`, and
+/// measure what recovery cost — events replayed from the last durable
+/// checkpoint and journal bytes per event — as a function of the
+/// checkpoint interval.
+///
+/// Every trial **asserts** that the crashed-and-recovered engine,
+/// run forward to the horizon, is byte-identical to an uninterrupted
+/// reference run (the same `recovered ≡ uninterrupted` pin as the
+/// `crash_recovery` proptest suite, here exercised at suite scale on
+/// every regeneration). Cells are metric-only and fully deterministic in
+/// the seed — the journal writes to a scratch directory but every
+/// reported number is a pure function of the streams — so `--check`
+/// compares them exactly.
+#[must_use]
+pub fn durability(n: usize, config: &SweepConfig) -> ExperimentResult {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+    let events = (16 * n) as u64;
+    let serve_config = ServeConfig {
+        strategy: Strategy::two_choice(),
+        capacity: Some(8),
+        life: SessionLife::Exponential { mean: n as f64 },
+        retries: 1,
+    };
+    let seeder = StreamSeeder::new(config.seed).child("durability");
+    let spec = ExperimentSpec::new(
+        "durability",
+        "Durability: crash-point recovery cost vs checkpoint interval",
+    )
+    .paper_ref("§1.1 (online serving, made durable)")
+    .trials(config.trials)
+    .seed(config.seed)
+    .param("servers", Json::from_usize(n))
+    .param("events", Json::from_u64(events))
+    .param(
+        "interval",
+        Json::Arr(
+            DURABILITY_INTERVALS
+                .iter()
+                .map(|&c| Json::from_u64(c))
+                .collect(),
+        ),
+    );
+    let mut result = ExperimentResult::new(spec);
+    for &every in &DURABILITY_INTERVALS {
+        // The app-side chunking between checkpoints: eight progress
+        // frames per interval, so a crash usually tears a journal with
+        // durable frames to resume past.
+        let chunk = (every / 8).max(1);
+        let rows: Vec<(u64, u64, u64, u64)> =
+            parallel_map(config.trials, config.threads, |trial| {
+                let mut rng = seeder.child(&format!("c{every}")).stream(trial as u64);
+                let root = rng.gen::<u64>();
+                let plan = FaultPlan::random_churn(rng.gen::<u64>(), n, events, 4, events / 8);
+                let crash_at = rng.gen_range(1..=events);
+                let cut: f64 = rng.gen_range(0.0..1.0);
+                let space = UniformSpace::new(n);
+
+                // The uninterrupted reference: same pure function.
+                let mut reference = ServeEngine::new(space.clone(), serve_config, root);
+                reference.run_with_faults(events, &plan);
+
+                let dir = std::env::temp_dir().join(format!(
+                    "geo2c-durability-{}-{}",
+                    std::process::id(),
+                    UNIQUE.fetch_add(1, Ordering::Relaxed)
+                ));
+                let mut durable =
+                    DurableEngine::create(&dir, space.clone(), serve_config, root, every)
+                        .expect("create journal dir");
+                while durable.engine().arrivals() < crash_at {
+                    let step = chunk.min(crash_at - durable.engine().arrivals());
+                    durable.run_journaled(step, &plan).expect("journaled run");
+                }
+                let journal_bytes = durable.journal_bytes();
+                let checkpoints = durable.checkpoints();
+                drop(durable);
+
+                // Crash: tear the journal at a random byte of its body.
+                let journal_path = dir.join(geo2c_serve::journal::JOURNAL_FILE);
+                let bytes = std::fs::read(&journal_path).expect("read journal");
+                let body = bytes.len() - Header::LEN;
+                let keep = Header::LEN + (body as f64 * cut) as usize;
+                std::fs::write(&journal_path, &bytes[..keep]).expect("tear journal");
+
+                let resumed: Resumed<_, Vec<u32>, DepartureWheel> =
+                    Recovery::resume(&dir, space, serve_config, root, &plan, vec![0u32; n])
+                        .expect("recovery");
+                let replayed = resumed.replayed;
+                let mut engine = resumed.engine;
+                engine.run_with_faults(events - engine.arrivals(), &plan);
+                assert_eq!(
+                    engine.state(),
+                    reference.state(),
+                    "recovered run diverged from the uninterrupted run \
+                     (interval {every}, crash at {crash_at})"
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+                (replayed, journal_bytes, checkpoints, crash_at)
+            });
+        let mut replay = RunningStats::new();
+        let mut replay_max = 0u64;
+        let mut bytes_per_event = RunningStats::new();
+        let mut checkpoints = RunningStats::new();
+        for &(replayed, journal_bytes, ckpts, crash_at) in &rows {
+            replay.push(replayed as f64);
+            replay_max = replay_max.max(replayed);
+            bytes_per_event.push(journal_bytes as f64 / crash_at as f64);
+            checkpoints.push(ckpts as f64);
+        }
+        result.push(
+            Cell::new()
+                .coord("interval", Json::from_u64(every))
+                .metric("replay_mean", Json::num(replay.mean()))
+                .metric("replay_max", Json::from_u64(replay_max))
+                .metric("journal_bytes_per_event", Json::num(bytes_per_event.mean()))
+                .metric("checkpoints_mean", Json::num(checkpoints.mean())),
+        );
+        progress(&format!("durability: interval {every} done"));
+    }
+    result
+}
+
 /// Renders `EXPERIMENTS.md` from the reference result set.
 ///
 /// The output is a pure function of the results (no timestamps, no git
@@ -1167,7 +1408,8 @@ of CPU) and writes `results/full/`.\n\n",
     out.push_str(
         "Each cell shows the distribution of the **maximum load** over the trials, \
 in the paper's `value: percent` format, with the distribution mean beneath. \
-The heavily-loaded, serving, resilience, churn, replication, and streaming-scale \
+The heavily-loaded, serving, resilience, churn, replication, Chord DHT, \
+streaming-scale, and durability \
 tables at the end instead report scalar metric columns (means over the trials, compared \
 *exactly* by `--check` — they are deterministic in the seed); the serving \
 distribution column aggregates the end-state per-server loads across all \
@@ -1199,7 +1441,9 @@ excluded from `--check`'s exact compare.\n\n",
         "resilience",
         "churn",
         "replication",
+        "dht",
         "scaling",
+        "durability",
     ] {
         if let Some(result) = set.experiment(id) {
             out.push_str(&render_markdown(result));
@@ -1330,7 +1574,40 @@ whole-engine checkpoint equality under faults), and `ci.sh` pins the \
 speedup itself as committed evidence: `baseline.json` must show ≥ 1.5× \
 over `before_pr9.json` on `trial/serving_d2_random` and \
 `trial/serving_faults_d2` (the faulted trial gains the most — the old \
-heap held every purged server's dead entries until their deadlines).\n\n",
+heap held every purged server's dead entries until their deadlines).\n\n\
+### Durability: checkpoints and the write-ahead journal\n\n\
+The durability table above measures the serving engine's crash-recovery \
+subsystem (`geo2c_serve::journal`). Because stream contract v2 makes the \
+engine state a pure function of `(space, config, root, plan, events)`, \
+the on-disk format persists **no event payloads**: a journal directory \
+holds one `checkpoint.bin` (a versioned binary `EngineState` image in a \
+single CRC-guarded frame, always staged as `checkpoint.tmp` and \
+atomically renamed into place) and one append-only `journal.bin` of \
+17-byte progress frames, each saying \"events below `t` are durable\". \
+Both files open with a magic/version header that binds the lane root and \
+a fingerprint of `(servers, config)`, so a checkpoint can never be \
+restored into an engine it was not taken from. Every `C` events the \
+state is checkpointed and the journal truncated back to its header — \
+the checkpoint subsumes it — so steady-state disk cost is one state \
+image plus ~17·8/C bytes per event at the suite's eight-chunks-per-\
+interval cadence (the `journal_bytes_per_event` column).\n\n\
+Recovery (`geo2c_serve::Recovery::resume`) distinguishes *crash \
+artifacts* from *corruption*: a frame whose damage reaches end-of-file \
+is a torn tail (the residue of dying mid-append) and is truncated away, \
+while a bad CRC with durable frames after it fails loudly — recovery \
+never silently invents or drops durable history. The restored engine \
+then replays deterministically from the checkpoint to the last durable \
+marker, and the replayed state is **byte-equal** to the uninterrupted \
+run — not approximately recovered, provably identical. That replay-\
+equality guarantee is pinned three ways: the `crash_recovery` proptest \
+suite drives arbitrary byte truncations, tail bit flips, and mid-rename \
+crashes across load backings and both schedulers; every durability-\
+table trial asserts `recovered ≡ uninterrupted` before reporting its \
+cell; and the `trial/serving_d2_journaled` bench (gated in `ci.sh` at \
+≤ 1.25× `trial/serving_d2_random`) pins the journal discipline's \
+steady-state overhead. The `replay_mean` column is the recovery-time \
+half of the trade-off the checkpoint interval buys: larger `C` writes \
+fewer state images but replays more events after a crash.\n\n",
     );
     out.push_str(
         "## Reading the JSON\n\n\
@@ -1377,8 +1654,12 @@ mod tests {
             assert!(pair[0].churn_trials <= pair[1].churn_trials);
             assert!(pair[0].repl_exp <= pair[1].repl_exp);
             assert!(pair[0].repl_trials <= pair[1].repl_trials);
+            assert!(pair[0].dht_exp <= pair[1].dht_exp);
+            assert!(pair[0].dht_trials <= pair[1].dht_trials);
             assert!(pair[0].scaling_exp <= pair[1].scaling_exp);
             assert!(pair[0].scaling_trials <= pair[1].scaling_trials);
+            assert!(pair[0].durability_exp <= pair[1].durability_exp);
+            assert!(pair[0].durability_trials <= pair[1].durability_trials);
         }
         // The K-torus sweep runs at paper-scale n from the reference
         // scale up (the K-d owner port made this a ~0.5 s/trial sweep).
@@ -1666,6 +1947,94 @@ mod tests {
         assert_eq!(churn(16, &config), result);
     }
 
+    #[test]
+    fn dht_matches_the_former_binary_cell_grid() {
+        let config = tiny_config();
+        let result = dht(32, &config);
+        assert_eq!(result.spec.id, "dht");
+        // 4 placement schemes, metric-only cells.
+        assert_eq!(result.cells.len(), 4);
+        let metric = |cell: &Cell, key: &str| {
+            cell.metrics
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap_or_else(|| panic!("missing metric {key}"))
+        };
+        for cell in &result.cells {
+            assert!(cell.distribution.is_none());
+            for key in [
+                "max_load_mean",
+                "load_sigma",
+                "mean_hops",
+                "max_hops",
+                "redirect_pct",
+                "fingers_per_node",
+            ] {
+                assert!(
+                    cell.metrics.iter().any(|(k, _)| k == key),
+                    "missing metric {key}"
+                );
+            }
+            // Every scheme stores at least the mean load somewhere.
+            assert!(metric(cell, "max_load_mean") >= 16.0);
+        }
+        assert_eq!(result.cells[0].label(), "scheme=\"consistent\"");
+        // Only the redirecting d-choice schemes pay redirect hops, and
+        // only the virtual-server scheme multiplies the routing state.
+        assert_eq!(metric(&result.cells[0], "redirect_pct"), 0.0);
+        assert_eq!(metric(&result.cells[1], "redirect_pct"), 0.0);
+        assert!(metric(&result.cells[2], "redirect_pct") > 0.0);
+        assert_eq!(metric(&result.cells[0], "fingers_per_node"), 64.0);
+        assert_eq!(metric(&result.cells[1], "fingers_per_node"), 5.0 * 64.0);
+        // Both mitigations beat plain consistent hashing on max load.
+        let consistent = metric(&result.cells[0], "max_load_mean");
+        assert!(metric(&result.cells[1], "max_load_mean") < consistent);
+        assert!(metric(&result.cells[2], "max_load_mean") < consistent);
+        assert_eq!(dht(32, &config), result);
+    }
+
+    #[test]
+    fn durability_recovers_exactly_at_every_interval() {
+        let config = tiny_config();
+        let result = durability(32, &config);
+        assert_eq!(result.spec.id, "durability");
+        // One metric-only cell per checkpoint interval. (The constructor
+        // itself asserts recovered ≡ uninterrupted in every trial.)
+        assert_eq!(result.cells.len(), DURABILITY_INTERVALS.len());
+        let metric = |cell: &Cell, key: &str| {
+            cell.metrics
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap_or_else(|| panic!("missing metric {key}"))
+        };
+        for (cell, every) in result.cells.iter().zip(DURABILITY_INTERVALS) {
+            assert!(cell.distribution.is_none());
+            assert!(cell
+                .coords
+                .iter()
+                .any(|(k, v)| k == "interval" && v.as_u64() == Some(every)));
+            // Replay never exceeds the events since the last checkpoint.
+            assert!(metric(cell, "replay_max") < every as f64);
+            assert!(metric(cell, "replay_mean") <= metric(cell, "replay_max"));
+            // 17-byte frames, eight chunks per interval: ~136/C bytes
+            // per event, and never more than one frame per event.
+            let bytes = metric(cell, "journal_bytes_per_event");
+            assert!(bytes > 0.0 && bytes <= 17.0, "{bytes} bytes/event");
+            assert!(metric(cell, "checkpoints_mean") >= 0.0);
+        }
+        // Larger intervals shift cost from checkpoint writes to replay.
+        let first = &result.cells[0];
+        let last = &result.cells[result.cells.len() - 1];
+        assert!(metric(last, "replay_mean") > metric(first, "replay_mean"));
+        assert!(metric(last, "checkpoints_mean") < metric(first, "checkpoints_mean"));
+        assert!(metric(last, "journal_bytes_per_event") < metric(first, "journal_bytes_per_event"));
+        // Deterministic in the seed: exact metric replay (the scratch
+        // directory never leaks into the numbers).
+        assert_eq!(durability(32, &config), result);
+    }
+
     /// Strips the `~`-prefixed informational metrics (wall-clock
     /// throughput) so the rest of the result can be compared exactly.
     fn strip_informational(mut result: ExperimentResult) -> ExperimentResult {
@@ -1741,7 +2110,9 @@ mod tests {
         set.push(resilience(64, &config));
         set.push(churn(16, &config));
         set.push(replication(16, &config));
+        set.push(dht(16, &config));
         set.push(scaling(64, &config));
+        set.push(durability(16, &config));
         let md = experiments_markdown(&set);
         assert!(md.starts_with("# EXPERIMENTS"));
         for heading in [
@@ -1756,11 +2127,14 @@ mod tests {
             "## Resilience",
             "## Churn",
             "## Replication",
+            "## E11: Chord DHT",
             "## Streaming scale",
+            "## Durability",
             "## RNG stream contract v2",
             "## Performance methodology",
             "### Memory: packed and sharded load states",
             "### Scheduling: the departure timing wheel",
+            "### Durability: checkpoints and the write-ahead journal",
         ] {
             assert!(md.contains(heading), "missing {heading}");
         }
@@ -1774,6 +2148,9 @@ mod tests {
         assert!(pos("## Online serving") < pos("## Resilience"));
         assert!(pos("## Resilience") < pos("## Churn"));
         assert!(pos("## Churn") < pos("## Replication"));
+        assert!(pos("## Replication") < pos("## E11: Chord DHT"));
+        assert!(pos("## E11: Chord DHT") < pos("## Streaming scale"));
+        assert!(pos("## Streaming scale") < pos("## Durability"));
         assert!(md.contains("RETRY_TAG") && md.contains("FAULT_TAG"));
         assert!(md.contains("`./tables.sh --check`"));
         assert!(md.contains("seed (`3`)"));

@@ -25,7 +25,7 @@ use geo2c_core::space::{KdTorusSpace, RingSpace, TorusSpace, UniformSpace};
 use geo2c_core::strategy::{Strategy, TieBreak};
 use geo2c_report::{Cell, ExperimentResult, ExperimentSpec, Json};
 use geo2c_ring::RingPoint;
-use geo2c_serve::{FaultPlan, ServeConfig, ServeEngine, SessionLife};
+use geo2c_serve::{DurableEngine, FaultPlan, ServeConfig, ServeEngine, SessionLife};
 use geo2c_torus::kd::{KdPoint, KdSites};
 use geo2c_torus::TorusPoint;
 use geo2c_util::rng::{BallLanes, Xoshiro256pp};
@@ -122,6 +122,13 @@ enum BenchKind {
     /// budget of 1 — the fault-application, eager-purge, and retry-lane
     /// overheads on top of `serving_d2_random`.
     TrialServeFaults { d: usize },
+    /// The `TrialServe` workload under the durability discipline
+    /// (`geo2c_serve::DurableEngine`): engine creation (seed checkpoint
+    /// and journal header), the write-ahead journal frames, and one
+    /// full steady-state checkpoint at the run's end boundary — the
+    /// fsync-free journaling overhead on top of `serving_d2_random`,
+    /// gated in `ci.sh`.
+    TrialServeJournaled { d: usize },
     /// One full laned trial on uniform bins against an alternative
     /// load-state backing (`run_trial_into`): the `TrialUniform` workload
     /// with the flat `Vec<u32>` swapped for a packed/sharded backing.
@@ -323,6 +330,48 @@ impl BenchDef {
                     engine.run_with_faults(events, &plan);
                     engine.peak_load()
                 })
+            }
+            BenchKind::TrialServeJournaled { d } => {
+                let space = RingSpace::random(n, &mut rng);
+                let config = ServeConfig {
+                    strategy: Strategy::d_choice(d),
+                    capacity: None,
+                    life: SessionLife::Exponential { mean: n as f64 },
+                    retries: 0,
+                };
+                let events = self.elems;
+                // One checkpoint interval per run: each iteration pays
+                // the seed image, `events / every = 1` full checkpoint
+                // of ~n in-flight sessions, and the journal frames —
+                // the per-interval durability cost, amortized over a
+                // whole interval of serving, exactly as deployed.
+                let every = events;
+                let root = rng.next_u64();
+                // The bench times the fsync-free journaling discipline
+                // (codec + framing + atomic-rename protocol), not the
+                // host's disk dentry latency, so scratch space prefers
+                // a memory-backed filesystem when one is mounted.
+                let shm = std::path::Path::new("/dev/shm");
+                let scratch = if shm.is_dir() {
+                    shm.to_path_buf()
+                } else {
+                    std::env::temp_dir()
+                };
+                let dir = scratch.join(format!(
+                    "geo2c-bench-journal-{}-{root:016x}",
+                    std::process::id()
+                ));
+                let timing = time_with(window, repeats, || {
+                    let mut engine =
+                        DurableEngine::create(&dir, space.clone(), config, root, every)
+                            .expect("journal dir");
+                    engine
+                        .run_journaled(events, &FaultPlan::empty())
+                        .expect("journaled run");
+                    engine.engine().peak_load()
+                });
+                let _ = std::fs::remove_dir_all(&dir);
+                timing
             }
             BenchKind::TrialScaling { d, backing } => {
                 let space = UniformSpace::new(n);
@@ -539,6 +588,17 @@ impl BenchScale {
                 exp: self.trial_serve_exp,
                 elems: 4u64 << self.trial_serve_exp,
                 kind: BenchKind::TrialServeFaults { d: 2 },
+            },
+            // The same serving workload under the checkpoint/journal
+            // discipline (4 checkpoints per run), so the durability
+            // layer's overhead diffs directly against serving_d2_random;
+            // ci.sh gates the ratio at 1.25x.
+            BenchDef {
+                group: "trial",
+                name: "serving_d2_journaled",
+                exp: self.trial_serve_exp,
+                elems: 4u64 << self.trial_serve_exp,
+                kind: BenchKind::TrialServeJournaled { d: 2 },
             },
         ]
     }
@@ -759,6 +819,7 @@ mod tests {
         assert!(ids.contains(&"trial/kd3_d2_left/2^13".to_string()));
         assert!(ids.contains(&"trial/serving_d2_random/2^14".to_string()));
         assert!(ids.contains(&"trial/serving_faults_d2/2^14".to_string()));
+        assert!(ids.contains(&"trial/serving_d2_journaled/2^14".to_string()));
         assert!(ids.contains(&"trial/scaling_flat/2^20".to_string()));
         assert!(ids.contains(&"trial/scaling_packed/2^20".to_string()));
         assert!(ids.contains(&"trial/scaling_sharded/2^20".to_string()));

@@ -42,6 +42,17 @@ fn quick_run_produces_parseable_result_sets_and_check_works() {
                 cell.distribution.is_none(),
                 "replication cells are metric-only"
             ),
+            "dht" => assert!(cell.distribution.is_none(), "dht cells are metric-only"),
+            "durability" => {
+                assert!(
+                    cell.distribution.is_none(),
+                    "durability cells are metric-only"
+                );
+                assert!(
+                    cell.metrics.iter().any(|(k, _)| k == "replay_mean"),
+                    "durability cells carry the replay-cost metric"
+                );
+            }
             "resilience" => {
                 assert!(
                     cell.distribution.is_none(),
@@ -177,7 +188,9 @@ fn quick_expectations_in_the_repository_match_the_current_scale() {
             "resilience" => scale.resil_trials,
             "churn" => scale.churn_trials,
             "replication" => scale.repl_trials,
+            "dht" => scale.dht_trials,
             "scaling" => scale.scaling_trials,
+            "durability" => scale.durability_trials,
             _ => scale.ring_trials,
         };
         assert_eq!(spec.trials, expected_trials, "{id}: stale trials");

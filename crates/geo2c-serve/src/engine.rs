@@ -302,8 +302,11 @@ impl<S: Space, L: LoadState, Q: DepartureQueue> ServeEngine<S, L, Q> {
     /// sized for a different space, was taken under a different retry
     /// budget, is internally inconsistent (shed counter differing from
     /// its capacity/unavailable split, a failed server not holding the
-    /// sentinel), or carries a departure entry on a failed server or one
-    /// already due before the checkpoint clock.
+    /// sentinel, live loads violating session conservation
+    /// `Σ live = arrivals − departed − shed − evicted`, or a departure
+    /// count differing from the in-service session count), or carries a
+    /// departure entry on a failed server or one already due before the
+    /// checkpoint clock.
     #[must_use]
     pub fn restore_with_scheduler(
         space: S,
@@ -325,6 +328,32 @@ impl<S: Space, L: LoadState, Q: DepartureQueue> ServeEngine<S, L, Q> {
             state.counters.shed,
             state.retry.shed_capacity + state.retry.shed_unavailable,
             "shed counter must equal its capacity/unavailable split"
+        );
+        // Session conservation: every admitted session is in service,
+        // departed, or evicted, so the live loads must sum to exactly
+        // arrivals − departed − shed − evicted — and each in-service
+        // session holds exactly one departure entry. A checkpoint that
+        // books sessions nowhere (or twice) is corrupt, not restorable.
+        let c = &state.counters;
+        let in_service = (c.arrivals)
+            .checked_sub(c.departed + c.shed + c.evicted)
+            .expect("checkpoint counters book more exits than arrivals");
+        let live_sum: u64 = state
+            .loads
+            .iter()
+            .zip(&state.failed)
+            .filter(|&(_, &down)| !down)
+            .map(|(&load, _)| u64::from(load))
+            .sum();
+        assert_eq!(
+            live_sum, in_service,
+            "checkpoint violates session conservation \
+             (live loads != arrivals - departed - shed - evicted)"
+        );
+        assert_eq!(
+            state.departures.len() as u64,
+            in_service,
+            "checkpoint must hold exactly one departure entry per in-service session"
         );
         for (s, (&load, &down)) in state.loads.iter().zip(&state.failed).enumerate() {
             if down {
@@ -955,6 +984,74 @@ mod tests {
         // primary outcome of every event is identical across budgets, so
         // the controls' sheds split exactly into rescued + still-shed.
         assert_eq!(control.shed(), engine.shed() + engine.admitted_on_retry());
+    }
+
+    /// A checkpoint with ~200 events of real history, for tamper tests.
+    fn tamper_base() -> (RingSpace, ServeConfig, EngineState) {
+        let mut rng = Xoshiro256pp::from_u64(29);
+        let space = RingSpace::random(16, &mut rng);
+        let cfg = config(Some(5), SessionLife::Exponential { mean: 25.0 });
+        let mut engine = ServeEngine::new(space.clone(), cfg, 77);
+        engine.run(150);
+        engine.fail_server(2);
+        engine.run(50);
+        (space, cfg, engine.state())
+    }
+
+    fn restore_rejects(state: EngineState, needle: &str) {
+        let (space, cfg, _) = tamper_base();
+        let err = std::panic::catch_unwind(|| ServeEngine::restore(space, cfg, 77, &state))
+            .expect_err("tampered checkpoint must be rejected");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains(needle),
+            "panic {msg:?} must mention {needle:?}"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_loads_that_violate_session_conservation() {
+        let (_, _, mut state) = tamper_base();
+        let live = state.failed.iter().position(|&down| !down).unwrap();
+        state.loads[live] += 1; // books a session that never arrived
+        restore_rejects(state, "session conservation");
+    }
+
+    #[test]
+    fn restore_rejects_counters_that_book_more_exits_than_arrivals() {
+        let (_, _, mut state) = tamper_base();
+        state.counters.departed = state.counters.arrivals + 1;
+        restore_rejects(state, "more exits than arrivals");
+    }
+
+    #[test]
+    fn restore_rejects_a_session_map_missing_a_departure_entry() {
+        let (_, _, mut state) = tamper_base();
+        // Loads and counters stay conserved; only the entry is gone.
+        state.departures.pop().unwrap();
+        restore_rejects(state, "one departure entry per in-service session");
+    }
+
+    #[test]
+    fn restore_rejects_a_session_map_referencing_a_failed_server() {
+        let (_, _, mut state) = tamper_base();
+        // Re-point one entry at the failed server 2: loads are untouched,
+        // so conservation and the entry count still hold — isolating the
+        // failed-server check.
+        let (when, _) = state.departures[0];
+        state.departures[0] = (when, 2);
+        restore_rejects(state, "failed server");
+    }
+
+    #[test]
+    fn restore_rejects_a_failed_server_without_the_sentinel() {
+        let (_, _, mut state) = tamper_base();
+        state.loads[2] = 0; // failed in the checkpoint, sentinel cleared
+        restore_rejects(state, "sentinel");
     }
 
     #[test]

@@ -43,6 +43,16 @@
 //! pins prefix replay, conservation, recovery, and checkpoint/restore
 //! under arbitrary fault schedules.
 //!
+//! **Durability.** The [`journal`] module puts checkpoints on disk: a
+//! [`journal::DurableEngine`] periodically writes the versioned
+//! [`engine::EngineState`] codec behind an atomic temp-file + rename,
+//! appends CRC-guarded progress frames to a write-ahead journal between
+//! checkpoints, and [`journal::Recovery::resume`] rebuilds an engine
+//! after a crash — torn tails truncated, real corruption rejected
+//! loudly, and the replayed state *byte-equal* to the uninterrupted run
+//! (the `tests/crash_recovery.rs` suite injects arbitrary crash points
+//! to pin exactly that).
+//!
 //! ```
 //! use geo2c_core::{space::RingSpace, strategy::Strategy};
 //! use geo2c_serve::engine::{ServeConfig, ServeEngine, SessionLife};
@@ -71,10 +81,12 @@
 
 pub mod engine;
 pub mod fault;
+pub mod journal;
 pub mod wheel;
 
 pub use engine::{
     Counters, EngineState, LoadStats, Placement, RetryStats, ServeConfig, ServeEngine, SessionLife,
 };
 pub use fault::{FaultAction, FaultPlan};
+pub use journal::{DurableEngine, JournalError, Recovery, Resumed};
 pub use wheel::{DepartureQueue, DepartureWheel, HeapQueue};

@@ -309,7 +309,9 @@ impl DepartureQueue for DepartureWheel {
             })
             .map(|node| (node.deadline, node.server))
             .collect();
-        out.sort_unstable();
+        // One-word key: same order as the tuple comparator (deadline,
+        // then server), noticeably faster on the checkpoint path.
+        out.sort_unstable_by_key(|&(when, server)| (u128::from(when) << 32) | u128::from(server));
         out
     }
 }

@@ -1,0 +1,488 @@
+//! Crash-point injection suite for the durability layer: a process that
+//! dies at *any* byte of its checkpoint/journal lifecycle must recover
+//! to a state byte-equal to the run that never crashed.
+//!
+//! The harness simulates crashes the way they actually land on disk —
+//! truncating the journal at an arbitrary byte offset, flipping bits in
+//! the tail frame, forging the residue of a crash between the
+//! checkpoint temp-file write and its rename (and between the rename
+//! and the journal compaction) — then drives
+//! [`Recovery::resume`] and replays to the reference horizon. Pinned
+//! across the flat/packed/sharded load backings and both schedulers
+//! (timing wheel and heap oracle):
+//!
+//! 1. **Truncation crashes.** Cutting the journal anywhere past its
+//!    header loses at most the torn tail: resume lands on an earlier
+//!    durable marker and replays to byte equality.
+//! 2. **Tail bit flips.** Garbling the final frame (its CRC or payload)
+//!    is indistinguishable from a torn append and recovers the same way.
+//! 3. **Mid-rename / mid-compaction crashes.** A stale `checkpoint.tmp`
+//!    is ignored and removed; journal frames the checkpoint already
+//!    covers are skipped, not replayed twice.
+//! 4. **Real corruption is loud.** A bad frame *followed by durable
+//!    frames* — or any damage to the atomically-renamed checkpoint —
+//!    returns [`JournalError::Corrupt`] instead of silently truncating.
+
+use geo2c_core::load::{PackedLoads, PackedWidth, ShardedLoads};
+use geo2c_core::space::{RingSpace, Space as _};
+use geo2c_core::strategy::Strategy;
+use geo2c_serve::engine::{ServeConfig, ServeEngine, SessionLife};
+use geo2c_serve::fault::{FaultAction, FaultPlan};
+use geo2c_serve::journal::{
+    DurableEngine, JournalError, Recovery, Resumed, CHECKPOINT_FILE, CHECKPOINT_TMP, JOURNAL_FILE,
+};
+use geo2c_serve::wheel::{DepartureWheel, HeapQueue};
+use geo2c_util::frame::Header;
+use geo2c_util::rng::Xoshiro256pp;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use rand::RngCore;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique per-test scratch directory under the system temp dir (the
+/// offline vendor set has no `tempfile` crate).
+fn temp_dir(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let id = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("geo2c-crash-{}-{tag}-{id}", std::process::id()))
+}
+
+/// `(kind, ttl, mean)` → a [`SessionLife`] (no `prop_oneof!` in the
+/// shim proptest; variant selection is an explicit generated flag).
+fn lives() -> impl proptest::strategy::Strategy<Value = SessionLife> {
+    (0u8..2, 1u64..120, 0.5f64..120.0).prop_map(|(kind, ttl, mean)| {
+        if kind == 0 {
+            SessionLife::Fixed(ttl)
+        } else {
+            SessionLife::Exponential { mean }
+        }
+    })
+}
+
+/// `0..=10`, with the top value standing in for "unbounded".
+fn capacities() -> impl proptest::strategy::Strategy<Value = Option<u32>> {
+    (0u32..11).prop_map(|cap| if cap == 10 { None } else { Some(cap) })
+}
+
+/// Raw `(event, server, kind)` triples → a [`FaultPlan`] over `n`
+/// servers (out-of-range victims dropped, `kind == 1` recovers).
+fn plan_from(raw: &[(u64, usize, u8)], n: usize) -> FaultPlan {
+    FaultPlan::new(
+        raw.iter()
+            .filter(|&&(_, s, _)| s < n)
+            .map(|&(at, s, kind)| {
+                let action = if kind == 1 {
+                    FaultAction::Recover(s)
+                } else {
+                    FaultAction::Crash(s)
+                };
+                (at, action)
+            })
+            .collect(),
+    )
+}
+
+/// Runs the journaled engine to `p` events in `chunk`-sized calls (each
+/// call appends at least one progress frame), as a long-running service
+/// would.
+#[allow(clippy::too_many_arguments)]
+fn journaled_to(
+    dir: &PathBuf,
+    space: &RingSpace,
+    config: ServeConfig,
+    root: u64,
+    every: u64,
+    plan: &FaultPlan,
+    p: u64,
+    chunk: u64,
+) -> DurableEngine<RingSpace> {
+    let mut durable = DurableEngine::create(dir, space.clone(), config, root, every).unwrap();
+    let mut left = p;
+    while left > 0 {
+        let step = chunk.min(left);
+        durable.run_journaled(step, plan).unwrap();
+        left -= step;
+    }
+    durable
+}
+
+/// Resumes from `dir` on every backing × scheduler combination, replays
+/// each to `horizon`, and asserts byte equality with `reference`.
+fn assert_recovers_everywhere(
+    dir: &PathBuf,
+    space: &RingSpace,
+    config: ServeConfig,
+    root: u64,
+    plan: &FaultPlan,
+    horizon: u64,
+    reference: &geo2c_serve::engine::EngineState,
+) {
+    let n = space.num_servers();
+    let packed: Resumed<_, PackedLoads, DepartureWheel> =
+        Recovery::resume(dir, space.clone(), config, root, plan, PackedLoads::byte(n)).unwrap();
+    assert!(
+        packed.engine.arrivals() <= horizon,
+        "resumed past the crash"
+    );
+    assert_eq!(
+        packed.engine.arrivals(),
+        packed.checkpoint_event + packed.replayed
+    );
+    let mut engine = packed.engine;
+    engine.run_with_faults(horizon - engine.arrivals(), plan);
+    assert_eq!(engine.state(), *reference, "packed+wheel recovery diverged");
+
+    let flat: Resumed<_, Vec<u32>, HeapQueue> =
+        Recovery::resume(dir, space.clone(), config, root, plan, vec![0; n]).unwrap();
+    let mut engine = flat.engine;
+    engine.run_with_faults(horizon - engine.arrivals(), plan);
+    assert_eq!(engine.state(), *reference, "flat+heap recovery diverged");
+}
+
+proptest! {
+    /// Property 1: truncate the journal at an arbitrary byte offset past
+    /// its header — every cut point recovers to byte equality, on the
+    /// packed/wheel and flat/heap engines alike.
+    #[test]
+    fn truncation_crash_recovers_byte_identically(
+        seed in 0u64..1 << 48,
+        n in 1usize..32,
+        p in 1u64..240,
+        q in 0u64..120,
+        every in 1u64..80,
+        chunk in 1u64..50,
+        cut_frac in 0.0f64..1.0,
+        d in 1usize..4,
+        capacity in capacities(),
+        life in lives(),
+        retries in 0u32..3,
+        raw_plan in proptest::collection::vec((0u64..360, 0usize..32, 0u8..2), 0..8),
+    ) {
+        let mut rng = Xoshiro256pp::from_u64(seed ^ 0x000C_4A54);
+        let space = RingSpace::random(n, &mut rng);
+        let root = rng.next_u64();
+        let plan = plan_from(&raw_plan, n);
+        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life, retries };
+
+        let mut reference = ServeEngine::new(space.clone(), config, root);
+        reference.run_with_faults(p + q, &plan);
+        let reference = reference.state();
+
+        let dir = temp_dir("truncate");
+        journaled_to(&dir, &space, config, root, every, &plan, p, chunk);
+
+        // Crash: the journal survives only up to an arbitrary byte.
+        let path = dir.join(JOURNAL_FILE);
+        let len = fs::metadata(&path).unwrap().len();
+        let body = len - Header::LEN as u64;
+        let cut = Header::LEN as u64 + (body as f64 * cut_frac) as u64;
+        fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(cut).unwrap();
+
+        assert_recovers_everywhere(&dir, &space, config, root, &plan, p + q, &reference);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Property 2: flip any bit of the tail frame's CRC or payload — a
+    /// crash-garbled append — and recovery truncates it and replays to
+    /// byte equality. (A flipped *length* field can make the damage look
+    /// like mid-file corruption, which is rejected loudly instead — see
+    /// `corrupt_non_tail_frames_and_checkpoints_fail_loudly`.)
+    #[test]
+    fn tail_bit_flip_recovers_byte_identically(
+        seed in 0u64..1 << 48,
+        n in 1usize..24,
+        p in 1u64..200,
+        q in 0u64..100,
+        every in 4u64..60,
+        chunk in 1u64..40,
+        flip_byte in 0usize..13,
+        flip_bit in 0u32..8,
+        d in 1usize..4,
+        capacity in capacities(),
+        life in lives(),
+        retries in 0u32..3,
+    ) {
+        let mut rng = Xoshiro256pp::from_u64(seed ^ 0xF11B);
+        let space = RingSpace::random(n, &mut rng);
+        let root = rng.next_u64();
+        let plan = FaultPlan::random_churn(root ^ 0xD0, n, (p + q).max(1), 3, 40);
+        let config = ServeConfig { strategy: Strategy::d_choice(d), capacity, life, retries };
+
+        let mut reference = ServeEngine::new(space.clone(), config, root);
+        reference.run_with_faults(p + q, &plan);
+        let reference = reference.state();
+
+        let dir = temp_dir("bitflip");
+        journaled_to(&dir, &space, config, root, every, &plan, p, chunk);
+
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        if bytes.len() > Header::LEN {
+            // Each progress frame is 17 bytes: 4 length + 4 CRC +
+            // 9 payload. Flip a bit in the final frame's CRC/payload
+            // region (the 13 bytes after its length field).
+            let at = bytes.len() - 13 + flip_byte;
+            bytes[at] ^= 1 << flip_bit;
+            fs::write(&path, &bytes).unwrap();
+        }
+
+        assert_recovers_everywhere(&dir, &space, config, root, &plan, p + q, &reference);
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Edge case: a directory that has only ever checkpointed — the empty
+/// journal right after `create`, and the checkpoint-only journal right
+/// after a compaction — resumes with zero replay.
+#[test]
+fn empty_and_checkpoint_only_journals_resume_with_zero_replay() {
+    let mut rng = Xoshiro256pp::from_u64(71);
+    let space = RingSpace::random(16, &mut rng);
+    let config = ServeConfig {
+        strategy: Strategy::two_choice(),
+        capacity: Some(5),
+        life: SessionLife::Exponential { mean: 30.0 },
+        retries: 1,
+    };
+    let root = rng.next_u64();
+    let plan = FaultPlan::empty();
+    let dir = temp_dir("empty");
+
+    let mut durable = DurableEngine::create(&dir, space.clone(), config, root, 128).unwrap();
+    let fresh: Resumed<_, Vec<u32>, DepartureWheel> =
+        Recovery::resume(&dir, space.clone(), config, root, &plan, vec![0; 16]).unwrap();
+    assert_eq!(fresh.engine.arrivals(), 0, "nothing ran yet");
+    assert_eq!((fresh.replayed, fresh.torn_bytes), (0, 0));
+
+    // Run exactly to a checkpoint boundary: the journal compacts back to
+    // its bare header, and the checkpoint alone carries the state.
+    durable.run_journaled(256, &plan).unwrap();
+    assert_eq!(durable.checkpoint_event(), 256);
+    assert_eq!(
+        fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(),
+        Header::LEN as u64,
+        "compaction must leave a header-only journal"
+    );
+    let resumed: Resumed<_, ShardedLoads, HeapQueue> = Recovery::resume(
+        &dir,
+        space.clone(),
+        config,
+        root,
+        &plan,
+        ShardedLoads::new(16, PackedWidth::Byte, 2),
+    )
+    .unwrap();
+    assert_eq!(resumed.checkpoint_event, 256);
+    assert_eq!(resumed.replayed, 0);
+    let mut plain = ServeEngine::new(space, config, root);
+    plain.run(256);
+    assert_eq!(resumed.engine.state(), plain.state(), "sharded+heap resume");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Edge case: crash exactly between the checkpoint temp-file write and
+/// its rename. The stale `checkpoint.tmp` must be ignored (and cleaned
+/// up); recovery restores the *old* checkpoint and replays the journal.
+#[test]
+fn crash_between_checkpoint_write_and_rename_resumes_from_the_old_checkpoint() {
+    let mut rng = Xoshiro256pp::from_u64(73);
+    let n = 24;
+    let space = RingSpace::random(n, &mut rng);
+    let config = ServeConfig {
+        strategy: Strategy::two_choice(),
+        capacity: None,
+        life: SessionLife::Exponential { mean: 50.0 },
+        retries: 0,
+    };
+    let root = rng.next_u64();
+    let plan = FaultPlan::random_churn(root ^ 0xD0, n, 500, 2, 60);
+    let dir = temp_dir("midrename");
+
+    // Interval beyond the horizon: checkpoint.bin stays the event-0 seed
+    // image while the journal accumulates frames.
+    let mut durable = DurableEngine::create(&dir, space.clone(), config, root, 10_000).unwrap();
+    for _ in 0..5 {
+        durable.run_journaled(100, &plan).unwrap();
+    }
+    let old_checkpoint = fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+    let journal_bytes = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+
+    // Forge the residue of `checkpoint_now` dying before its rename: the
+    // new image sits only in the temp file, the real checkpoint and the
+    // journal are exactly as they were.
+    durable.checkpoint_now().unwrap();
+    let new_checkpoint = fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+    fs::write(dir.join(CHECKPOINT_TMP), &new_checkpoint).unwrap();
+    fs::write(dir.join(CHECKPOINT_FILE), &old_checkpoint).unwrap();
+    fs::write(dir.join(JOURNAL_FILE), &journal_bytes).unwrap();
+
+    let resumed: Resumed<_, Vec<u32>, DepartureWheel> =
+        Recovery::resume(&dir, space.clone(), config, root, &plan, vec![0; n]).unwrap();
+    assert_eq!(resumed.checkpoint_event, 0, "old checkpoint wins");
+    assert_eq!(resumed.replayed, 500, "the journal carries all progress");
+    assert!(
+        !dir.join(CHECKPOINT_TMP).exists(),
+        "stale temp file must be cleaned up"
+    );
+    let mut plain = ServeEngine::new(space, config, root);
+    plain.run_with_faults(500, &plan);
+    assert_eq!(resumed.engine.state(), plain.state());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Edge case: crash between the checkpoint rename and the journal
+/// compaction. The journal still holds frames the new checkpoint already
+/// covers; recovery must skip them (zero replay), not re-run them.
+#[test]
+fn crash_between_rename_and_compaction_skips_stale_frames() {
+    let mut rng = Xoshiro256pp::from_u64(79);
+    let n = 20;
+    let space = RingSpace::random(n, &mut rng);
+    let config = ServeConfig {
+        strategy: Strategy::two_choice(),
+        capacity: Some(8),
+        life: SessionLife::Fixed(40),
+        retries: 2,
+    };
+    let root = rng.next_u64();
+    let plan = FaultPlan::empty();
+    let dir = temp_dir("midcompact");
+
+    let mut durable = DurableEngine::create(&dir, space.clone(), config, root, 10_000).unwrap();
+    for _ in 0..4 {
+        durable.run_journaled(75, &plan).unwrap();
+    }
+    let pre_compaction = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+    durable.checkpoint_now().unwrap(); // renames, then compacts
+                                       // Resurrect the pre-compaction journal: exactly the on-disk state if
+                                       // the crash hit between those two steps.
+    fs::write(dir.join(JOURNAL_FILE), &pre_compaction).unwrap();
+
+    let resumed: Resumed<_, Vec<u32>, DepartureWheel> =
+        Recovery::resume(&dir, space.clone(), config, root, &plan, vec![0; n]).unwrap();
+    assert_eq!(resumed.checkpoint_event, 300);
+    assert_eq!(resumed.replayed, 0, "stale frames must not replay");
+    let mut plain = ServeEngine::new(space, config, root);
+    plain.run(300);
+    assert_eq!(resumed.engine.state(), plain.state());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Edge case: damage that cannot be a crash artifact fails loudly. A
+/// corrupt frame with durable frames after it, and any damage to the
+/// atomically-renamed checkpoint, must both surface as
+/// [`JournalError::Corrupt`] — never a silent truncation.
+#[test]
+fn corrupt_non_tail_frames_and_checkpoints_fail_loudly() {
+    let mut rng = Xoshiro256pp::from_u64(83);
+    let n = 12;
+    let space = RingSpace::random(n, &mut rng);
+    let config = ServeConfig {
+        strategy: Strategy::two_choice(),
+        capacity: None,
+        life: SessionLife::Fixed(25),
+        retries: 0,
+    };
+    let root = rng.next_u64();
+    let plan = FaultPlan::empty();
+    let dir = temp_dir("loud");
+
+    let mut durable = DurableEngine::create(&dir, space.clone(), config, root, 10_000).unwrap();
+    for _ in 0..4 {
+        durable.run_journaled(50, &plan).unwrap();
+    }
+
+    // Flip a payload bit of the *first* frame: three intact frames
+    // follow, so this is real corruption.
+    let journal_path = dir.join(JOURNAL_FILE);
+    let pristine = fs::read(&journal_path).unwrap();
+    let mut bytes = pristine.clone();
+    bytes[Header::LEN + 8] ^= 0x04;
+    fs::write(&journal_path, &bytes).unwrap();
+    let before = fs::metadata(&journal_path).unwrap().len();
+    let result: Result<Resumed<_, Vec<u32>, DepartureWheel>, _> =
+        Recovery::resume(&dir, space.clone(), config, root, &plan, vec![0; n]);
+    match result {
+        Err(JournalError::Corrupt { at, .. }) => assert_eq!(at, Header::LEN),
+        other => panic!("corrupt non-tail frame must fail loudly, got {other:?}"),
+    }
+    assert_eq!(
+        fs::metadata(&journal_path).unwrap().len(),
+        before,
+        "loud corruption must not truncate the file"
+    );
+    fs::write(&journal_path, &pristine).unwrap();
+
+    // Any damage to the checkpoint: it was renamed atomically, so even a
+    // torn-looking tail is corruption there.
+    let ckpt_path = dir.join(CHECKPOINT_FILE);
+    let good = fs::read(&ckpt_path).unwrap();
+    let mut bad = good.clone();
+    let mid = Header::LEN + (bad.len() - Header::LEN) / 2;
+    bad[mid] ^= 0x20;
+    fs::write(&ckpt_path, &bad).unwrap();
+    let result: Result<Resumed<_, Vec<u32>, DepartureWheel>, _> =
+        Recovery::resume(&dir, space.clone(), config, root, &plan, vec![0; n]);
+    assert!(
+        matches!(result, Err(JournalError::Corrupt { .. })),
+        "a damaged checkpoint must fail loudly"
+    );
+    fs::write(&ckpt_path, &good[..good.len() - 3]).unwrap();
+    let result: Result<Resumed<_, Vec<u32>, DepartureWheel>, _> =
+        Recovery::resume(&dir, space, config, root, &plan, vec![0; n]);
+    assert!(
+        matches!(result, Err(JournalError::Corrupt { .. })),
+        "a short checkpoint must fail loudly too"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A resumed engine can re-enter the durability discipline: continuing
+/// journaled after a crash reaches the same bytes as a run that was
+/// journaled end to end without crashing.
+#[test]
+fn resumed_engines_continue_journaled_and_stay_byte_identical() {
+    let mut rng = Xoshiro256pp::from_u64(89);
+    let n = 28;
+    let space = RingSpace::random(n, &mut rng);
+    let config = ServeConfig {
+        strategy: Strategy::two_choice(),
+        capacity: Some(6),
+        life: SessionLife::Exponential { mean: 45.0 },
+        retries: 1,
+    };
+    let root = rng.next_u64();
+    let plan = FaultPlan::random_churn(root ^ 0xD0, n, 800, 3, 50);
+    let dir = temp_dir("reenter");
+
+    let durable = journaled_to(&dir, &space, config, root, 64, &plan, 500, 37);
+    drop(durable);
+    // Crash: lose the last half of the journal body.
+    let path = dir.join(JOURNAL_FILE);
+    let len = fs::metadata(&path).unwrap().len();
+    let cut = Header::LEN as u64 + (len - Header::LEN as u64) / 2;
+    fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(cut)
+        .unwrap();
+
+    let resumed: Resumed<_, Vec<u32>, DepartureWheel> =
+        Recovery::resume(&dir, space.clone(), config, root, &plan, vec![0; n]).unwrap();
+    let recovered_to = resumed.engine.arrivals();
+    let mut durable = resumed.into_durable(&dir, root, 64);
+    durable.run_journaled(800 - recovered_to, &plan).unwrap();
+
+    let mut reference = ServeEngine::new(space.clone(), config, root);
+    reference.run_with_faults(800, &plan);
+    assert_eq!(durable.engine().state(), reference.state());
+
+    // And the continued directory is itself recoverable.
+    let again: Resumed<_, PackedLoads, DepartureWheel> =
+        Recovery::resume(&dir, space, config, root, &plan, PackedLoads::byte(n)).unwrap();
+    assert_eq!(again.engine.state(), reference.state());
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,385 @@
+//! Length-prefixed, CRC-guarded binary framing for durable on-disk logs.
+//!
+//! The serving engine's checkpoint/journal files (see `geo2c-serve`'s
+//! `journal` module) are sequences of *frames* appended to a fixed-size
+//! file header. A frame is
+//!
+//! ```text
+//! [len: u32 LE][crc: u32 LE][payload: len bytes]
+//! ```
+//!
+//! where `crc` is the CRC-32 (IEEE, reflected) of the payload. The
+//! format is designed around one question a crash-recovery scan must
+//! answer: *is a bad frame a crash artifact or real corruption?* An
+//! append interrupted by a crash can only leave a short or garbled
+//! **tail** — nothing ever writes beyond it — so [`scan_frames`]
+//! classifies a bad frame whose extent reaches (or overruns) end-of-file
+//! as [`Tail::Torn`], safe to truncate and resume past, while a bad
+//! frame *followed by more bytes* is reported as a loud
+//! [`FrameError`]: no crash writes valid data after a hole, so
+//! silently truncating there would discard durable history.
+//!
+//! [`Header`] is the companion file preamble (magic, format version, and
+//! two caller-chosen binding words) that lets a reader reject files of
+//! the wrong kind, version, or provenance before trusting any frame.
+//!
+//! ```
+//! use geo2c_util::frame::{append_frame, scan_frames, Tail};
+//!
+//! let mut buf = Vec::new();
+//! append_frame(&mut buf, b"alpha");
+//! append_frame(&mut buf, b"beta");
+//! let whole = scan_frames(&buf).unwrap();
+//! assert_eq!(whole.payloads, [&b"alpha"[..], b"beta"]);
+//! assert!(matches!(whole.tail, Tail::Clean));
+//!
+//! // A crash mid-append tears the tail; the scan survives it.
+//! let torn = scan_frames(&buf[..buf.len() - 2]).unwrap();
+//! assert_eq!(torn.payloads, [b"alpha"]);
+//! assert!(matches!(torn.tail, Tail::Torn { .. }));
+//! ```
+
+use std::fmt;
+
+/// Bytes of framing (`len` + `crc`) preceding each payload.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// The CRC-32 lookup table (IEEE polynomial `0xEDB88320`, reflected),
+/// computed at compile time so the crate stays dependency-free.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE, reflected — the zlib/PNG polynomial) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Appends `[len][crc][payload]` to `out`.
+///
+/// # Panics
+/// Panics if the payload exceeds `u32::MAX` bytes.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("frame payload over 4 GiB");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// How a frame scan reached the end of its buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// The final frame ended exactly at end-of-buffer.
+    Clean,
+    /// The bytes from offset `at` to the end are a torn append — a short
+    /// header, a frame extending past end-of-buffer, or a final frame
+    /// failing its CRC. Truncating the file to `at` removes the artifact;
+    /// every payload before `at` is intact.
+    Torn {
+        /// Byte offset (from the start of the scanned buffer) of the
+        /// torn frame's header.
+        at: usize,
+    },
+}
+
+/// Every intact payload in a scanned buffer, in append order, plus how
+/// the scan ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frames<'a> {
+    /// The payloads of the frames that passed their CRC.
+    pub payloads: Vec<&'a [u8]>,
+    /// Whether the buffer ended cleanly or in a torn append.
+    pub tail: Tail,
+}
+
+/// A frame failed its CRC with durable frames *after* it — real
+/// corruption, never a crash artifact (appends only ever garble the
+/// tail). Callers must fail loudly rather than truncate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameError {
+    /// Byte offset (from the start of the scanned buffer) of the corrupt
+    /// frame's header.
+    pub at: usize,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "corrupt non-tail frame at byte {}: CRC mismatch with durable frames after it",
+            self.at
+        )
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Scans `buf` as a frame sequence.
+///
+/// Returns the intact payloads and the tail classification; a torn tail
+/// ([`Tail::Torn`]) is *not* an error — it is the expected residue of a
+/// crash mid-append, and the caller truncates past it.
+///
+/// # Errors
+/// [`FrameError`] when a frame fails its CRC but is *followed by more
+/// bytes*: that cannot be a torn append, so the file has real corruption
+/// and silently truncating would discard durable frames.
+pub fn scan_frames(buf: &[u8]) -> Result<Frames<'_>, FrameError> {
+    let mut payloads = Vec::new();
+    let mut at = 0usize;
+    while at < buf.len() {
+        let remaining = buf.len() - at;
+        if remaining < FRAME_OVERHEAD {
+            return Ok(Frames {
+                payloads,
+                tail: Tail::Torn { at },
+            });
+        }
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
+        let want = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap());
+        let end = at + FRAME_OVERHEAD + len;
+        if end > buf.len() {
+            return Ok(Frames {
+                payloads,
+                tail: Tail::Torn { at },
+            });
+        }
+        let payload = &buf[at + FRAME_OVERHEAD..end];
+        if crc32(payload) != want {
+            if end == buf.len() {
+                return Ok(Frames {
+                    payloads,
+                    tail: Tail::Torn { at },
+                });
+            }
+            return Err(FrameError { at });
+        }
+        payloads.push(payload);
+        at = end;
+    }
+    Ok(Frames {
+        payloads,
+        tail: Tail::Clean,
+    })
+}
+
+/// Why a [`Header`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Fewer than [`Header::LEN`] bytes.
+    Short,
+    /// The magic does not match — a file of a different kind.
+    BadMagic,
+    /// The magic matches but the format version does not.
+    BadVersion {
+        /// The version the file declares.
+        found: u32,
+    },
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Short => write!(f, "file shorter than its header"),
+            Self::BadMagic => write!(f, "magic mismatch: not a file of this kind"),
+            Self::BadVersion { found } => write!(f, "unsupported format version {found}"),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+/// A fixed-size file preamble: 8 magic bytes, a `u32` format version,
+/// and two caller-chosen `u64` *binding words* (the serving journal
+/// binds its lane root and a configuration fingerprint, so a checkpoint
+/// can never be restored into an engine it was not taken from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// File-kind magic.
+    pub magic: [u8; 8],
+    /// Format version.
+    pub version: u32,
+    /// Caller-chosen provenance words, checked by the caller.
+    pub binds: [u64; 2],
+}
+
+impl Header {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 8 + 4 + 16;
+
+    /// The header's on-disk encoding (magic, then LE version, then the
+    /// LE binding words).
+    #[must_use]
+    pub fn encode(&self) -> [u8; Self::LEN] {
+        let mut out = [0u8; Self::LEN];
+        out[..8].copy_from_slice(&self.magic);
+        out[8..12].copy_from_slice(&self.version.to_le_bytes());
+        out[12..20].copy_from_slice(&self.binds[0].to_le_bytes());
+        out[20..28].copy_from_slice(&self.binds[1].to_le_bytes());
+        out
+    }
+
+    /// Decodes and checks a header from the start of `buf`, returning it
+    /// (binding words are the caller's to verify).
+    ///
+    /// # Errors
+    /// [`HeaderError`] when `buf` is short, the magic differs, or the
+    /// version differs.
+    pub fn decode(buf: &[u8], magic: [u8; 8], version: u32) -> Result<Self, HeaderError> {
+        if buf.len() < Self::LEN {
+            return Err(HeaderError::Short);
+        }
+        if buf[..8] != magic {
+            return Err(HeaderError::BadMagic);
+        }
+        let found = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if found != version {
+            return Err(HeaderError::BadVersion { found });
+        }
+        Ok(Self {
+            magic,
+            version,
+            binds: [
+                u64::from_le_bytes(buf[12..20].try_into().unwrap()),
+                u64::from_le_bytes(buf[20..28].try_into().unwrap()),
+            ],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_vectors() {
+        // The standard check value for "123456789", and zlib's for empty.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"geo2c"), crc32(b"geo2c"));
+        assert_ne!(crc32(b"geo2c"), crc32(b"geo2d"));
+    }
+
+    #[test]
+    fn frames_round_trip_including_empty_payloads() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"");
+        append_frame(&mut buf, b"payload");
+        append_frame(&mut buf, &[0xFF; 300]);
+        let frames = scan_frames(&buf).unwrap();
+        assert_eq!(frames.payloads.len(), 3);
+        assert_eq!(frames.payloads[0], b"");
+        assert_eq!(frames.payloads[1], b"payload");
+        assert_eq!(frames.payloads[2], &[0xFF; 300][..]);
+        assert_eq!(frames.tail, Tail::Clean);
+        assert_eq!(scan_frames(&[]).unwrap().tail, Tail::Clean);
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_torn_tail_never_an_error() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first");
+        append_frame(&mut buf, b"second");
+        for cut in 0..buf.len() {
+            let frames = scan_frames(&buf[..cut]).unwrap();
+            // Intact prefix frames all survive; the cut is torn unless it
+            // lands exactly on a frame boundary.
+            let first_len = FRAME_OVERHEAD + 5;
+            if cut == 0 {
+                assert_eq!(frames.tail, Tail::Clean);
+            } else if cut < first_len {
+                assert_eq!(frames.payloads.len(), 0);
+                assert_eq!(frames.tail, Tail::Torn { at: 0 });
+            } else if cut == first_len {
+                assert_eq!(frames.payloads, [b"first"]);
+                assert_eq!(frames.tail, Tail::Clean);
+            } else {
+                assert_eq!(frames.payloads, [b"first"]);
+                assert_eq!(frames.tail, Tail::Torn { at: first_len });
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_the_final_frame_are_torn_but_earlier_flips_are_loud() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first");
+        append_frame(&mut buf, b"second");
+        let first_len = FRAME_OVERHEAD + 5;
+
+        // Flip a payload bit in the *final* frame: torn tail at its header.
+        let mut tail_flip = buf.clone();
+        let last = tail_flip.len() - 1;
+        tail_flip[last] ^= 0x10;
+        let frames = scan_frames(&tail_flip).unwrap();
+        assert_eq!(frames.payloads, [b"first"]);
+        assert_eq!(frames.tail, Tail::Torn { at: first_len });
+
+        // Flip a payload bit in the *first* frame: corruption, loud.
+        let mut mid_flip = buf.clone();
+        mid_flip[FRAME_OVERHEAD] ^= 0x10;
+        assert_eq!(scan_frames(&mid_flip), Err(FrameError { at: 0 }));
+        assert!(FrameError { at: 0 }.to_string().contains("corrupt"));
+    }
+
+    #[test]
+    fn a_garbled_length_field_cannot_overrun_the_buffer() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"data");
+        buf[0] = 0xFF;
+        buf[1] = 0xFF; // length now absurd
+        let frames = scan_frames(&buf).unwrap();
+        assert_eq!(frames.payloads.len(), 0);
+        assert_eq!(frames.tail, Tail::Torn { at: 0 });
+    }
+
+    #[test]
+    fn headers_round_trip_and_reject_the_wrong_kind() {
+        let header = Header {
+            magic: *b"G2CTEST\0",
+            version: 3,
+            binds: [0xDEAD_BEEF, 42],
+        };
+        let mut bytes = header.encode().to_vec();
+        bytes.extend_from_slice(b"frames follow");
+        assert_eq!(
+            Header::decode(&bytes, *b"G2CTEST\0", 3).unwrap(),
+            header,
+            "trailing bytes are ignored"
+        );
+        assert_eq!(
+            Header::decode(&bytes[..10], *b"G2CTEST\0", 3),
+            Err(HeaderError::Short)
+        );
+        assert_eq!(
+            Header::decode(&bytes, *b"G2COTHER", 3),
+            Err(HeaderError::BadMagic)
+        );
+        assert_eq!(
+            Header::decode(&bytes, *b"G2CTEST\0", 4),
+            Err(HeaderError::BadVersion { found: 3 })
+        );
+        assert!(HeaderError::Short.to_string().contains("shorter"));
+    }
+}

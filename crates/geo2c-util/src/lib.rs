@@ -22,6 +22,10 @@
 //! * [`bounds`] — executable concentration bounds (Chernoff / Lemma 2,
 //!   Chernoff–Hoeffding KL form, Azuma, exact binomial tails) so lemma
 //!   experiments print *bound vs observed* from one source of truth.
+//! * [`frame`] — length-prefixed, CRC-guarded binary framing (plus
+//!   magic/version file headers) for the serving engine's durable
+//!   checkpoint and journal files, with torn-tail vs real-corruption
+//!   discrimination for crash recovery.
 //!
 //! The reproducibility contract in one example — independent streams per
 //! `(experiment, trial)`, identical on every platform and thread count
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod frame;
 pub mod hist;
 pub mod parallel;
 pub mod rng;
